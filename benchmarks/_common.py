@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper table or figure and writes the rendered
+rows to ``benchmarks/results/``.  Scale is controlled by environment
+variables so the default run finishes on a single CPU core in minutes:
+
+``REPRO_BENCH_PROFILE``
+    Scale profile for the quality benches (default ``smoke``-sized custom
+    profile; set to ``bench``/``default``/``full`` for longer runs).
+``REPRO_BENCH_TARGETS``
+    Comma-separated target datasets for Tables 3/4 (default a three-domain
+    subset; set to ``all`` for all 11 — expect a long run).
+
+The complete study (all matchers, all 11 targets) is produced by
+``python -m repro.study.full_run``; see EXPERIMENTS.md for its results.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.config import PROFILES, StudyConfig, SurrogateScale
+from repro.data.registry import DATASET_CODES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The default bench profile: big enough that trained matchers learn,
+#: small enough for minutes-scale single-core runs.
+_BENCH_DEFAULT = StudyConfig(
+    name="bench-quick",
+    seeds=(0, 1),
+    test_fraction=0.25,
+    train_pair_budget=400,
+    epochs=3,
+    dataset_scale=0.1,
+    surrogate=SurrogateScale(d_model=48, n_layers=2, n_heads=4, d_ff=96, max_len=64),
+)
+
+
+def bench_config() -> StudyConfig:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "")
+    if name and name in PROFILES:
+        return PROFILES[name]
+    return _BENCH_DEFAULT
+
+
+def bench_targets() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_TARGETS", "ABT,DBAC,BEER")
+    if raw.strip().lower() == "all":
+        return DATASET_CODES
+    return tuple(c.strip() for c in raw.split(",") if c.strip())
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,50 @@
+"""Ablation benches: the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from repro.study import ablations
+
+from _common import bench_config, save_result
+
+
+def test_blocking_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        ablations.blocking_ablation,
+        kwargs={"code": "DBAC", "dataset_scale": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = result.render()
+    save_result("ablation_blocking", rendered)
+    print("\n" + rendered)
+    # Raising min_shared prunes more but never gains candidates.
+    counts = [int(r["candidates"]) for r in result.rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_anymatch_data_pipeline_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        ablations.anymatch_data_ablation,
+        kwargs={"target": "ABT", "base": "gpt2", "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = result.render()
+    save_result("ablation_anymatch", rendered)
+    print("\n" + rendered)
+    assert len(result.rows) == 5
+
+
+def test_ditto_optimisation_ablation(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        ablations.ditto_ablation,
+        kwargs={"target": "DBAC", "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = result.render()
+    save_result("ablation_ditto", rendered)
+    print("\n" + rendered)
+    assert len(result.rows) == 4

@@ -1,0 +1,49 @@
+"""Figure 3 bench: deployment cost versus prediction quality.
+
+Quality comes from the most recent full-study run when available
+(results/full_study.json, produced by ``python -m repro.study.full_run``)
+and falls back to the paper's Table-3 means otherwise, so the bench is
+self-contained either way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.study import figures, table6
+from repro.study.paper_targets import TABLE3_F1
+
+from _common import save_result
+
+_FULL_STUDY = Path(__file__).resolve().parent.parent / "results" / "full_study.json"
+
+
+def _quality_table() -> tuple[dict[str, float], str]:
+    if _FULL_STUDY.exists():
+        document = json.loads(_FULL_STUDY.read_text())
+        return dict(document["table3"]["mean"]), "measured (results/full_study.json)"
+    paper = {name: sum(row.values()) / len(row) for name, row in TABLE3_F1.items()}
+    return paper, "paper Table-3 means (no full-study run found)"
+
+
+def test_figure3_cost_vs_quality(benchmark):
+    quality, source = _quality_table()
+
+    def build():
+        return figures.figure3(quality, table6.run())
+
+    result = benchmark(build)
+    rendered = f"quality source: {source}\n\n" + result.render()
+    save_result("figure3", rendered)
+    print("\n" + rendered)
+
+    front = {p.matcher for p in result.front()}
+    assert front, "the cost-quality Pareto front cannot be empty"
+    # The cheapest matcher is always on the front.
+    cheapest = min(
+        (p for p in result.points if p.dollars_per_1k_tokens is not None),
+        key=lambda p: p.dollars_per_1k_tokens,
+    )
+    assert cheapest.matcher in front
+    benchmark.extra_info["front"] = sorted(front)

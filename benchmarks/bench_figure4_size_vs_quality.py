@@ -1,0 +1,38 @@
+"""Figure 4 bench: model size versus prediction quality."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.study import figures
+from repro.study.paper_targets import TABLE3_F1
+
+from _common import save_result
+
+_FULL_STUDY = Path(__file__).resolve().parent.parent / "results" / "full_study.json"
+
+
+def _quality_table() -> tuple[dict[str, float], str]:
+    if _FULL_STUDY.exists():
+        document = json.loads(_FULL_STUDY.read_text())
+        return dict(document["table3"]["mean"]), "measured (results/full_study.json)"
+    paper = {name: sum(row.values()) / len(row) for name, row in TABLE3_F1.items()}
+    return paper, "paper Table-3 means (no full-study run found)"
+
+
+def test_figure4_size_vs_quality(benchmark):
+    quality, source = _quality_table()
+    result = benchmark(figures.figure4, quality)
+    rendered = f"quality source: {source}\n\n" + result.render()
+    save_result("figure4", rendered)
+    print("\n" + rendered)
+
+    points = {p.matcher: p for p in result.points}
+    # Paper-envelope shape: on the paper's numbers, the 1.3B fine-tuned
+    # model matches the 1.76T prompted model.
+    if "paper" in source:
+        assert points["AnyMatch[LLaMA3.2]"].mean_f1 >= points["MatchGPT[GPT-4]"].mean_f1 - 0.5
+    # And size spans six orders of magnitude either way.
+    sizes = [p.params_millions for p in result.points if p.params_millions > 0]
+    assert max(sizes) / min(sizes) > 10_000

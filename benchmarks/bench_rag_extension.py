@@ -1,0 +1,32 @@
+"""Extension bench: retrieval-augmented demonstrations (Section 5.1 future work)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.study.extensions import run_rag_extension
+
+from _common import bench_config, bench_targets, save_result
+
+
+def test_rag_extension(benchmark):
+    # Simulated-only experiment: full test sets keep effects out of noise.
+    config = replace(bench_config(), test_fraction=1.0, dataset_scale=0.2)
+    result = benchmark.pedantic(
+        run_rag_extension,
+        kwargs={"model": "gpt-3.5-turbo", "config": config, "codes": bench_targets()},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = result.render()
+    save_result("rag_extension", rendered)
+    print("\n" + rendered)
+
+    # The hard fact: retrieval multiplies prompt length.
+    assert result.prompt_tokens["retrieved"] > 2 * result.prompt_tokens["none"]
+    # Under the modelled hypothesis, relevance-selected demos do not hurt
+    # the way random OOD demos can.
+    assert (
+        result.results["retrieved"].mean_f1
+        >= result.results["random-selected"].mean_f1 - 2.0
+    )

@@ -1,0 +1,32 @@
+"""Table 1 bench: synthesise all 11 benchmarks and report their statistics."""
+
+from __future__ import annotations
+
+from repro.data.generators import build_dataset
+from repro.study import table1, table2
+
+from _common import bench_config, save_result
+
+
+def test_table1_dataset_synthesis(benchmark):
+    config = bench_config()
+
+    def regenerate():
+        build_dataset.cache_clear()
+        return table1.run(config)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    rendered = result.render()
+    save_result("table1", rendered)
+    print("\n" + rendered)
+    # Invariant: generated counts scale the Table-1 statistics.
+    for row in result.rows:
+        assert row["#pos(gen)"] == max(4, round(row["#pos"] * config.dataset_scale))
+
+
+def test_table2_taxonomy(benchmark):
+    result = benchmark(table2.run)
+    rendered = result.render()
+    save_result("table2", rendered)
+    print("\n" + rendered)
+    assert len(result.rows) == 7

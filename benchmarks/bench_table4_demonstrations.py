@@ -1,0 +1,40 @@
+"""Table 4 bench: demonstration strategies for the prompted GPT models."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.llm.prompts import DemonstrationStrategy
+from repro.study import table4
+
+from _common import bench_config, bench_targets, save_result
+
+
+def test_table4_demonstration_strategies(benchmark):
+    # Simulated-only experiment: full test sets cost little and keep the
+    # demonstration effects out of small-sample noise.
+    config = replace(bench_config(), test_fraction=1.0, dataset_scale=0.2)
+    targets = bench_targets()
+
+    result = benchmark.pedantic(
+        table4.run,
+        kwargs={"config": config, "codes": targets},
+        rounds=1,
+        iterations=1,
+    )
+    rendered = result.render()
+    save_result("table4", rendered)
+    print("\n" + rendered)
+
+    # The paper's demonstration findings, as shape checks:
+    gpt35 = result.mean_by_strategy("gpt-3.5-turbo")
+    gpt4 = result.mean_by_strategy("gpt-4")
+    none, hand, random_ = (s.value for s in (
+        DemonstrationStrategy.NONE, DemonstrationStrategy.HAND_PICKED,
+        DemonstrationStrategy.RANDOM,
+    ))
+    assert gpt35[hand] < gpt35[none], "OOD hand-picked demos hurt GPT-3.5"
+    assert gpt35[random_] > gpt35[hand], "random demos beat hand-picked"
+    assert gpt4[random_] > gpt4[none] - 2.0, "GPT-4 is at worst mildly affected"
+    benchmark.extra_info["gpt35"] = {k: round(v, 1) for k, v in gpt35.items()}
+    benchmark.extra_info["gpt4"] = {k: round(v, 1) for k, v in gpt4.items()}

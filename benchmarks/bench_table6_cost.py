@@ -1,0 +1,25 @@
+"""Table 6 bench: cost per 1K tokens under the cheapest deployment."""
+
+from __future__ import annotations
+
+from repro.study import table6
+from repro.study.paper_targets import TABLE6_COST
+
+from _common import save_result
+
+
+def test_table6_deployment_cost(benchmark):
+    result = benchmark(table6.run)
+    rendered = result.render()
+    save_result("table6", rendered)
+    print("\n" + rendered)
+
+    costs = result.cost_table()
+    # Endpoints of the spread match the paper's quotes.
+    assert costs["MatchGPT[GPT-4]"] == TABLE6_COST["MatchGPT[GPT-4]"]["cost"]
+    assert abs(costs["Ditto"] - TABLE6_COST["Ditto[Bert]"]["cost"]) / TABLE6_COST[
+        "Ditto[Bert]"
+    ]["cost"] < 0.05
+    # Finding: GPT-4 is thousands of times more expensive than Ditto.
+    assert costs["MatchGPT[GPT-4]"] / costs["Ditto"] > 4_000
+    benchmark.extra_info["costs"] = {k: f"{v:.7f}" for k, v in costs.items()}

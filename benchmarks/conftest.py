@@ -1,0 +1,8 @@
+"""Make benchmarks/ importable as a flat directory (for _common)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,46 @@
+"""A miniature leave-one-dataset-out study (the Table-3 protocol).
+
+Fine-tunes Ditto and AnyMatch on ten transfer benchmarks, evaluates on
+the held-out target, and compares them with two prompted LLMs — the full
+cross-dataset protocol of Section 2.2 at example scale.
+
+Run:  python examples/cross_dataset_study.py          (~3-4 minutes on CPU)
+"""
+
+from __future__ import annotations
+
+from repro import StudyConfig, SurrogateScale
+from repro.study import table3
+
+
+def main() -> None:
+    config = StudyConfig(
+        name="example",
+        seeds=(0, 1),
+        test_fraction=0.4,
+        train_pair_budget=600,
+        epochs=4,
+        dataset_scale=0.12,
+        surrogate=SurrogateScale(d_model=48, n_layers=2, n_heads=4, d_ff=96, max_len=64),
+    )
+    result = table3.run(
+        config,
+        matcher_names=(
+            "StringSim",
+            "Ditto",
+            "AnyMatch[GPT-2]",
+            "MatchGPT[GPT-3.5-Turbo]",
+            "MatchGPT[GPT-4]",
+        ),
+        codes=("ABT", "DBAC", "BEER"),  # three targets keep the example fast
+    )
+    print(result.render())
+    print()
+    print("Macro means:", {k: round(v, 1) for k, v in result.quality_table().items()})
+    print()
+    print("Note: the trained matchers here are from-scratch surrogates at")
+    print("example scale; see EXPERIMENTS.md for the scale discussion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Match your own records: an end-to-end pipeline on custom data.
+
+The study's matchers are library components that work on any aligned
+records, not just the 11 benchmarks.  This example builds two tiny
+product catalogues from raw strings, blocks the cross product down to
+candidate pairs, and matches the candidates with a fine-tuned matcher
+trained on benchmark transfer data — the AWS-Glue-style automation
+scenario from Section 2.1.
+
+Run:  python examples/custom_dataset.py               (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DittoMatcher,
+    Record,
+    RecordPair,
+    StudyConfig,
+    SurrogateScale,
+    TokenBlocker,
+    build_dataset,
+)
+
+SHOP_A = [
+    ("a1", ("logitech mx master 3s wireless mouse", "graphite", "99.99")),
+    ("a2", ("dell ultrasharp u2723qe 27 inch monitor", "4k usb-c hub", "619.99")),
+    ("a3", ("sony wh-1000xm5 noise canceling headphones", "black", "399.00")),
+    ("a4", ("anker 737 power bank", "24000mah 140w", "149.95")),
+]
+
+SHOP_B = [
+    ("b1", ("mx master 3s mouse by logitech", "wireless, graphite colour", "$94")),
+    ("b2", ("sony wh1000xm5 wireless headphones", "industry leading noise canceling", "$379")),
+    ("b3", ("samsung galaxy buds 2 pro", "bora purple", "$229")),
+    ("b4", ("dell 27 4k monitor u2723qe", "ultrasharp with usb c hub", "$599")),
+]
+
+
+def main() -> None:
+    left = [Record(rid, values, entity_id=f"A:{rid}", source="shop-a") for rid, values in SHOP_A]
+    right = [Record(rid, values, entity_id=f"B:{rid}", source="shop-b") for rid, values in SHOP_B]
+
+    # 1. Blocking prunes the 4x4 cross product to plausible candidates.
+    blocker = TokenBlocker(min_shared=2)
+    blocked = blocker.block(left, right)
+    print(f"blocking: {len(blocked.candidates)} candidates "
+          f"(reduction {blocked.reduction_ratio:.0%})")
+
+    candidates = [
+        RecordPair(f"{a.record_id}-{b.record_id}", a, b, label=0)
+        for a, b in blocked.candidates
+    ]
+
+    # 2. Fine-tune a matcher on benchmark transfer data (cross-dataset:
+    #    it never sees these shops).
+    config = StudyConfig(
+        name="example", seeds=(0,), train_pair_budget=500, epochs=4,
+        dataset_scale=0.1,
+        surrogate=SurrogateScale(d_model=48, n_layers=2, n_heads=4, d_ff=96, max_len=64),
+    )
+    transfer = [build_dataset(code, scale=0.1, seed=7)[0]
+                for code in ("ABT", "WDC", "WAAM", "AMGO")]
+    matcher = DittoMatcher().fit(transfer, config, seed=0)
+
+    # 3. Match the candidates.
+    scores = matcher.match_scores(candidates)
+    print("\ncandidate scores:")
+    for pair, score in sorted(zip(candidates, scores), key=lambda t: -t[1]):
+        verdict = "MATCH   " if score > 0.5 else "distinct"
+        print(f"  {verdict} p={score:.2f}  {pair.left.values[0][:42]:<42} ~ "
+              f"{pair.right.values[0][:42]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+This offline environment has no `wheel` distribution, so the PEP-517
+editable path (which shells out to `bdist_wheel`) fails.  Keeping a
+`setup.py` and no `[build-system]` table lets pip use the legacy
+`setup.py develop` editable install instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro — reproduction of "A Deep Dive Into Cross-Dataset Entity Matching
+with Large and Small Language Models" (EDBT 2025).
+
+The public API groups into five layers:
+
+* :mod:`repro.data` — benchmark datasets (synthetic twins of the 11
+  public EM benchmarks), records, serialisation, blocking, leakage checks.
+* :mod:`repro.matchers` — the eight matching approaches of the study.
+* :mod:`repro.llm` — prompt building and the simulated LLM service.
+* :mod:`repro.eval` / :mod:`repro.analysis` — the leave-one-dataset-out
+  protocol, metrics, and the statistical analyses behind the findings.
+* :mod:`repro.cost` — throughput simulation and deployment pricing.
+* :mod:`repro.study` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import build_dataset, StringSimMatcher, f1_score
+
+    dataset, _world = build_dataset("ABT", scale=0.2)
+    matcher = StringSimMatcher()
+    predictions = matcher.predict(dataset.pairs, serialization_seed=0)
+    print(f1_score(dataset.labels(), predictions))
+"""
+
+from .config import PROFILES, StudyConfig, SurrogateScale, get_profile
+from .data import (
+    DATASET_CODES,
+    DATASETS,
+    EMDataset,
+    EntityWorld,
+    Record,
+    RecordPair,
+    TokenBlocker,
+    build_all_datasets,
+    build_dataset,
+    get_spec,
+    serialize_pair,
+    serialize_record,
+)
+from .errors import ReproError
+from .eval import LeaveOneOutRunner, StudyResult, f1_score, precision_recall_f1
+from .llm import (
+    DemonstrationStrategy,
+    LLMClient,
+    LLMRequest,
+    SimulatedLLM,
+    UsageMeter,
+    build_match_prompt,
+)
+from .llm import get_profile as get_llm_profile
+from .matchers import (
+    AnyMatchMatcher,
+    DittoMatcher,
+    JellyfishMatcher,
+    Matcher,
+    MatchGPTMatcher,
+    StringSimMatcher,
+    UnicornMatcher,
+    ZeroERMatcher,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnyMatchMatcher",
+    "DATASETS",
+    "DATASET_CODES",
+    "DemonstrationStrategy",
+    "DittoMatcher",
+    "EMDataset",
+    "EntityWorld",
+    "JellyfishMatcher",
+    "LLMClient",
+    "LLMRequest",
+    "LeaveOneOutRunner",
+    "Matcher",
+    "MatchGPTMatcher",
+    "PROFILES",
+    "Record",
+    "RecordPair",
+    "ReproError",
+    "SimulatedLLM",
+    "StringSimMatcher",
+    "StudyConfig",
+    "StudyResult",
+    "SurrogateScale",
+    "TokenBlocker",
+    "UnicornMatcher",
+    "UsageMeter",
+    "ZeroERMatcher",
+    "build_all_datasets",
+    "build_dataset",
+    "build_match_prompt",
+    "f1_score",
+    "get_llm_profile",
+    "get_profile",
+    "get_spec",
+    "precision_recall_f1",
+    "serialize_pair",
+    "serialize_record",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Statistical analyses for the paper's findings."""
+
+from .findings import (
+    DomainOverlapTest,
+    SkewCorrelation,
+    domain_overlap_test,
+    normalize_scores,
+    skew_correlation,
+)
+
+__all__ = [
+    "DomainOverlapTest",
+    "SkewCorrelation",
+    "domain_overlap_test",
+    "normalize_scores",
+    "skew_correlation",
+]

@@ -1,0 +1,112 @@
+"""Statistical analyses behind Findings 5 and 6 (Section 4.1).
+
+Finding 5: overlapping-domain datasets do not significantly help —
+a two-sample t-test on normalised F1 scores of same-domain vs
+unique-domain targets fails to reject the null.
+
+Finding 6: LM matchers are insensitive to label skew — the Spearman rank
+correlation between F1 and the imbalance rate stays weak (|rho| < 0.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..data.registry import DATASETS, same_domain_codes
+from ..errors import ReproError
+
+__all__ = [
+    "DomainOverlapTest",
+    "domain_overlap_test",
+    "SkewCorrelation",
+    "skew_correlation",
+    "normalize_scores",
+]
+
+
+def normalize_scores(
+    scores: dict[str, float],
+    reference: dict[str, float],
+) -> dict[str, float]:
+    """Normalise per-dataset scores by subtracting a reference matcher's.
+
+    The paper uses MatchGPT[GPT-3.5-Turbo] as the reference to put all
+    datasets on a comparable scale before pooling them in the t-test.
+    """
+    missing = set(scores) - set(reference)
+    if missing:
+        raise ReproError(f"reference lacks datasets: {sorted(missing)}")
+    return {code: scores[code] - reference[code] for code in scores}
+
+
+@dataclass(frozen=True)
+class DomainOverlapTest:
+    """Result of the Finding-5 two-sample t-test."""
+
+    t_statistic: float
+    p_value: float
+    n_same_domain: int
+    n_unique_domain: int
+    alpha: float = 0.05
+
+    @property
+    def rejects_null(self) -> bool:
+        """True when same-domain transfer data significantly helps."""
+        return self.p_value < self.alpha
+
+
+def domain_overlap_test(
+    normalized_scores: dict[str, float],
+    alpha: float = 0.05,
+) -> DomainOverlapTest:
+    """Two-sample t-test: same-domain targets vs unique-domain targets.
+
+    A target is "same-domain" when at least one transfer dataset shares
+    its domain (ABT/WDC, DBAC/DBGO, FOZA/ZOYE); the hypothesis under test
+    is that those targets score higher.
+    """
+    same, unique = [], []
+    for code, score in normalized_scores.items():
+        if code not in DATASETS:
+            raise ReproError(f"unknown dataset code {code!r}")
+        (same if same_domain_codes(code) else unique).append(score)
+    if len(same) < 2 or len(unique) < 2:
+        raise ReproError("need at least two scores per group for the t-test")
+    # One-sided Welch test: the hypothesis is directional (same-domain
+    # transfer data *helps*), so only a positive shift can reject.
+    t_stat, p_value = stats.ttest_ind(same, unique, equal_var=False, alternative="greater")
+    return DomainOverlapTest(
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+        n_same_domain=len(same),
+        n_unique_domain=len(unique),
+        alpha=alpha,
+    )
+
+
+@dataclass(frozen=True)
+class SkewCorrelation:
+    """Result of the Finding-6 Spearman analysis for one matcher."""
+
+    matcher: str
+    rho: float
+    p_value: float
+
+    @property
+    def is_weak(self) -> bool:
+        """The paper's criterion: a weak monotonic relationship."""
+        return abs(self.rho) < 0.3
+
+
+def skew_correlation(matcher: str, scores: dict[str, float]) -> SkewCorrelation:
+    """Spearman correlation between per-dataset F1 and imbalance rate."""
+    codes = sorted(scores)
+    if len(codes) < 4:
+        raise ReproError("need at least four datasets for a meaningful correlation")
+    f1_values = [scores[c] for c in codes]
+    imbalance = [DATASETS[c].imbalance_rate for c in codes]
+    rho, p_value = stats.spearmanr(f1_values, imbalance)
+    return SkewCorrelation(matcher=matcher, rho=float(rho), p_value=float(p_value))

@@ -1,0 +1,21 @@
+"""Cost substrate: hardware specs, throughput simulation, deployment pricing."""
+
+from .deployment import DeploymentCost, DeploymentCostModel
+from .hardware import ACADEMIC_4XA100, AWS_P4D_24XLARGE, A100_40GB, GPUSpec, MachineSpec
+from .throughput import ThroughputResult, ThroughputSimulator
+from .tradeoff import TradeoffPoint, build_tradeoff, pareto_front
+
+__all__ = [
+    "A100_40GB",
+    "ACADEMIC_4XA100",
+    "AWS_P4D_24XLARGE",
+    "DeploymentCost",
+    "DeploymentCostModel",
+    "GPUSpec",
+    "MachineSpec",
+    "ThroughputResult",
+    "ThroughputSimulator",
+    "TradeoffPoint",
+    "build_tradeoff",
+    "pareto_front",
+]

@@ -1,0 +1,89 @@
+"""Deployment cost per 1K tokens (Table 6's experiment).
+
+Three deployment scenarios are priced and the cheapest is selected per
+model, exactly as in Section 4.2.2:
+
+1. **Self-hosting** on an AWS p4d.24xlarge (8xA100, $19.22/h reserved):
+   ``cost = hourly_price / (2 * throughput_4gpu * 3600) * 1000`` — the
+   factor 2 extrapolates the 4-GPU throughput measurement to the 8-GPU
+   machine (embarrassingly parallel).
+2. **together.ai hosting** at the published per-token price.
+3. **OpenAI Batch API** at the published input-token price (the only
+   option for proprietary models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+from ..llm.pricing import OPENAI_BATCH_PRICES, TOGETHER_AI_PRICES
+from ..models.cards import ModelCard, get_card
+from .hardware import ACADEMIC_4XA100, AWS_P4D_24XLARGE, MachineSpec
+from .throughput import ThroughputSimulator
+
+__all__ = ["DeploymentCost", "DeploymentCostModel"]
+
+
+@dataclass(frozen=True)
+class DeploymentCost:
+    """One Table-6 row: the cheapest deployment for a (method, model)."""
+
+    method: str
+    model: str
+    dollars_per_1k_tokens: float
+    scenario: str
+
+
+class DeploymentCostModel:
+    """Prices all deployment scenarios and picks the cheapest."""
+
+    def __init__(
+        self,
+        testbed: MachineSpec = ACADEMIC_4XA100,
+        cloud_machine: MachineSpec = AWS_P4D_24XLARGE,
+    ) -> None:
+        if cloud_machine.hourly_usd <= 0:
+            raise CostModelError("the cloud machine needs a positive hourly price")
+        self.testbed = testbed
+        self.cloud_machine = cloud_machine
+        self._simulator = ThroughputSimulator(testbed)
+        #: Extrapolation factor from the testbed to the cloud machine.
+        self.scale_factor = cloud_machine.n_gpus / testbed.n_gpus
+
+    # -- scenarios ----------------------------------------------------------------
+
+    def self_hosting_cost(self, card: ModelCard) -> float:
+        """$/1K tokens on the cloud machine, via the 4-GPU throughput."""
+        throughput = self._simulator.tokens_per_second(card)
+        scaled = throughput * self.scale_factor
+        return self.cloud_machine.hourly_usd / (scaled * 3600.0) * 1000.0
+
+    def self_hosting_scenario(self, card: ModelCard) -> str:
+        replicas = self.cloud_machine.n_gpus // self._simulator.gpus_needed(card)
+        return f"{replicas}x on {self.cloud_machine.name}"
+
+    # -- selection -------------------------------------------------------------
+
+    def cheapest(self, method: str, model: str) -> DeploymentCost:
+        """The cheapest viable deployment for one (method, model) entry."""
+        card = get_card(model)
+        options: list[tuple[float, str]] = []
+        if card.is_open_weight:
+            options.append((self.self_hosting_cost(card), self.self_hosting_scenario(card)))
+            hosted = TOGETHER_AI_PRICES.get(model)
+            if hosted is not None:
+                options.append((hosted.dollars_per_1k_input_tokens, hosted.provider))
+        else:
+            api = OPENAI_BATCH_PRICES.get(model)
+            if api is None:
+                raise CostModelError(f"no pricing available for API model {model!r}")
+            options.append((api.dollars_per_1k_input_tokens, api.provider))
+        cost, scenario = min(options)
+        return DeploymentCost(method, model, cost, scenario)
+
+    def price_run(self, model: str, n_tokens: int) -> float:
+        """Dollars to process ``n_tokens`` under the cheapest deployment."""
+        if n_tokens < 0:
+            raise CostModelError("token count cannot be negative")
+        return self.cheapest("adhoc", model).dollars_per_1k_tokens * n_tokens / 1000.0

@@ -1,0 +1,57 @@
+"""Hardware specifications for the deployment-cost analysis (Section 4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+
+__all__ = ["GPUSpec", "MachineSpec", "A100_40GB", "ACADEMIC_4XA100", "AWS_P4D_24XLARGE"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator's public datasheet figures."""
+
+    name: str
+    memory_gb: float
+    #: fp16/bf16 dense peak throughput.
+    peak_tflops: float
+    memory_bandwidth_tb_s: float
+
+    def __post_init__(self) -> None:
+        if min(self.memory_gb, self.peak_tflops, self.memory_bandwidth_tb_s) <= 0:
+            raise CostModelError(f"{self.name}: datasheet figures must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine as rented from a cloud vendor or HPC cluster."""
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    #: Hourly price in USD (0 for the academic cluster, which the paper
+    #: does not price directly).
+    hourly_usd: float
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise CostModelError(f"{self.name}: needs at least one GPU")
+        if self.hourly_usd < 0:
+            raise CostModelError(f"{self.name}: price cannot be negative")
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.gpu.memory_gb * self.n_gpus
+
+
+#: NVIDIA A100 40GB SXM: 312 TFLOPs bf16, 1.55 TB/s HBM2.
+A100_40GB = GPUSpec("A100-40GB", memory_gb=40.0, peak_tflops=312.0, memory_bandwidth_tb_s=1.55)
+
+#: The paper's throughput testbed: 4xA100 in an academic HPC cluster.
+ACADEMIC_4XA100 = MachineSpec("academic-4xA100", A100_40GB, n_gpus=4, hourly_usd=0.0)
+
+#: AWS p4d.24xlarge, 8xA100-40GB, $19.22/h with a 1-year reservation
+#: (Dec 2024, as quoted in Section 4.2.2).
+AWS_P4D_24XLARGE = MachineSpec("p4d.24xlarge", A100_40GB, n_gpus=8, hourly_usd=19.22)

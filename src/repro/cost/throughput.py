@@ -1,0 +1,141 @@
+"""Analytic inference-throughput model (Table 5's experiment, simulated).
+
+The paper measures tokens/s for nine open-weight models on a 4xA100-40GB
+machine via ``torch.utils.benchmark``; no GPU exists in this environment,
+so the measurement is replaced by a roofline-style performance model that
+reproduces the *mechanisms* the paper describes:
+
+1. **Placement** — a model needs ``ceil(fp16_weights / gpu_memory)`` GPUs;
+   models that do not fit on one device pay a model-parallelism penalty
+   for shuttling activations between devices.
+2. **Max-batch search** — batch size doubles until the activation memory
+   (a KV-cache-style per-row estimate from the card's depth and width)
+   exhausts the remaining device memory, mirroring the paper's
+   exponentially-growing batch probe.
+3. **Roofline throughput** — tokens/s is compute-bound at
+   ``peak_flops / (2 * active_params)`` scaled by a batch-dependent
+   utilisation curve, the per-family efficiency factor calibrated against
+   the paper's measurements, and the parallelism penalty.
+
+Single-GPU models are extrapolated to the full machine (embarrassingly
+parallel replication), exactly as in Section 4.2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+from ..models.cards import ModelCard, ModelFamily
+from .hardware import MachineSpec
+
+__all__ = ["ThroughputResult", "ThroughputSimulator"]
+
+#: Fraction of device memory usable for weights + activations (the
+#: runtime, CUDA context and fragmentation consume the rest).
+_USABLE_MEMORY_FRACTION = 0.98
+
+#: Throughput multiplier per additional model-parallel stage crossed.
+_PARALLEL_PENALTY = 0.80
+
+#: Batch size at which the utilisation curve reaches half its maximum.
+_BATCH_HALF_SATURATION = 96.0
+
+#: Hard cap, matching common framework limits.
+_MAX_BATCH = 8_192
+
+#: Sequence length of the benchmark workload (DBGO pairs, Section 4.2.1).
+_BENCH_SEQ_LEN = 128
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One Table-5 row."""
+
+    model: str
+    params_millions: float
+    fp16_gb: float
+    n_gpus_used: int
+    max_batch_size: int
+    tokens_per_second: float
+
+
+class ThroughputSimulator:
+    """Roofline throughput model over a multi-GPU machine."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    # -- placement ----------------------------------------------------------
+
+    def gpus_needed(self, card: ModelCard) -> int:
+        """Devices required to hold the fp16 weights."""
+        if not card.is_open_weight:
+            raise CostModelError(f"{card.name} is API-only; its hardware is unknown")
+        usable = self.machine.gpu.memory_gb * _USABLE_MEMORY_FRACTION
+        needed = math.ceil(card.fp16_gb / usable)
+        if needed > self.machine.n_gpus:
+            raise CostModelError(
+                f"{card.name} needs {needed} GPUs but {self.machine.name} has "
+                f"{self.machine.n_gpus}"
+            )
+        return max(1, needed)
+
+    # -- activation memory -----------------------------------------------------
+
+    @staticmethod
+    def activation_gb_per_row(card: ModelCard, seq_len: int = _BENCH_SEQ_LEN) -> float:
+        """Per-batch-row activation + KV-cache footprint estimate (fp16)."""
+        kv_bytes = seq_len * card.hidden_dim * card.n_layers * 2 * 2  # K and V, 2B each
+        hidden_bytes = seq_len * card.hidden_dim * 4 * 2  # residual stream workspace
+        # Disentangled attention doubles the attention workspace; MoE
+        # routing keeps per-expert activations resident.
+        overhead = 1.0
+        if card.family in (ModelFamily.ENCODER_DISENTANGLED, ModelFamily.MOE_DECODER):
+            overhead = 2.0
+        return (kv_bytes + hidden_bytes) * overhead / 1e9
+
+    def max_batch_size(self, card: ModelCard, seq_len: int = _BENCH_SEQ_LEN) -> int:
+        """Exponentially grow the batch until memory is exhausted."""
+        n_gpus = self.gpus_needed(card)
+        free_gb = (
+            self.machine.gpu.memory_gb * n_gpus * _USABLE_MEMORY_FRACTION - card.fp16_gb
+        )
+        if free_gb <= 0:
+            raise CostModelError(f"{card.name} leaves no activation memory")
+        per_row = self.activation_gb_per_row(card, seq_len)
+        batch = 1
+        while batch < _MAX_BATCH and (batch * 2) * per_row <= free_gb:
+            batch *= 2
+        return batch
+
+    # -- throughput -----------------------------------------------------------
+
+    def tokens_per_second(self, card: ModelCard, seq_len: int = _BENCH_SEQ_LEN) -> float:
+        """Machine-level throughput, extrapolated to all GPUs."""
+        n_gpus = self.gpus_needed(card)
+        batch = self.max_batch_size(card, seq_len)
+        utilisation = batch / (batch + _BATCH_HALF_SATURATION)
+        parallel_penalty = _PARALLEL_PENALTY ** (n_gpus - 1)
+        flops_per_token = 2.0 * card.active_params_millions * 1e6
+        per_group = (
+            self.machine.gpu.peak_tflops * 1e12 * n_gpus
+            * utilisation * card.efficiency_factor * parallel_penalty
+            / flops_per_token
+        )
+        # Replicate independent model copies over the remaining GPUs
+        # (embarrassingly parallel, as in the paper's extrapolation).
+        n_replicas = self.machine.n_gpus // n_gpus
+        return per_group * n_replicas
+
+    def simulate(self, card: ModelCard, seq_len: int = _BENCH_SEQ_LEN) -> ThroughputResult:
+        """One full Table-5 row for a model card."""
+        return ThroughputResult(
+            model=card.name,
+            params_millions=card.params_millions,
+            fp16_gb=card.fp16_gb,
+            n_gpus_used=self.gpus_needed(card),
+            max_batch_size=self.max_batch_size(card, seq_len),
+            tokens_per_second=self.tokens_per_second(card, seq_len),
+        )

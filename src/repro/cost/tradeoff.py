@@ -1,0 +1,68 @@
+"""Quality-cost and quality-size trade-off series (Figures 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+
+__all__ = ["TradeoffPoint", "build_tradeoff", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point: a matcher's quality against a cost axis."""
+
+    matcher: str
+    mean_f1: float
+    #: Dollars per 1K tokens (Figure 3) — None for Figure-4-only points.
+    dollars_per_1k_tokens: float | None
+    #: Nominal parameter count in millions (Figure 4).
+    params_millions: float
+
+
+def build_tradeoff(
+    quality: dict[str, float],
+    cost: dict[str, float],
+    params: dict[str, float],
+) -> list[TradeoffPoint]:
+    """Join the per-matcher quality, cost and size tables into points.
+
+    Matchers missing from the cost table (e.g. Jellyfish, excluded from
+    the Table-6 discussion) still appear with ``dollars_per_1k_tokens``
+    of ``None`` so Figure 4 stays complete.
+    """
+    if not quality:
+        raise CostModelError("quality table is empty")
+    points = []
+    for matcher, f1 in quality.items():
+        points.append(
+            TradeoffPoint(
+                matcher=matcher,
+                mean_f1=f1,
+                dollars_per_1k_tokens=cost.get(matcher),
+                params_millions=params.get(matcher, 0.0),
+            )
+        )
+    return sorted(points, key=lambda p: p.mean_f1, reverse=True)
+
+
+def pareto_front(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Points not dominated on (cost low, quality high).
+
+    Figure 3's discussion revolves around this front — e.g. AnyMatch
+    [LLaMA3.2] "strikes the best balance".  Points without a cost are
+    excluded.
+    """
+    priced = [p for p in points if p.dollars_per_1k_tokens is not None]
+    front: list[TradeoffPoint] = []
+    for p in priced:
+        dominated = any(
+            (q.dollars_per_1k_tokens <= p.dollars_per_1k_tokens and q.mean_f1 > p.mean_f1)
+            or (q.dollars_per_1k_tokens < p.dollars_per_1k_tokens and q.mean_f1 >= p.mean_f1)
+            for q in priced
+            if q is not p
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.dollars_per_1k_tokens)

@@ -1,0 +1,51 @@
+"""Data substrate: records, pairs, datasets, generators, blocking, leakage."""
+
+from .blocking import BlockingResult, TokenBlocker
+from .generators import build_all_datasets, build_dataset
+from .io import read_labelled_pairs_csv, read_relation_csv
+from .leakage import OverlapReport, corpus_audit, pairwise_overlap_matrix, tuple_overlap
+from .pairs import EMDataset, RecordPair
+from .profiling import ColumnProfile, infer_attribute_kinds, profile_records
+from .record import AttributeKind, Record, Relation
+from .registry import (
+    DATASET_CODES,
+    DATASETS,
+    JELLYFISH_SEEN,
+    DatasetSpec,
+    get_spec,
+    same_domain_codes,
+)
+from .serialize import PAIR_SEPARATOR, column_order, serialize_pair, serialize_record
+from .world import EntityWorld
+
+__all__ = [
+    "AttributeKind",
+    "BlockingResult",
+    "ColumnProfile",
+    "DATASETS",
+    "DATASET_CODES",
+    "DatasetSpec",
+    "EMDataset",
+    "EntityWorld",
+    "JELLYFISH_SEEN",
+    "OverlapReport",
+    "PAIR_SEPARATOR",
+    "Record",
+    "RecordPair",
+    "Relation",
+    "TokenBlocker",
+    "build_all_datasets",
+    "build_dataset",
+    "column_order",
+    "corpus_audit",
+    "get_spec",
+    "infer_attribute_kinds",
+    "profile_records",
+    "pairwise_overlap_matrix",
+    "read_labelled_pairs_csv",
+    "read_relation_csv",
+    "same_domain_codes",
+    "serialize_pair",
+    "serialize_record",
+    "tuple_overlap",
+]

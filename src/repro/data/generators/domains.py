@@ -1,0 +1,613 @@
+"""Per-domain entity generators for the 11 benchmark datasets.
+
+Every generator builds a *field bundle* — names, free text, categories,
+numerics, phone — and :func:`_to_canonical` maps the bundle onto the
+dataset's attribute-kind layout, so one generator can serve two datasets
+with different schemas (e.g. FOZA's 6 and ZOYE's 7 restaurant attributes).
+
+The ``render_view`` implementations encode the *source asymmetry* that
+makes the real benchmarks hard: two data sources never describe an entity
+the same way.  Web shops bury a product name in marketing filler, Google
+Scholar truncates author lists and drops venues, IMDB formats runtimes as
+``1h 58m`` where RottenTomatoes writes ``118 min``.  These asymmetries are
+what defeat the parameter-free matchers on exactly the datasets the paper
+reports them failing on (Finding 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import DatasetError
+from ..record import AttributeKind
+from . import vocabularies as V
+from .base import DomainGenerator, EntityProto
+from .perturb import Perturber
+
+__all__ = [
+    "WebProductGenerator",
+    "SoftwareGenerator",
+    "ElectronicsGenerator",
+    "CitationGenerator",
+    "RestaurantGenerator",
+    "BeerGenerator",
+    "MusicGenerator",
+    "MovieGenerator",
+]
+
+
+@dataclass
+class FieldBundle:
+    """Raw domain fields before mapping onto a dataset schema."""
+
+    names: list[str] = field(default_factory=list)
+    text: str = ""
+    categories: list[str] = field(default_factory=list)
+    numerics: list[str] = field(default_factory=list)
+    phone: str = ""
+
+
+def _to_canonical(bundle: FieldBundle, kinds: tuple[AttributeKind, ...]) -> tuple[str, ...]:
+    """Consume bundle fields in kind order to build the canonical tuple."""
+    names = iter(bundle.names)
+    categories = iter(bundle.categories)
+    numerics = iter(bundle.numerics)
+    values: list[str] = []
+    for kind in kinds:
+        try:
+            if kind is AttributeKind.NAME:
+                values.append(next(names))
+            elif kind is AttributeKind.TEXT:
+                values.append(bundle.text)
+            elif kind is AttributeKind.CATEGORY:
+                values.append(next(categories))
+            elif kind is AttributeKind.NUMERIC:
+                values.append(next(numerics))
+            elif kind is AttributeKind.PHONE:
+                values.append(bundle.phone)
+        except StopIteration:
+            raise DatasetError(f"field bundle too small for kind layout {kinds}") from None
+    return tuple(values)
+
+
+class _BundleGenerator(DomainGenerator):
+    """Shared scaffolding: build a bundle, map it to the schema."""
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        """Return (bundle, group_key)."""
+        raise NotImplementedError
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        """Derive a confusable sibling bundle (hard negative)."""
+        raise NotImplementedError
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        """Produce the source-specific view of a bundle (subclass hook)."""
+        return bundle
+
+    def make_entity(self, code: str, idx: int, p: Perturber) -> EntityProto:
+        bundle, group = self.make_bundle(idx, p)
+        return EntityProto(f"{code}:e{idx}", _to_canonical(bundle, self.kinds), group)
+
+    def make_sibling(self, entity: EntityProto, code: str, idx: int, p: Perturber) -> EntityProto:
+        bundle = self._bundle_from_canonical(entity.canonical)
+        varied = self.vary_bundle(bundle, idx, p)
+        return EntityProto(f"{code}:e{idx}", _to_canonical(varied, self.kinds), entity.group_key)
+
+    def render_view(
+        self, entity: EntityProto, side: str, level: float, p: Perturber
+    ) -> tuple[str, ...]:
+        bundle = self._bundle_from_canonical(entity.canonical)
+        rendered = self.render_bundle(bundle, side, level, p)
+        values = _to_canonical(rendered, self.kinds)
+        return tuple(
+            self._render_value(value, kind, side, level, p)
+            for value, kind in zip(values, self.kinds)
+        )
+
+    def _bundle_from_canonical(self, canonical: tuple[str, ...]) -> FieldBundle:
+        bundle = FieldBundle()
+        for value, kind in zip(canonical, self.kinds):
+            if kind is AttributeKind.NAME:
+                bundle.names.append(value)
+            elif kind is AttributeKind.TEXT:
+                bundle.text = value
+            elif kind is AttributeKind.CATEGORY:
+                bundle.categories.append(value)
+            elif kind is AttributeKind.NUMERIC:
+                bundle.numerics.append(value)
+            elif kind is AttributeKind.PHONE:
+                bundle.phone = value
+        return bundle
+
+
+def _marketing_text(title: str, p: Perturber, n_phrases: int, keep_title: float = 1.0) -> str:
+    """Product description: title tokens buried in shared marketing filler."""
+    phrases = p.sample(V.DESCRIPTION_FILLER, n_phrases)
+    specs = f"{int(p.rng.integers(2, 64))} {p.choice(('gb', 'mb', 'inch', 'watt', 'channel', 'mp'))}"
+    title_part = title if p.rng.random() < keep_title else " ".join(title.split()[:2])
+    distractor = f"{p.choice(V.BRANDS)} {p.choice(V.PRODUCT_NOUNS)}"
+    parts = [title_part, " ".join(phrases[: n_phrases // 2]), specs,
+             "works with " + distractor, " ".join(phrases[n_phrases // 2:])]
+    return " ".join(part for part in parts if part)
+
+
+class WebProductGenerator(_BundleGenerator):
+    """ABT / WDC style web products.
+
+    Left source: short listing (clean title, terse description).  Right
+    source: marketing-heavy page (title variant buried in shared filler
+    phrases and distractor mentions of other brands, reformatted or
+    missing price).  Matching hinges on the rare model token; overall
+    string similarity separates matches from same-brand non-matches badly.
+    """
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        brand = p.choice(V.BRANDS)
+        noun = p.choice(V.PRODUCT_NOUNS)
+        modifier = p.choice(V.PRODUCT_MODIFIERS)
+        model = f"{p.choice(V.MODEL_PREFIXES)}{idx}{p.choice(('', 'b', 's', 'x'))}"
+        title = f"{brand} {model} {modifier} {noun}"
+        bundle = FieldBundle(
+            names=[title],
+            text=title,  # placeholder; views build their own descriptions
+            categories=[p.choice(V.PRODUCT_CATEGORIES)],
+            numerics=[f"{p.rng.uniform(15, 900):.2f}"],
+        )
+        return bundle, brand
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # The catalogue sibling: identical product line, adjacent model
+        # revision — "mdr123" vs "mdr123b" — the near-duplicates that make
+        # web-product matching genuinely hard.
+        tokens = bundle.names[0].split()
+        suffixes = ("b", "s", "x", "ii", "plus")
+        base_model = tokens[1].rstrip("bsx")
+        tokens[1] = f"{base_model}{p.choice(suffixes)}"
+        if p.rng.random() < 0.3:
+            tokens[2] = p.choice(V.PRODUCT_MODIFIERS).split()[0]
+        title = " ".join(tokens)
+        price = (
+            f"{float(bundle.numerics[0]) * p.rng.uniform(0.85, 1.15):.2f}"
+            if bundle.numerics
+            else f"{p.rng.uniform(15, 900):.2f}"
+        )
+        return FieldBundle(
+            names=[title],
+            text=title,
+            categories=list(bundle.categories),
+            numerics=[price],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        title = bundle.names[0]
+        out = FieldBundle(
+            categories=list(bundle.categories),
+            numerics=list(bundle.numerics),
+        )
+        if side == "left":
+            out.names = [title]
+            out.text = f"{title} {' '.join(p.sample(V.DESCRIPTION_FILLER, 3))}"
+        else:
+            tokens = title.split()
+            if p.rng.random() < 0.5:
+                tokens = [tokens[0][:4]] + tokens[1:]  # abbreviated brand
+            if p.rng.random() < 0.5 and len(tokens) > 3:
+                tokens = [t for i, t in enumerate(tokens) if i != 2]  # modifier dropped
+            out.names = [" ".join(tokens)]
+            n_phrases = 4 + int(p.rng.integers(0, 5))
+            body = _marketing_text(" ".join(tokens), p, n_phrases=n_phrases)
+            out.text = f"mpn {title.split()[1]} {body}"  # pages repeat the part no.
+            if out.numerics:
+                if p.rng.random() < 0.5:
+                    out.numerics = [""]  # many shop pages list no price
+                else:
+                    out.numerics = [
+                        f"{float(bundle.numerics[0]) * p.rng.uniform(0.75, 1.25):.2f}"
+                    ]
+        return out
+
+
+class SoftwareGenerator(_BundleGenerator):
+    """AMGO style software listings (the hardest free-text dataset).
+
+    Amazon titles carry edition/packaging noise; Google titles are terse
+    and frequently lack the manufacturer.  Prices differ systematically
+    (marketplace vs retail).
+    """
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        vendor = p.choice(V.SOFTWARE_VENDORS)
+        product = p.choice(V.SOFTWARE_PRODUCTS)
+        edition = p.choice(V.SOFTWARE_EDITIONS)
+        title = f"{vendor} {product} {edition} r{idx}"
+        bundle = FieldBundle(
+            names=[title, vendor],
+            numerics=[f"{p.rng.uniform(19, 650):.2f}"],
+        )
+        return bundle, vendor
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        vendor = bundle.names[1]
+        tokens = bundle.names[0].split()
+        tokens[-2] = p.choice(V.SOFTWARE_EDITIONS)
+        tokens[-1] = f"r{idx}"
+        return FieldBundle(
+            names=[" ".join(tokens), vendor],
+            numerics=[f"{float(bundle.numerics[0]) * p.rng.uniform(0.8, 1.2):.2f}"],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        title, vendor = bundle.names[0], bundle.names[1]
+        out = FieldBundle(numerics=list(bundle.numerics))
+        if side == "left":
+            packaging = p.choice(("dvd-rom", "cd-rom", "small box", "download", "jewel case"))
+            out.names = [f"{title} {packaging}", vendor]
+        else:
+            tokens = title.split()
+            if p.rng.random() < 0.6 and len(tokens) > 3:
+                tokens = tokens[1:]  # Google drops the vendor from the title
+            if p.rng.random() < 0.5 and len(tokens) > 3:
+                tokens = [t for t in tokens if t not in V.SOFTWARE_EDITIONS]
+            shown = " ".join(tokens)
+            if p.rng.random() < 0.6:
+                shown = f"{shown} {title.split()[-1]}"  # sku repeated in listing
+            out.names = [shown, "" if p.rng.random() < 0.6 else vendor]
+            out.numerics = [f"{float(bundle.numerics[0]) * p.rng.uniform(0.6, 1.1):.2f}"]
+        return out
+
+
+class ElectronicsGenerator(_BundleGenerator):
+    """WAAM style electronics: short Walmart titles vs verbose Amazon ones."""
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        brand = p.choice(V.BRANDS)
+        noun = p.choice(V.PRODUCT_NOUNS)
+        model = f"{p.choice(V.MODEL_PREFIXES)}-{idx}{p.choice(('', 'a', 'w'))}"
+        title = f"{brand} {noun} {model} {p.choice(V.PRODUCT_MODIFIERS)}"
+        bundle = FieldBundle(
+            names=[title, brand, model],
+            categories=[p.choice(V.PRODUCT_CATEGORIES)],
+            numerics=[f"{p.rng.uniform(9, 1500):.2f}"],
+        )
+        return bundle, brand
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        brand = bundle.names[1]
+        model = f"{p.choice(V.MODEL_PREFIXES)}-{idx}{p.choice(('', 'a', 'w'))}"
+        tokens = bundle.names[0].split()
+        tokens[-2] = model
+        return FieldBundle(
+            names=[" ".join(tokens), brand, model],
+            categories=list(bundle.categories),
+            numerics=[f"{float(bundle.numerics[0]) * p.rng.uniform(0.85, 1.15):.2f}"],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        title, brand, model = bundle.names[0], bundle.names[1], bundle.names[2]
+        out = FieldBundle(categories=list(bundle.categories), numerics=list(bundle.numerics))
+        if side == "left":
+            out.names = [" ".join(title.split()[:3]), brand, model]
+        else:
+            filler = " ".join(p.sample(V.DESCRIPTION_FILLER, 9))
+            shown_brand = brand[:4] if p.rng.random() < 0.4 else brand
+            out.names = [f"{title} {filler}", shown_brand,
+                         model.replace("-", "") if p.rng.random() < 0.5 else model]
+            out.numerics = [f"{float(bundle.numerics[0]) * p.rng.uniform(0.8, 1.25):.2f}"]
+            if p.rng.random() < 0.3:
+                out.categories = [""]
+        return out
+
+
+class CitationGenerator(_BundleGenerator):
+    """DBAC / DBGO style bibliography entries.
+
+    DBLP-side entries are clean; the other source (ACM or Google Scholar)
+    spells out venues, abbreviates author first names and — in the Google
+    variant — truncates author lists and drops venues.  Hard negatives are
+    conference-vs-extended-journal-version near-duplicates.
+    """
+
+    #: Set to True for the noisier Google-Scholar flavour (DBGO).
+    noisy_right = False
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        topic = p.choice(V.PAPER_TOPIC_NOUNS)
+        pattern = p.choice(V.PAPER_TITLE_PATTERNS)
+        title = pattern.format(
+            topic=topic, topic2=p.choice(V.PAPER_TOPIC_NOUNS), setting=p.choice(V.PAPER_SETTINGS)
+        )
+        n_authors = int(p.rng.integers(1, 5))
+        authors = ", ".join(
+            f"{p.choice(V.FIRST_NAMES)} {p.choice(V.LAST_NAMES)}" for _ in range(n_authors)
+        )
+        venue = p.choice(V.VENUES)
+        year = str(int(p.rng.integers(1995, 2009)))
+        bundle = FieldBundle(names=[f"{title} p{idx}", authors],
+                             categories=[venue], numerics=[year])
+        return bundle, topic
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # Extended version: same authors, same-ish title, new venue and year.
+        title = bundle.names[0].rsplit(" p", 1)[0]
+        year = str(int(bundle.numerics[0]) + int(p.rng.integers(1, 3)))
+        return FieldBundle(
+            names=[f"{title} p{idx}", bundle.names[1]],
+            categories=[p.choice(V.VENUES)],
+            numerics=[year],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        out = FieldBundle(
+            names=list(bundle.names),
+            categories=list(bundle.categories),
+            numerics=list(bundle.numerics),
+        )
+        if side == "right":
+            out.names[1] = _abbreviate_authors(bundle.names[1])
+            venue = bundle.categories[0]
+            out.categories = [V.VENUE_LONG.get(venue, venue)]
+            if self.noisy_right:
+                authors = out.names[1].split(", ")
+                if len(authors) > 2 and p.rng.random() < 0.6:
+                    out.names[1] = ", ".join(authors[:2])  # truncated author list
+                if p.rng.random() < 0.45:
+                    out.categories = [""]  # Scholar often lacks the venue
+                year_roll = p.rng.random()
+                if year_roll < 0.25:
+                    out.numerics = [""]
+                elif year_roll < 0.45 and bundle.numerics[0]:
+                    # Scholar years drift by one (preprint vs camera-ready).
+                    out.numerics = [str(int(bundle.numerics[0]) + int(p.rng.integers(-1, 2)))]
+        return out
+
+
+class NoisyCitationGenerator(CitationGenerator):
+    """The DBGO flavour: Google-Scholar-grade noise on the right side."""
+
+    noisy_right = True
+
+
+def _abbreviate_authors(authors: str) -> str:
+    parts = []
+    for author in authors.split(","):
+        tokens = author.split()
+        if len(tokens) >= 2:
+            parts.append(f"{tokens[0][0]}. {' '.join(tokens[1:])}")
+        elif tokens:
+            parts.append(tokens[0])
+    return ", ".join(parts)
+
+
+class RestaurantGenerator(_BundleGenerator):
+    """FOZA / ZOYE style restaurants.
+
+    Views reformat phones and abbreviate street suffixes, which crushes
+    whole-string similarity while leaving the typed digit features intact —
+    exactly the regime where ZeroER excels and StringSim fails (Finding 1).
+    """
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        name = f"{p.choice(V.RESTAURANT_NAME_PARTS)} {p.choice(V.RESTAURANT_NAME_PARTS)} {idx % 73}"
+        city = p.choice(V.CITIES)
+        address = f"{int(p.rng.integers(1, 9999))} {p.choice(V.STREET_NAMES)}"
+        cuisine = p.choice(V.CUISINES)
+        bundle = FieldBundle(
+            names=[name],
+            text=f"{address} {city}",
+            categories=[city, cuisine, f"class {int(p.rng.integers(0, 5))}"],
+            numerics=[
+                str(int(p.rng.integers(20, 2500))),        # votes
+                f"{p.rng.uniform(2.5, 5.0):.1f}",           # rating
+                str(int(p.rng.integers(10000, 99999))),     # zipcode
+            ],
+            phone=p.phone(),
+        )
+        return bundle, city
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # A franchise location: same name root, new address/phone in town.
+        # The bundle may be partial (ZOYE keeps fewer category slots than
+        # FOZA), so missing fields are refreshed rather than copied.
+        name_root = bundle.names[0].rsplit(" ", 1)[0]
+        text_tokens = bundle.text.split()
+        city_suffix = " ".join(text_tokens[-2:]) if len(text_tokens) >= 2 else p.choice(V.CITIES)
+        address = f"{int(p.rng.integers(1, 9999))} {p.choice(V.STREET_NAMES)}"
+        categories = list(bundle.categories) if bundle.categories else [p.choice(V.CITIES)]
+        if len(categories) >= 3:
+            categories[2] = f"class {int(p.rng.integers(0, 5))}"
+        return FieldBundle(
+            names=[f"{name_root} {idx % 73}"],
+            text=f"{address} {city_suffix}".strip(),
+            categories=categories,
+            numerics=[
+                str(int(p.rng.integers(20, 2500))),
+                f"{p.rng.uniform(2.5, 5.0):.1f}",
+                str(int(p.rng.integers(10000, 99999))),
+            ],
+            phone=p.phone(),
+        )
+
+    _STREET_ABBREV = {
+        "street": "st", "st": "street", "avenue": "ave", "ave": "avenue",
+        "boulevard": "blvd", "blvd": "boulevard", "drive": "dr", "dr": "drive",
+        "lane": "ln", "ln": "lane", "road": "rd", "rd": "road",
+    }
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        out = FieldBundle(
+            names=list(bundle.names),
+            text=bundle.text,
+            categories=list(bundle.categories),
+            numerics=list(bundle.numerics),
+            phone=bundle.phone,
+        )
+        if side == "right":
+            tokens = [self._STREET_ABBREV.get(t, t) for t in bundle.text.split()]
+            out.text = " ".join(tokens)
+            out.names = [f"{bundle.names[0]} restaurant" if p.rng.random() < 0.4 else bundle.names[0]]
+            if len(out.numerics) >= 2:  # votes/rating drift between sites
+                out.numerics[0] = str(int(int(bundle.numerics[0]) * p.rng.uniform(0.8, 1.3)))
+        return out
+
+
+class BeerGenerator(_BundleGenerator):
+    """BEER dataset: one site prefixes beer names with the brewery, styles
+    use inconsistent granularity, and ABV formats differ."""
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        brewery = f"{p.choice(V.BREWERY_PARTS)} {p.choice(V.BREWERY_SUFFIXES)}"
+        style = p.choice(V.BEER_STYLES)
+        name = f"{p.choice(V.BEER_NAME_PARTS)} {p.choice(V.BEER_NAME_PARTS)} {style.split()[-1]} {idx % 61}"
+        bundle = FieldBundle(
+            names=[name, brewery],
+            categories=[style],
+            numerics=[f"{p.rng.uniform(3.5, 12.0):.1f}"],
+        )
+        return bundle, brewery
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # The same beer line in another style ("hop hazy ipa" vs "hop hazy
+        # stout"): name differs by one word, the style column by a cousin
+        # style sharing a word where possible.
+        old_style = bundle.categories[0]
+        cousins = [s for s in V.BEER_STYLES
+                   if s != old_style and set(s.split()) & set(old_style.split())]
+        style = p.choice(tuple(cousins)) if cousins else p.choice(V.BEER_STYLES)
+        name_tokens = bundle.names[0].split()
+        name_tokens[-2] = style.split()[-1]
+        return FieldBundle(
+            names=[" ".join(name_tokens), bundle.names[1]],
+            categories=[style],
+            numerics=[f"{p.rng.uniform(3.5, 12.0):.1f}"],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        name, brewery = bundle.names[0], bundle.names[1]
+        style = bundle.categories[0]
+        out = FieldBundle(numerics=list(bundle.numerics))
+        if side == "left":
+            out.names = [name, brewery]
+            out.categories = [style]
+        else:
+            prefix = brewery.split()[0]
+            out.names = [f"{prefix} {name}", brewery.replace("brewing company", "brewing co")]
+            out.categories = [style.split()[-1] if p.rng.random() < 0.5 else style]
+            out.numerics = [f"{bundle.numerics[0]}%"]
+        return out
+
+
+class MusicGenerator(_BundleGenerator):
+    """ITAM dataset: iTunes vs Amazon disagree on nearly every format.
+
+    Track lengths render as ``3:45`` vs raw seconds, prices as ``$0.99``
+    vs ``0.99``, genres at different granularity, copyright lines with
+    different boilerplate — the regime where ZeroER's distributional
+    assumptions collapse (its worst Table-3 score, 10.8).
+    """
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        artist = f"{p.choice(V.ARTIST_PARTS)} {p.choice(V.ARTIST_SUFFIXES)}"
+        song = f"{p.choice(V.SONG_WORDS)} {p.choice(V.SONG_WORDS)} {idx % 53}"
+        album = f"{p.choice(V.SONG_WORDS)} {p.choice(V.ARTIST_PARTS)}"
+        seconds = int(p.rng.integers(120, 420))
+        bundle = FieldBundle(
+            names=[song, artist, album],
+            text=f"{int(p.rng.integers(1990, 2015))} {p.choice(V.COPYRIGHT_HOLDERS)}",
+            categories=[p.choice(V.MUSIC_GENRES)],
+            numerics=[
+                f"{p.rng.uniform(0.69, 1.29):.2f}",     # price
+                str(seconds),                            # track length (s)
+                str(int(p.rng.integers(1990, 2015))),    # release year
+            ],
+        )
+        return bundle, artist
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # The ITAM trap: the *same song* on a different release (live album,
+        # deluxe edition) is a distinct catalogue entity.  Song and artist
+        # stay identical; album, length and price change.
+        album = f"{bundle.names[2]} {p.choice(('live', 'deluxe', 'remastered'))}"
+        return FieldBundle(
+            names=[bundle.names[0], bundle.names[1], album],
+            text=bundle.text,
+            categories=list(bundle.categories),
+            numerics=[
+                f"{p.rng.uniform(0.69, 1.29):.2f}",
+                str(int(p.rng.integers(120, 420))),
+                bundle.numerics[2],
+            ],
+        )
+
+    _GENRE_COARSE = {
+        "hip hop/rap": "rap", "r&b/soul": "soul", "indie rock": "rock",
+        "singer/songwriter": "folk", "dance": "electronic",
+    }
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        song, artist, album = bundle.names
+        genre = bundle.categories[0]
+        price, seconds, year = bundle.numerics
+        out = FieldBundle(text=bundle.text)
+        if side == "left":  # the iTunes view
+            out.names = [song, artist, album]
+            out.categories = [genre]
+            out.numerics = [f"${price}", f"{int(seconds) // 60}:{int(seconds) % 60:02d}", year]
+        else:  # the Amazon view
+            out.names = [
+                f"{song} [explicit]" if p.rng.random() < 0.3 else song,
+                artist,
+                f"{album} ({year})" if p.rng.random() < 0.4 else album,
+            ]
+            out.categories = [self._GENRE_COARSE.get(genre, genre)]
+            drifted = int(seconds) + int(p.rng.integers(-3, 4))
+            store_price = f"{p.rng.uniform(0.69, 1.29):.2f}"
+            out.numerics = [store_price, str(drifted), year]
+            out.text = f"(c) {bundle.text.split(' ', 1)[1]} all rights reserved"
+        return out
+
+
+class MovieGenerator(_BundleGenerator):
+    """ROIM dataset: RottenTomatoes vs IMDB formatting differences."""
+
+    def make_bundle(self, idx: int, p: Perturber) -> tuple[FieldBundle, str]:
+        title = f"the {p.choice(V.MOVIE_TITLE_WORDS)} {p.choice(V.MOVIE_TITLE_NOUNS)} {idx % 67}"
+        director = f"{p.choice(V.FIRST_NAMES)} {p.choice(V.LAST_NAMES)}"
+        genre = p.choice(V.MOVIE_GENRES)
+        year = int(p.rng.integers(1970, 2015))
+        bundle = FieldBundle(
+            names=[title, director],
+            categories=[genre],
+            numerics=[str(year), str(int(p.rng.integers(80, 190)))],
+        )
+        return bundle, genre
+
+    def vary_bundle(self, bundle: FieldBundle, idx: int, p: Perturber) -> FieldBundle:
+        # The remake: same title root, different director/year.
+        year = int(bundle.numerics[0]) + int(p.rng.integers(5, 25))
+        return FieldBundle(
+            names=[bundle.names[0],
+                   f"{p.choice(V.FIRST_NAMES)} {p.choice(V.LAST_NAMES)}"],
+            categories=list(bundle.categories),
+            numerics=[str(min(year, 2015)), str(int(p.rng.integers(80, 190)))],
+        )
+
+    def render_bundle(self, bundle: FieldBundle, side: str, level: float, p: Perturber) -> FieldBundle:
+        title, director = bundle.names
+        year, minutes = bundle.numerics
+        genre = bundle.categories[0]
+        out = FieldBundle()
+        if side == "left":  # RottenTomatoes
+            out.names = [title, director]
+            out.categories = [genre]
+            out.numerics = [year, f"{minutes} min"]
+        else:  # IMDB
+            first, *rest = director.split()
+            shown_year = (
+                str(int(year) + int(p.rng.integers(-1, 2))) if p.rng.random() < 0.35 else year
+            )
+            out.names = [f"{title} ({shown_year})", f"{first[0]}. {' '.join(rest)}"]
+            out.categories = [f"{genre}, {p.choice(V.MOVIE_GENRES)}"]
+            hours, mins = divmod(int(minutes), 60)
+            out.numerics = [shown_year, f"{hours}h {mins:02d}m"]
+        return out

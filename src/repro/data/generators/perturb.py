@@ -1,0 +1,130 @@
+"""Textual perturbations applied when rendering entity views.
+
+Matching pairs differ by real-world noise: typos, abbreviations, dropped
+or reordered tokens, reformatted numbers and missing values.  The
+``level`` argument in [0, 1] controls intensity and is recorded as the
+pair's intrinsic hardness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Perturber"]
+
+_KEYBOARD_NEIGHBOURS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg", "g": "fh",
+    "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k", "m": "n", "n": "bm",
+    "o": "ip", "p": "o", "q": "wa", "r": "et", "s": "ad", "t": "ry", "u": "yi",
+    "v": "cb", "w": "qe", "x": "zc", "y": "tu", "z": "x",
+}
+
+
+class Perturber:
+    """Seeded collection of string-noise operators."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    # -- token-level -------------------------------------------------------
+
+    def typo(self, word: str) -> str:
+        """Introduce one keyboard-adjacent substitution, swap, or deletion."""
+        if len(word) < 3:
+            return word
+        pos = int(self.rng.integers(0, len(word)))
+        mode = self.rng.random()
+        if mode < 0.4:
+            ch = word[pos].lower()
+            neighbours = _KEYBOARD_NEIGHBOURS.get(ch)
+            if not neighbours:
+                return word
+            repl = neighbours[int(self.rng.integers(0, len(neighbours)))]
+            return word[:pos] + repl + word[pos + 1:]
+        if mode < 0.7 and pos < len(word) - 1:
+            return word[:pos] + word[pos + 1] + word[pos] + word[pos + 2:]
+        return word[:pos] + word[pos + 1:]
+
+    def abbreviate(self, word: str) -> str:
+        """Truncate a word to a plausible abbreviation ('corporation' → 'corp')."""
+        if len(word) <= 4:
+            return word
+        cut = int(self.rng.integers(3, min(5, len(word) - 1) + 1))
+        return word[:cut]
+
+    # -- text-level -----------------------------------------------------------
+
+    def corrupt_text(self, text: str, level: float) -> str:
+        """Apply mixed noise to a whitespace-tokenised text."""
+        tokens = text.split()
+        if not tokens:
+            return text
+        out: list[str] = []
+        for tok in tokens:
+            roll = self.rng.random()
+            # Identity-bearing tokens (SKUs, model numbers, ids) are copied
+            # between sources programmatically, so they rarely suffer the
+            # typos that plague hand-entered prose.
+            protection = 0.25 if any(ch.isdigit() for ch in tok) else 1.0
+            if roll < 0.12 * level * protection:
+                continue  # token dropped
+            if roll < 0.30 * level * protection:
+                tok = self.typo(tok)
+            elif roll < 0.42 * level * protection:
+                tok = self.abbreviate(tok)
+            out.append(tok)
+        if not out:
+            out = [tokens[0]]
+        if self.rng.random() < 0.25 * level and len(out) > 2:
+            i = int(self.rng.integers(0, len(out) - 1))
+            out[i], out[i + 1] = out[i + 1], out[i]
+        return " ".join(out)
+
+    def maybe_missing(self, text: str, level: float) -> str:
+        """Blank a value entirely with probability growing with ``level``."""
+        if self.rng.random() < 0.15 * level:
+            return ""
+        return text
+
+    # -- numbers -----------------------------------------------------------------
+
+    def reformat_price(self, value: float) -> str:
+        """Render a price in one of several source-specific formats."""
+        styles = (
+            lambda v: f"{v:.2f}",
+            lambda v: f"$ {v:.2f}",
+            lambda v: f"${v:.0f}",
+            lambda v: f"{v:.2f} usd",
+        )
+        style = styles[int(self.rng.integers(0, len(styles)))]
+        return style(value)
+
+    def jitter_number(self, value: float, rel: float) -> float:
+        """Multiplicative jitter of at most ``rel`` relative magnitude."""
+        if rel <= 0:
+            return value
+        factor = 1.0 + self.rng.uniform(-rel, rel)
+        return value * factor
+
+    def phone(self) -> str:
+        area = int(self.rng.integers(200, 990))
+        mid = int(self.rng.integers(100, 999))
+        end = int(self.rng.integers(0, 9999))
+        return f"{area}-{mid}-{end:04d}"
+
+    def reformat_phone(self, phone: str) -> str:
+        """Re-render a NNN-NNN-NNNN phone in another common format."""
+        digits = [c for c in phone if c.isdigit()]
+        if len(digits) != 10:
+            return phone
+        a, m, e = "".join(digits[:3]), "".join(digits[3:6]), "".join(digits[6:])
+        styles = (f"{a}-{m}-{e}", f"({a}) {m}-{e}", f"{a}/{m}-{e}", f"{a} {m} {e}")
+        return styles[int(self.rng.integers(0, len(styles)))]
+
+    def choice(self, pool: tuple[str, ...]) -> str:
+        return pool[int(self.rng.integers(0, len(pool)))]
+
+    def sample(self, pool: tuple[str, ...], k: int) -> list[str]:
+        k = min(k, len(pool))
+        idx = self.rng.choice(len(pool), size=k, replace=False)
+        return [pool[int(i)] for i in idx]

@@ -1,0 +1,279 @@
+"""Word pools for the synthetic entity generators.
+
+The pools are large enough that sampled entities are distinctive, and they
+deliberately include the kind of domain-specific, not-quite-grammatical
+vocabulary the paper highlights (Finding 4: "sumdex slr camera sling
+pack"-style product titles).
+"""
+
+from __future__ import annotations
+
+# -- shared -------------------------------------------------------------------
+
+FIRST_NAMES = (
+    "james", "mary", "wei", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "lisa", "nancy",
+    "daniel", "matthew", "anthony", "mark", "donald", "steven", "paul", "andrew",
+    "joshua", "kenneth", "kevin", "brian", "george", "timothy", "ronald", "edward",
+    "jason", "jeffrey", "ryan", "jacob", "gary", "nicholas", "eric", "jonathan",
+    "stephen", "larry", "justin", "scott", "brandon", "benjamin", "samuel",
+    "gregory", "alexander", "frank", "raymond", "jack", "dennis", "jerry", "yuki",
+    "chen", "rahul", "priya", "ahmed", "fatima", "carlos", "sofia", "lars", "ingrid",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson",
+    "white", "harris", "sanchez", "clark", "ramirez", "lewis", "robinson", "walker",
+    "young", "allen", "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+    "green", "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "zhang", "wang", "kumar", "patel", "kim", "park", "chen",
+    "yamamoto", "tanaka", "muller", "schmidt", "fischer", "weber", "rossi", "ferrari",
+)
+
+CITIES = (
+    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia",
+    "san antonio", "san diego", "dallas", "san jose", "austin", "seattle",
+    "denver", "boston", "portland", "las vegas", "atlanta", "miami", "oakland",
+    "minneapolis", "tulsa", "arlington", "tampa", "new orleans", "wichita",
+    "santa monica", "pasadena", "berkeley", "brooklyn", "queens",
+)
+
+STREET_NAMES = (
+    "main st", "oak ave", "maple dr", "cedar ln", "park blvd", "sunset blvd",
+    "broadway", "market st", "elm st", "washington ave", "lake shore dr",
+    "mission st", "valencia st", "ocean ave", "highland ave", "river rd",
+    "colorado blvd", "ventura blvd", "wilshire blvd", "melrose ave",
+)
+
+# -- web products / electronics -------------------------------------------------
+
+BRANDS = (
+    "sony", "samsung", "panasonic", "toshiba", "canon", "nikon", "epson", "brother",
+    "hp", "dell", "lenovo", "asus", "acer", "logitech", "belkin", "netgear",
+    "linksys", "garmin", "tomtom", "philips", "sharp", "sanyo", "jvc", "pioneer",
+    "kenwood", "yamaha", "denon", "onkyo", "bose", "sennheiser", "plantronics",
+    "sandisk", "kingston", "seagate", "maxtor", "iomega", "tripp lite", "apc",
+    "targus", "case logic", "sumdex", "lowepro", "vantec", "startech", "dynex",
+    "insignia", "vizio", "westinghouse", "haier", "frigidaire", "whirlpool",
+)
+
+PRODUCT_NOUNS = (
+    "lcd tv", "plasma television", "dvd player", "blu ray player", "camcorder",
+    "digital camera", "slr camera", "camera lens", "memory card", "flash drive",
+    "external hard drive", "usb hub", "wireless router", "ethernet switch",
+    "laser printer", "inkjet printer", "scanner", "fax machine", "shredder",
+    "home theater system", "av receiver", "bookshelf speakers", "subwoofer",
+    "headphones", "earbuds", "bluetooth headset", "mp3 player", "boombox",
+    "micro hi fi system", "turntable", "cordless phone", "answering machine",
+    "surge protector", "battery backup", "laptop battery", "ac adapter",
+    "notebook cooler", "docking station", "keyboard", "optical mouse",
+    "webcam", "microphone", "sling pack", "camera bag", "laptop sleeve",
+    "screen protector", "wall mount", "hdmi cable", "component cable",
+)
+
+PRODUCT_MODIFIERS = (
+    "black", "white", "silver", "titanium", "compact", "portable", "professional",
+    "wireless", "bluetooth", "hd", "full hd", "1080p", "720p", "widescreen",
+    "ultra slim", "high speed", "dual layer", "rechargeable", "noise canceling",
+    "water resistant", "refurbished", "series ii", "mark iii", "limited edition",
+)
+
+MODEL_PREFIXES = ("mdr", "dsc", "kdl", "dcr", "vpl", "slv", "cfd", "icf", "str",
+                  "wx", "dx", "sx", "fx", "gx", "hx", "px", "tx", "mx", "zx", "qx")
+
+PRODUCT_CATEGORIES = (
+    "televisions", "cameras camcorders", "mp3 accessories", "cases bags",
+    "home audio", "car electronics", "computer accessories", "printers supplies",
+    "networking", "storage media", "telephones", "portable audio", "office machines",
+)
+
+DESCRIPTION_FILLER = (
+    "features", "includes", "with", "supports", "compatible with", "designed for",
+    "built in", "up to", "easy to use", "high performance", "superior sound",
+    "crystal clear", "energy efficient", "plug and play", "lightweight design",
+    "advanced", "integrated", "digital", "analog", "remote control included",
+    "warranty", "brand new", "factory sealed", "oem packaging", "retail box",
+)
+
+# -- software ----------------------------------------------------------------
+
+SOFTWARE_VENDORS = (
+    "microsoft", "adobe", "symantec", "mcafee", "intuit", "corel", "roxio",
+    "nero", "autodesk", "apple", "sage", "broderbund", "encore", "topics",
+    "individual software", "nova development", "riverdeep", "valusoft",
+    "global marketing partners", "aspyr", "activision", "electronic arts",
+)
+
+SOFTWARE_PRODUCTS = (
+    "office professional", "office small business", "windows xp home", "windows vista",
+    "photoshop elements", "premiere elements", "acrobat standard", "creative suite",
+    "illustrator", "dreamweaver", "norton antivirus", "norton internet security",
+    "virusscan plus", "quickbooks pro", "quicken deluxe", "turbotax deluxe",
+    "paint shop pro", "wordperfect office", "easy media creator", "toast titanium",
+    "autocad lt", "sketchup pro", "final cut express", "logic express",
+    "typing instructor", "mavis beacon teaches typing", "print shop deluxe",
+    "family tree maker", "hoyle card games", "zoo tycoon", "flight simulator",
+)
+
+SOFTWARE_EDITIONS = (
+    "2005", "2006", "2007", "2008", "v2.0", "v3.5", "version 9", "version 10",
+    "upgrade", "full version", "academic", "retail", "oem", "3 user", "mac",
+    "win", "win/mac", "small box", "dvd rom", "cd rom",
+)
+
+# -- citations ------------------------------------------------------------------
+
+PAPER_TOPIC_NOUNS = (
+    "query optimization", "data integration", "entity resolution", "schema matching",
+    "stream processing", "view maintenance", "index structures", "join algorithms",
+    "transaction management", "concurrency control", "data mining", "clustering",
+    "classification", "association rules", "web search", "information extraction",
+    "xml processing", "graph databases", "spatial indexing", "time series analysis",
+    "data warehousing", "olap queries", "approximate query answering", "sampling",
+    "histogram construction", "selectivity estimation", "deductive databases",
+    "semistructured data", "data provenance", "privacy preservation", "skyline queries",
+    "top k retrieval", "similarity search", "duplicate detection", "record linkage",
+)
+
+PAPER_TITLE_PATTERNS = (
+    "efficient {topic} in {setting}",
+    "scalable {topic} for {setting}",
+    "on the complexity of {topic}",
+    "a survey of {topic}",
+    "towards adaptive {topic}",
+    "{topic}: a new approach",
+    "optimizing {topic} with {topic2}",
+    "incremental {topic} revisited",
+    "parallel {topic} on modern hardware",
+    "learning based {topic}",
+    "{topic} meets {topic2}",
+    "benchmarking {topic}",
+)
+
+PAPER_SETTINGS = (
+    "relational databases", "data streams", "sensor networks", "the cloud",
+    "distributed systems", "main memory systems", "peer to peer networks",
+    "large scale clusters", "heterogeneous sources", "data lakes", "web tables",
+)
+
+VENUES = (
+    "sigmod", "vldb", "icde", "edbt", "pods", "cidr", "kdd", "www", "cikm",
+    "sigmod record", "vldb journal", "tods", "tkde", "acm trans database syst",
+)
+
+VENUE_LONG = {
+    "sigmod": "proceedings of the acm sigmod international conference on management of data",
+    "vldb": "proceedings of the vldb endowment",
+    "icde": "ieee international conference on data engineering",
+    "edbt": "international conference on extending database technology",
+    "pods": "symposium on principles of database systems",
+    "cidr": "conference on innovative data systems research",
+    "kdd": "acm sigkdd conference on knowledge discovery and data mining",
+    "www": "the web conference",
+    "cikm": "conference on information and knowledge management",
+    "sigmod record": "acm sigmod record",
+    "vldb journal": "the vldb journal",
+    "tods": "acm transactions on database systems",
+    "tkde": "ieee transactions on knowledge and data engineering",
+    "acm trans database syst": "acm transactions on database systems",
+}
+
+# -- restaurants ------------------------------------------------------------------
+
+RESTAURANT_NAME_PARTS = (
+    "golden", "dragon", "palace", "garden", "villa", "casa", "chez", "la", "le",
+    "grill", "bistro", "cafe", "kitchen", "house", "corner", "royal", "blue",
+    "olive", "lotus", "bamboo", "pepper", "saffron", "tandoor", "trattoria",
+    "osteria", "cantina", "taqueria", "brasserie", "diner", "steakhouse", "oyster",
+    "harbor", "sunset", "uptown", "downtown", "old town", "riverside", "page",
+)
+
+CUISINES = (
+    "american", "italian", "french", "chinese", "japanese", "thai", "indian",
+    "mexican", "mediterranean", "greek", "spanish", "korean", "vietnamese",
+    "seafood", "steakhouses", "pizza", "delis", "bbq", "cajun", "continental",
+    "coffee shops", "health food", "fast food", "southern", "russian",
+)
+
+# -- beer --------------------------------------------------------------------
+
+BREWERY_PARTS = (
+    "stone", "sierra", "anchor", "lagunitas", "dogfish", "founders", "bells",
+    "great lakes", "rogue", "deschutes", "odell", "avery", "oskar blues",
+    "new belgium", "firestone", "ballast point", "green flash", "cigar city",
+    "three floyds", "surly", "alesmith", "russian river", "lost abbey", "modern times",
+)
+
+BREWERY_SUFFIXES = ("brewing company", "brewery", "brewing co", "ales", "beer co", "craft brewery")
+
+BEER_STYLES = (
+    "american ipa", "double ipa", "imperial stout", "oatmeal stout", "porter",
+    "amber ale", "pale ale", "brown ale", "hefeweizen", "witbier", "saison",
+    "pilsner", "lager", "barleywine", "scotch ale", "sour ale", "gose",
+    "fruit beer", "pumpkin ale", "winter warmer", "kolsch", "esb",
+)
+
+BEER_NAME_PARTS = (
+    "hop", "hazy", "cloudy", "midnight", "velvet", "golden", "rusty", "wild",
+    "angry", "lazy", "dancing", "flying", "crooked", "broken", "lucky", "blind",
+    "raging", "sleepy", "electric", "cosmic", "atomic", "arrogant", "humble",
+    "monk", "abbot", "captain", "admiral", "hound", "fox", "bear", "bison",
+    "nugget", "cascade", "citra", "mosaic", "simcoe", "galaxy", "amarillo",
+)
+
+# -- music ------------------------------------------------------------------
+
+ARTIST_PARTS = (
+    "crystal", "midnight", "electric", "velvet", "neon", "silver", "broken",
+    "wild", "lonely", "golden", "iron", "stone", "paper", "glass", "echo",
+    "shadow", "river", "mountain", "desert", "arctic", "cosmic", "lunar",
+)
+
+ARTIST_SUFFIXES = (
+    "hearts", "wolves", "riders", "brothers", "sisters", "kids", "club",
+    "project", "collective", "orchestra", "quartet", "trio", "band", "boys",
+    "girls", "society", "union", "parade", "revival", "machine",
+)
+
+SONG_WORDS = (
+    "love", "night", "heart", "fire", "rain", "summer", "dream", "dance",
+    "light", "shadow", "river", "road", "home", "ghost", "star", "ocean",
+    "thunder", "whisper", "memory", "forever", "yesterday", "tomorrow",
+    "golden", "broken", "burning", "falling", "running", "waiting", "crying",
+)
+
+MUSIC_GENRES = (
+    "pop", "rock", "alternative", "indie rock", "hip hop/rap", "r&b/soul",
+    "country", "electronic", "dance", "jazz", "blues", "folk", "latino",
+    "reggae", "metal", "punk", "singer/songwriter", "soundtrack", "christmas",
+)
+
+COPYRIGHT_HOLDERS = (
+    "sony music entertainment", "universal music group", "warner records",
+    "atlantic records", "columbia records", "interscope records", "def jam",
+    "capitol records", "rca records", "epic records", "island records",
+    "sub pop records", "merge records", "domino recording co", "xl recordings",
+)
+
+# -- movies ----------------------------------------------------------------
+
+MOVIE_TITLE_WORDS = (
+    "last", "first", "dark", "silent", "broken", "hidden", "lost", "final",
+    "endless", "burning", "frozen", "golden", "crimson", "midnight", "eternal",
+    "savage", "gentle", "perfect", "american", "foreign", "ancient", "modern",
+)
+
+MOVIE_TITLE_NOUNS = (
+    "summer", "winter", "night", "day", "city", "river", "mountain", "road",
+    "house", "garden", "letter", "promise", "secret", "memory", "journey",
+    "stranger", "soldier", "teacher", "detective", "kingdom", "empire", "horizon",
+)
+
+MOVIE_GENRES = (
+    "drama", "comedy", "action", "thriller", "horror", "romance", "sci-fi",
+    "fantasy", "mystery", "crime", "adventure", "animation", "documentary",
+    "war", "western", "musical", "biography", "family",
+)

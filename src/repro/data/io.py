@@ -1,0 +1,129 @@
+"""Load relations and candidate pairs from CSV files.
+
+The cross-dataset use cases (Section 2.1) ingest heterogeneous tabular
+data — CSV exports, spreadsheet dumps — where column names are unreliable
+and types are lost.  This module reads such files into
+:class:`~repro.data.record.Record` lists: every cell becomes a string
+value, column headers are *discarded* (Restriction 2), and an optional
+labelled pair file turns two relations into an :class:`EMDataset`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import DatasetError
+from .pairs import EMDataset, RecordPair
+from .record import AttributeKind, Record
+
+__all__ = ["read_relation_csv", "read_labelled_pairs_csv"]
+
+
+def read_relation_csv(
+    path: str | Path,
+    id_column: int = 0,
+    source: str = "",
+    has_header: bool = True,
+) -> list[Record]:
+    """Read one relation from a CSV file.
+
+    The ``id_column`` provides the record id; every other column becomes
+    an attribute value (as a string, in file order — headers are dropped,
+    per cross-dataset Restriction 2).  Entity ids are unknown for real
+    data and set to the record id.
+    """
+    path = Path(path)
+    records: list[Record] = []
+    arity: int | None = None
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row:
+                continue
+            if id_column >= len(row):
+                raise DatasetError(
+                    f"{path.name}:{row_number + 1}: id column {id_column} out of range"
+                )
+            record_id = row[id_column].strip()
+            if not record_id:
+                raise DatasetError(f"{path.name}:{row_number + 1}: empty record id")
+            values = tuple(
+                cell.strip() for i, cell in enumerate(row) if i != id_column
+            )
+            if arity is None:
+                arity = len(values)
+            elif len(values) != arity:
+                raise DatasetError(
+                    f"{path.name}:{row_number + 1}: expected {arity} attribute "
+                    f"values, found {len(values)}"
+                )
+            records.append(
+                Record(record_id, values, entity_id=record_id,
+                       source=source or path.stem)
+            )
+    if not records:
+        raise DatasetError(f"{path.name}: no records found")
+    return records
+
+
+def read_labelled_pairs_csv(
+    path: str | Path,
+    left: list[Record],
+    right: list[Record],
+    name: str = "custom",
+    domain: str = "custom",
+    has_header: bool = True,
+) -> EMDataset:
+    """Build an :class:`EMDataset` from a (left_id, right_id, label) CSV.
+
+    The two relations come from :func:`read_relation_csv`.  Attribute
+    kinds are unknown for ingested data and default to ``NAME`` — which
+    only matters to ZeroER; every other matcher ignores kinds entirely.
+    """
+    left_by_id = {r.record_id: r for r in left}
+    right_by_id = {r.record_id: r for r in right}
+    arity = left[0].n_attributes
+    if right[0].n_attributes != arity:
+        raise DatasetError(
+            f"relations are not aligned: {arity} vs {right[0].n_attributes} attributes"
+        )
+    pairs: list[RecordPair] = []
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row:
+                continue
+            if len(row) < 3:
+                raise DatasetError(f"{path.name}:{row_number + 1}: expected 3 columns")
+            left_id, right_id, label_text = (cell.strip() for cell in row[:3])
+            if left_id not in left_by_id:
+                raise DatasetError(f"{path.name}:{row_number + 1}: unknown left id {left_id!r}")
+            if right_id not in right_by_id:
+                raise DatasetError(f"{path.name}:{row_number + 1}: unknown right id {right_id!r}")
+            try:
+                label = int(label_text)
+            except ValueError:
+                raise DatasetError(
+                    f"{path.name}:{row_number + 1}: label must be 0 or 1, got {label_text!r}"
+                ) from None
+            pairs.append(
+                RecordPair(
+                    f"{name}-{row_number}", left_by_id[left_id],
+                    right_by_id[right_id], label=label,
+                )
+            )
+    if not pairs:
+        raise DatasetError(f"{path.name}: no pairs found")
+    return EMDataset(
+        name=name,
+        domain=domain,
+        n_attributes=arity,
+        attribute_kinds=(AttributeKind.NAME,) * arity,
+        pairs=pairs,
+    )

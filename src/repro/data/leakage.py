@@ -1,0 +1,76 @@
+"""Data-leakage analyses from Section 5.1 of the paper.
+
+Two checks are reproduced:
+
+1. **Pairwise tuple overlap** — the paper computes natural joins between
+   every dataset pair and confirms zero tuple overlap.
+2. **Pretraining-corpus audit** — the paper scans the C4 corpus URL field
+   for the benchmark source repositories.  Offline, the same audit runs
+   against any iterable of corpus documents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .pairs import EMDataset
+
+__all__ = ["OverlapReport", "tuple_overlap", "pairwise_overlap_matrix", "corpus_audit"]
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Result of a natural-join overlap check between two datasets."""
+
+    left: str
+    right: str
+    n_shared_tuples: int
+
+    @property
+    def is_clean(self) -> bool:
+        return self.n_shared_tuples == 0
+
+
+def _record_keys(dataset: EMDataset) -> set[str]:
+    keys: set[str] = set()
+    for pair in dataset.pairs:
+        keys.add(pair.left.fingerprint())
+        keys.add(pair.right.fingerprint())
+    return keys
+
+
+def tuple_overlap(a: EMDataset, b: EMDataset) -> OverlapReport:
+    """Size of the natural join between two datasets' record sets."""
+    shared = _record_keys(a) & _record_keys(b)
+    return OverlapReport(a.name, b.name, len(shared))
+
+
+def pairwise_overlap_matrix(datasets: dict[str, EMDataset]) -> list[OverlapReport]:
+    """Overlap reports for every unordered dataset pair."""
+    codes = sorted(datasets)
+    reports = []
+    for i, a in enumerate(codes):
+        for b in codes[i + 1:]:
+            reports.append(tuple_overlap(datasets[a], datasets[b]))
+    return reports
+
+
+def corpus_audit(
+    dataset_source_urls: Iterable[str],
+    corpus_urls: Iterable[str],
+) -> list[str]:
+    """URLs of benchmark sources found in a pretraining corpus.
+
+    Mirrors the paper's C4 sanity check: each corpus document carries a
+    URL; the audit reports which benchmark source repositories appear.
+    An empty result means no evidence of leakage.
+    """
+    targets = [url.lower().rstrip("/") for url in dataset_source_urls]
+    hits: list[str] = []
+    for url in corpus_urls:
+        normalised = url.lower()
+        for target in targets:
+            if target and target in normalised and target not in hits:
+                hits.append(target)
+    return hits

@@ -1,0 +1,159 @@
+"""Record pairs and labelled EM datasets with split/sub-sampling utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import DatasetError
+from .record import AttributeKind, Record, Relation
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """A candidate pair with its gold label.
+
+    ``hardness`` in [0, 1] is generator metadata describing the intrinsic
+    ambiguity of the pair (1.0 = maximally confusable).  It models the
+    real-world fact that some pairs are harder than others and is consumed
+    only by the simulated-LLM error model — never by trainable matchers.
+    """
+
+    pair_id: str
+    left: Record
+    right: Record
+    label: int
+    hardness: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise DatasetError(f"pair {self.pair_id!r}: label must be 0 or 1")
+        if self.left.n_attributes != self.right.n_attributes:
+            raise DatasetError(
+                f"pair {self.pair_id!r}: records have different attribute counts"
+            )
+        if not 0.0 <= self.hardness <= 1.0:
+            raise DatasetError(f"pair {self.pair_id!r}: hardness must be in [0, 1]")
+
+    @property
+    def n_attributes(self) -> int:
+        return self.left.n_attributes
+
+
+@dataclass
+class EMDataset:
+    """A labelled entity-matching benchmark dataset.
+
+    Mirrors the Table-1 benchmarks: a short code (e.g. ``ABT``), a domain
+    label, an aligned attribute count, and a set of labelled pairs.
+    """
+
+    name: str
+    domain: str
+    n_attributes: int
+    attribute_kinds: tuple[AttributeKind, ...]
+    pairs: list[RecordPair] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.attribute_kinds) != self.n_attributes:
+            raise DatasetError(
+                f"dataset {self.name}: kind count != attribute count"
+            )
+        for pair in self.pairs:
+            if pair.n_attributes != self.n_attributes:
+                raise DatasetError(
+                    f"dataset {self.name}: pair {pair.pair_id} has wrong arity"
+                )
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def n_positives(self) -> int:
+        return sum(1 for p in self.pairs if p.label == 1)
+
+    @property
+    def n_negatives(self) -> int:
+        return sum(1 for p in self.pairs if p.label == 0)
+
+    @property
+    def imbalance_rate(self) -> float:
+        """Fraction of negative pairs (the skew measure of Finding 6)."""
+        if not self.pairs:
+            raise DatasetError(f"dataset {self.name} is empty")
+        return self.n_negatives / len(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    # -- sampling -------------------------------------------------------------
+
+    def shuffled(self, seed: int) -> "EMDataset":
+        """A copy with pairs in a seed-determined order."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.pairs))
+        return replace(self, pairs=[self.pairs[i] for i in order])
+
+    def subsample(self, max_pairs: int, seed: int) -> "EMDataset":
+        """Random subsample preserving at least one pair of each label.
+
+        Implements the MatchGPT down-sampling rule (cap test sets at 1,250
+        randomly chosen samples); identical across baselines when called
+        with the same seed.
+        """
+        if max_pairs <= 0:
+            raise DatasetError("max_pairs must be positive")
+        if len(self.pairs) <= max_pairs:
+            return replace(self, pairs=list(self.pairs))
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(self.pairs), size=max_pairs, replace=False)
+        picked = [self.pairs[i] for i in sorted(chosen)]
+        labels = {p.label for p in picked}
+        if labels == {0, 1}:
+            return replace(self, pairs=picked)
+        # Degenerate draw: force one pair of the missing label in.
+        missing = ({0, 1} - labels).pop()
+        replacement = next(p for p in self.pairs if p.label == missing)
+        picked[-1] = replacement
+        return replace(self, pairs=picked)
+
+    def split(self, fractions: tuple[float, float], seed: int) -> tuple["EMDataset", "EMDataset"]:
+        """Split into two stratified parts with the given fractions."""
+        lo, hi = fractions
+        if not np.isclose(lo + hi, 1.0):
+            raise DatasetError("split fractions must sum to 1")
+        rng = np.random.default_rng(seed)
+        first: list[RecordPair] = []
+        second: list[RecordPair] = []
+        for label in (0, 1):
+            group = [p for p in self.pairs if p.label == label]
+            order = rng.permutation(len(group))
+            cut = int(round(lo * len(group)))
+            first.extend(group[i] for i in order[:cut])
+            second.extend(group[i] for i in order[cut:])
+        return replace(self, pairs=first), replace(self, pairs=second)
+
+    def labels(self) -> np.ndarray:
+        return np.array([p.label for p in self.pairs], dtype=np.int64)
+
+    def to_relations(self) -> tuple["Relation", "Relation"]:
+        """The deduplicated left and right input relations.
+
+        Useful for running the blocking stage on a labelled benchmark:
+        re-block ``left x right`` and measure candidate recall against
+        the dataset's positive pairs.
+        """
+        left = Relation(f"{self.name}-left", self.n_attributes, self.attribute_kinds)
+        right = Relation(f"{self.name}-right", self.n_attributes, self.attribute_kinds)
+        seen: set[str] = set()
+        for pair in self.pairs:
+            if pair.left.record_id not in seen:
+                seen.add(pair.left.record_id)
+                left.add(pair.left)
+            if pair.right.record_id not in seen:
+                seen.add(pair.right.record_id)
+                right.add(pair.right)
+        return left, right

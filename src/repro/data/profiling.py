@@ -1,0 +1,114 @@
+"""Dataset profiling for schema-less tabular data.
+
+The cross-dataset use cases (Section 2.1) ingest tables whose column
+names and types are unreliable.  The profiler summarises what *can* be
+known from values alone — distinctness, missing rate, length statistics,
+inferred kind — which is how a cloud integration service decides, e.g.,
+which columns ZeroER may treat as numeric.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from .record import AttributeKind, Record
+
+__all__ = ["ColumnProfile", "profile_records", "infer_attribute_kinds"]
+
+_NUMERIC_RE = re.compile(r"^[^a-z]*-?\d+(?:[.,]\d+)?[^a-z]*$")
+_PHONE_RE = re.compile(r"^[\d\s()/\-]{7,}$")
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Value-level statistics of one column."""
+
+    index: int
+    n_values: int
+    missing_rate: float
+    distinct_rate: float
+    mean_tokens: float
+    numeric_rate: float
+    phone_rate: float
+    inferred_kind: AttributeKind
+
+    @property
+    def looks_like_identifier(self) -> bool:
+        """High distinctness + short values: a name/id-bearing column."""
+        return self.distinct_rate > 0.8 and self.mean_tokens < 8
+
+
+def _infer_kind(
+    missing_rate: float,
+    distinct_rate: float,
+    mean_tokens: float,
+    numeric_rate: float,
+    phone_rate: float,
+) -> AttributeKind:
+    if phone_rate > 0.6:
+        return AttributeKind.PHONE
+    if numeric_rate > 0.7:
+        return AttributeKind.NUMERIC
+    if mean_tokens >= 8:
+        return AttributeKind.TEXT
+    if distinct_rate < 0.25:
+        return AttributeKind.CATEGORY
+    return AttributeKind.NAME
+
+
+def profile_records(records: Sequence[Record]) -> list[ColumnProfile]:
+    """Profile every column of an aligned record collection."""
+    if not records:
+        raise DatasetError("cannot profile an empty record collection")
+    arity = records[0].n_attributes
+    if any(r.n_attributes != arity for r in records):
+        raise DatasetError("records are not aligned to one schema")
+
+    profiles: list[ColumnProfile] = []
+    for col in range(arity):
+        values = [r.values[col] for r in records]
+        non_missing = [v for v in values if v.strip()]
+        missing_rate = 1.0 - len(non_missing) / len(values)
+        if non_missing:
+            distinct_rate = len(set(non_missing)) / len(non_missing)
+            mean_tokens = float(np.mean([len(v.split()) for v in non_missing]))
+            numeric_rate = float(
+                np.mean([bool(_NUMERIC_RE.match(v.strip().lower())) for v in non_missing])
+            )
+            phone_rate = float(
+                np.mean([bool(_PHONE_RE.match(v.strip())) for v in non_missing])
+            )
+        else:
+            distinct_rate = mean_tokens = numeric_rate = phone_rate = 0.0
+        profiles.append(
+            ColumnProfile(
+                index=col,
+                n_values=len(values),
+                missing_rate=missing_rate,
+                distinct_rate=distinct_rate,
+                mean_tokens=mean_tokens,
+                numeric_rate=numeric_rate,
+                phone_rate=phone_rate,
+                inferred_kind=_infer_kind(
+                    missing_rate, distinct_rate, mean_tokens, numeric_rate, phone_rate
+                ),
+            )
+        )
+    return profiles
+
+
+def infer_attribute_kinds(records: Sequence[Record]) -> tuple[AttributeKind, ...]:
+    """Column kinds inferred from values alone.
+
+    This is how ZeroER can be applied to ingested data that arrives with
+    no type information: infer kinds first, then build its similarity
+    features.  (A best-effort inference — the paper notes real-world
+    columns are often mistyped, which is exactly why Restriction 2 bans
+    relying on declared types.)
+    """
+    return tuple(p.inferred_kind for p in profile_records(records))

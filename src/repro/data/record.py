@@ -1,0 +1,95 @@
+"""Records and relations.
+
+Cross-dataset Restriction 2 (Section 2.1): matchers may only enumerate a
+record's attribute *values* as strings — no column names, no column types.
+:class:`Record` therefore stores an ordered tuple of string values.  Column
+*kinds* live on the :class:`Relation` and are only consulted by ZeroER,
+which the paper notes partially violates Restriction 2.
+
+Each record additionally carries a hidden ``entity_id`` — the identity of
+the real-world entity it describes.  This is ground truth produced by the
+synthetic generators; matchers never read it (tests enforce this by
+checking the serialised representations), but the evaluation harness and
+the simulated LLM's world-knowledge oracle do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import SchemaMismatchError
+
+
+class AttributeKind(enum.Enum):
+    """Coarse column type, used only by ZeroER's similarity-function choice."""
+
+    NAME = "name"  # short identifying strings: titles, person names
+    TEXT = "text"  # long free text: descriptions
+    CATEGORY = "category"  # small closed vocabulary: genre, venue, style
+    NUMERIC = "numeric"  # numbers rendered as strings: price, year, ABV
+    PHONE = "phone"  # phone-number-like formatted strings
+
+
+@dataclass(frozen=True)
+class Record:
+    """One tuple of an input relation.
+
+    ``values`` are aligned attribute values cast to strings (missing values
+    are empty strings).  ``entity_id`` identifies the underlying real-world
+    entity and is hidden from matchers.
+    """
+
+    record_id: str
+    values: tuple[str, ...]
+    entity_id: str
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(v, str) for v in self.values):
+            raise SchemaMismatchError("record values must all be strings")
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.values)
+
+    def fingerprint(self) -> str:
+        """A normalisation-stable key for world-knowledge lookups.
+
+        Values are normalised and *sorted*, so the fingerprint is invariant
+        under the seeded column shuffling applied during serialisation —
+        the simulated LLM reconstructs fingerprints from prompt text, where
+        the original column order is unknown.
+        """
+        return "␟".join(sorted(" ".join(v.lower().split()) for v in self.values))
+
+
+@dataclass
+class Relation:
+    """A named collection of records sharing an aligned schema."""
+
+    name: str
+    n_attributes: int
+    attribute_kinds: tuple[AttributeKind, ...]
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.attribute_kinds) != self.n_attributes:
+            raise SchemaMismatchError(
+                f"relation {self.name!r}: {len(self.attribute_kinds)} kinds for "
+                f"{self.n_attributes} attributes"
+            )
+
+    def add(self, record: Record) -> None:
+        if record.n_attributes != self.n_attributes:
+            raise SchemaMismatchError(
+                f"record {record.record_id!r} has {record.n_attributes} attributes, "
+                f"relation {self.name!r} expects {self.n_attributes}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

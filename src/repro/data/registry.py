@@ -1,0 +1,160 @@
+"""The 11 benchmark datasets of Table 1, with their key statistics.
+
+Statistics (#attributes, #positives, #negatives, domain) are taken verbatim
+from Table 1 of the paper; the synthetic generators reproduce them exactly
+at ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DatasetError
+from .record import AttributeKind
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_CODES",
+    "get_spec",
+    "same_domain_codes",
+    "JELLYFISH_SEEN",
+]
+
+_K = AttributeKind
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset."""
+
+    code: str
+    full_name: str
+    domain: str
+    n_attributes: int
+    n_positives: int
+    n_negatives: int
+    attribute_kinds: tuple[AttributeKind, ...]
+    #: Long, unconventional free-text values (ABT/WDC/AMGO/ITAM/WAAM per
+    #: Finding 1) — these defeat distribution-based matchers like ZeroER.
+    free_text: bool
+    #: Clean, short, consistently formatted values (DBAC, FOZA per Finding 1).
+    well_structured: bool
+    #: Key of the domain generator in :mod:`repro.data.generators`.
+    generator: str
+    #: Difficulty calibration (see DESIGN.md): fraction of negatives that
+    #: pair an entity with its catalogue sibling / with a same-group
+    #: entity, and a multiplier on the matching-pair noise level.
+    sibling_fraction: float = 0.35
+    group_fraction: float = 0.25
+    noise: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.attribute_kinds) != self.n_attributes:
+            raise DatasetError(f"{self.code}: kind count != attribute count")
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_positives + self.n_negatives
+
+    @property
+    def imbalance_rate(self) -> float:
+        return self.n_negatives / self.n_pairs
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.code: spec
+    for spec in (
+        DatasetSpec(
+            "ABT", "Abt-Buy", "web product", 3, 1_028, 8_547,
+            (_K.NAME, _K.TEXT, _K.NUMERIC),
+            free_text=True, well_structured=False, generator="web_product",
+            sibling_fraction=0.35, noise=1.0,
+        ),
+        DatasetSpec(
+            "WDC", "Web Data Commons", "web product", 3, 2_250, 7_992,
+            (_K.NAME, _K.TEXT, _K.CATEGORY),
+            free_text=True, well_structured=False, generator="web_product",
+            sibling_fraction=0.45, noise=1.3,
+        ),
+        DatasetSpec(
+            "DBAC", "DBLP-ACM", "citation", 4, 2_220, 10_143,
+            (_K.NAME, _K.NAME, _K.CATEGORY, _K.NUMERIC),
+            free_text=False, well_structured=True, generator="citation",
+            sibling_fraction=0.08, group_fraction=0.22, noise=0.8,
+        ),
+        DatasetSpec(
+            "DBGO", "DBLP-Google", "citation", 4, 5_347, 23_360,
+            (_K.NAME, _K.NAME, _K.CATEGORY, _K.NUMERIC),
+            free_text=False, well_structured=False, generator="citation_noisy",
+            sibling_fraction=0.15, group_fraction=0.30, noise=1.45,
+        ),
+        DatasetSpec(
+            "FOZA", "Fodors-Zagats", "restaurant", 6, 110, 836,
+            (_K.NAME, _K.TEXT, _K.CATEGORY, _K.PHONE, _K.CATEGORY, _K.CATEGORY),
+            free_text=False, well_structured=True, generator="restaurant",
+            sibling_fraction=0.25, group_fraction=0.30, noise=1.0,
+        ),
+        DatasetSpec(
+            "ZOYE", "Zomato-Yelp", "restaurant", 7, 90, 354,
+            (_K.NAME, _K.NUMERIC, _K.NUMERIC, _K.PHONE, _K.TEXT, _K.CATEGORY, _K.NUMERIC),
+            free_text=False, well_structured=True, generator="restaurant",
+        ),
+        DatasetSpec(
+            "AMGO", "Amazon-Google", "software", 3, 1_167, 10_293,
+            (_K.NAME, _K.NAME, _K.NUMERIC),
+            free_text=True, well_structured=False, generator="software",
+        ),
+        DatasetSpec(
+            "BEER", "Beer", "drink", 4, 68, 382,
+            (_K.NAME, _K.NAME, _K.CATEGORY, _K.NUMERIC),
+            free_text=False, well_structured=False, generator="beer",
+            sibling_fraction=0.40, group_fraction=0.30,
+        ),
+        DatasetSpec(
+            "ITAM", "iTunes-Amazon", "music", 8, 132, 407,
+            (_K.NAME, _K.NAME, _K.NAME, _K.CATEGORY, _K.NUMERIC, _K.TEXT, _K.NUMERIC, _K.NUMERIC),
+            free_text=True, well_structured=False, generator="music",
+            sibling_fraction=0.50,
+        ),
+        DatasetSpec(
+            "ROIM", "RottenTomato-IMDB", "movie", 5, 190, 410,
+            (_K.NAME, _K.NAME, _K.NUMERIC, _K.CATEGORY, _K.NUMERIC),
+            free_text=False, well_structured=False, generator="movie",
+            sibling_fraction=0.30,
+        ),
+        DatasetSpec(
+            "WAAM", "Walmart-Amazon", "electronics", 5, 962, 9_280,
+            (_K.NAME, _K.CATEGORY, _K.NAME, _K.NAME, _K.NUMERIC),
+            free_text=True, well_structured=False, generator="electronics",
+            sibling_fraction=0.28,
+        ),
+    )
+}
+
+#: Canonical evaluation order (as printed in the paper's tables).
+DATASET_CODES: tuple[str, ...] = (
+    "ABT", "WDC", "DBAC", "DBGO", "FOZA", "ZOYE", "AMGO", "BEER", "ITAM", "ROIM", "WAAM",
+)
+
+#: Datasets Jellyfish saw during its multi-task training (bracketed in Table 3).
+JELLYFISH_SEEN: frozenset[str] = frozenset({"DBAC", "DBGO", "FOZA", "AMGO", "BEER", "ITAM"})
+
+
+def get_spec(code: str) -> DatasetSpec:
+    """Look up a dataset spec by its short code (e.g. ``"ABT"``)."""
+    try:
+        return DATASETS[code]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {code!r}; known: {', '.join(DATASET_CODES)}"
+        ) from None
+
+
+def same_domain_codes(code: str) -> tuple[str, ...]:
+    """Other datasets sharing this dataset's domain (Finding 5)."""
+    spec = get_spec(code)
+    return tuple(
+        other for other in DATASET_CODES
+        if other != code and DATASETS[other].domain == spec.domain
+    )

@@ -1,0 +1,101 @@
+"""Record serialisation under the cross-dataset restrictions.
+
+Language-model matchers see records as strings.  Restriction 2 forbids
+column names, so records serialise as ``val <value> ... val <value>``
+(position markers only).  Section 2.2 ("Repetitions") varies the column
+order per random seed to quantify serialisation sensitivity — that is
+implemented here as a seeded permutation shared by both records of a pair.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from ..errors import SerializationError
+from .pairs import RecordPair
+from .record import Record
+
+__all__ = [
+    "column_order",
+    "serialize_record",
+    "serialize_pair",
+    "deserialize_values",
+    "fingerprint_serialized",
+    "PAIR_SEPARATOR",
+]
+
+#: Marker separating the two serialised records of a pair.
+PAIR_SEPARATOR = " [SEP] "
+
+#: Marker introducing each attribute value (replaces the column name).
+VALUE_MARKER = "val"
+
+
+def column_order(n_attributes: int, seed: int | None) -> tuple[int, ...]:
+    """The seeded attribute permutation used for serialisation.
+
+    ``seed=None`` keeps the natural order (used by deterministic baselines).
+    """
+    if n_attributes <= 0:
+        raise SerializationError("n_attributes must be positive")
+    if seed is None:
+        return tuple(range(n_attributes))
+    rng = np.random.default_rng(seed)
+    return tuple(int(i) for i in rng.permutation(n_attributes))
+
+
+def serialize_record(record: Record, order: tuple[int, ...] | None = None) -> str:
+    """Serialise one record to the anonymous ``val ...`` format.
+
+    >>> from repro.data.record import Record
+    >>> r = Record("r1", ("sony mdr", "99.99"), "e1")
+    >>> serialize_record(r)
+    'val sony mdr val 99.99'
+    """
+    order = order or tuple(range(record.n_attributes))
+    if sorted(order) != list(range(record.n_attributes)):
+        raise SerializationError(f"order {order} is not a permutation for {record.record_id}")
+    parts = []
+    for idx in order:
+        value = " ".join(record.values[idx].split())
+        parts.append(f"{VALUE_MARKER} {value}" if value else f"{VALUE_MARKER} ")
+    return " ".join(parts).strip()
+
+
+_VALUE_SPLIT_RE = re.compile(rf"(?:^|\s){VALUE_MARKER}(?:\s|$)")
+
+
+def deserialize_values(text: str) -> list[str]:
+    """Recover the attribute values from a serialised record.
+
+    The inverse of :func:`serialize_record` up to whitespace normalisation
+    and value order (the seeded permutation is not recoverable).
+    """
+    parts = _VALUE_SPLIT_RE.split(text)
+    if len(parts) < 2:
+        raise SerializationError(f"not a serialised record: {text[:60]!r}")
+    return [" ".join(part.split()) for part in parts[1:]]
+
+
+def fingerprint_serialized(text: str) -> str:
+    """Fingerprint of a serialised record, matching ``Record.fingerprint``.
+
+    Both normalise (lowercase, collapsed whitespace) and sort values, so a
+    record and its serialisation under any column permutation agree.
+    """
+    values = deserialize_values(text)
+    return "␟".join(sorted(" ".join(v.lower().split()) for v in values))
+
+
+def serialize_pair(pair: RecordPair, seed: int | None = None) -> str:
+    """Serialise a pair with a shared seeded column permutation.
+
+    Both sides use the same permutation, keeping the attributes aligned —
+    only the presentation order changes across seeds.
+    """
+    order = column_order(pair.n_attributes, seed)
+    left = serialize_record(pair.left, order)
+    right = serialize_record(pair.right, order)
+    return f"{left}{PAIR_SEPARATOR}{right}"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be synthesised, loaded, or validated."""
+
+
+class SchemaMismatchError(DatasetError):
+    """Two records or relations do not share an aligned schema."""
+
+
+class SerializationError(ReproError):
+    """A record pair could not be serialised or deserialised."""
+
+
+class MatcherError(ReproError):
+    """A matcher failed to fit or predict."""
+
+
+class NotFittedError(MatcherError):
+    """``predict`` was called on a matcher that requires ``fit`` first."""
+
+
+class LLMError(ReproError):
+    """An LLM client call failed."""
+
+
+class PromptError(LLMError):
+    """A prompt could not be built or parsed."""
+
+
+class BudgetExceededError(LLMError):
+    """A usage meter exceeded its configured token or dollar budget."""
+
+
+class CostModelError(ReproError):
+    """The throughput or deployment cost model received invalid input."""
+
+
+class GradientError(ReproError):
+    """An autograd invariant was violated (e.g. backward on non-scalar)."""

@@ -1,0 +1,33 @@
+"""Evaluation harness: metrics, leave-one-dataset-out protocol, reporting."""
+
+from .bootstrap import BootstrapInterval, bootstrap_f1, paired_bootstrap_difference
+from .calibration import ThresholdPoint, best_f1_threshold, precision_recall_curve
+from .loo import LeaveOneOutRunner, SeedScore, StudyResult, TargetResult
+from .metrics import ConfusionCounts, confusion, f1_score, macro_mean, precision_recall_f1
+from .persistence import load_results, results_from_dict, results_to_dict, save_results
+from .reporting import format_cell, format_rows, format_table3
+
+__all__ = [
+    "BootstrapInterval",
+    "ConfusionCounts",
+    "LeaveOneOutRunner",
+    "SeedScore",
+    "StudyResult",
+    "TargetResult",
+    "ThresholdPoint",
+    "best_f1_threshold",
+    "bootstrap_f1",
+    "paired_bootstrap_difference",
+    "precision_recall_curve",
+    "confusion",
+    "f1_score",
+    "load_results",
+    "results_from_dict",
+    "results_to_dict",
+    "save_results",
+    "format_cell",
+    "format_rows",
+    "format_table3",
+    "macro_mean",
+    "precision_recall_f1",
+]

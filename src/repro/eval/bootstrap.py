@@ -1,0 +1,114 @@
+"""Bootstrap confidence intervals for matcher scores.
+
+The paper reports mean±std over five seeds; on the tiny benchmarks
+(BEER: 68 positives) the *sampling* uncertainty of a single test set is
+just as large.  This utility quantifies it with a percentile bootstrap
+over test pairs — useful when deciding whether two matchers actually
+differ on a small dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from .metrics import f1_score
+
+__all__ = ["BootstrapInterval", "bootstrap_f1", "paired_bootstrap_difference"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A percentile bootstrap interval (values in F1 percentage points)."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def _validate(labels: np.ndarray, predictions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape or labels.size == 0:
+        raise ReproError("labels and predictions must be equal-length and non-empty")
+    return labels, predictions
+
+
+def bootstrap_f1(
+    labels: np.ndarray,
+    predictions: np.ndarray,
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI for the F1 of one prediction set."""
+    labels, predictions = _validate(labels, predictions)
+    if not 0.5 <= confidence < 1.0:
+        raise ReproError("confidence must be in [0.5, 1)")
+    rng = np.random.default_rng(seed)
+    n = labels.size
+    samples = []
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        resampled_labels = labels[idx]
+        if not (resampled_labels == 1).any():
+            continue  # degenerate resample of a skewed set
+        samples.append(f1_score(resampled_labels, predictions[idx]))
+    if not samples:
+        raise ReproError("all bootstrap resamples were degenerate")
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(samples, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        point=f1_score(labels, predictions),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_difference(
+    labels: np.ndarray,
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """CI for F1(a) - F1(b) on the *same* resamples (paired comparison).
+
+    The interval excluding zero is evidence the two matchers genuinely
+    differ on this dataset.
+    """
+    labels, predictions_a = _validate(labels, predictions_a)
+    _, predictions_b = _validate(labels, predictions_b)
+    rng = np.random.default_rng(seed)
+    n = labels.size
+    diffs = []
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        resampled = labels[idx]
+        if not (resampled == 1).any():
+            continue
+        diffs.append(
+            f1_score(resampled, predictions_a[idx]) - f1_score(resampled, predictions_b[idx])
+        )
+    if not diffs:
+        raise ReproError("all bootstrap resamples were degenerate")
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        point=f1_score(labels, predictions_a) - f1_score(labels, predictions_b),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )

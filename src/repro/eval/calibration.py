@@ -1,0 +1,78 @@
+"""Decision-threshold calibration for score-producing matchers.
+
+The study fixes the decision threshold at 0.5 everywhere; real
+deployments (Section 2.1's cloud services) tune it on whatever labelled
+data exists.  These utilities sweep a matcher's match scores and report
+the precision/recall frontier and the F1-optimal threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["ThresholdPoint", "precision_recall_curve", "best_f1_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Metrics at one decision threshold (percentages)."""
+
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+
+
+def precision_recall_curve(
+    labels: np.ndarray,
+    scores: np.ndarray,
+) -> list[ThresholdPoint]:
+    """Metrics at every distinct score threshold, descending.
+
+    Thresholds are the observed scores themselves (predict match when
+    ``score >= threshold``), so the curve is exact and needs no binning.
+    """
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ReproError("labels and scores have different shapes")
+    if labels.size == 0:
+        raise ReproError("cannot calibrate on an empty score set")
+    n_positive = int((labels == 1).sum())
+    if n_positive == 0:
+        raise ReproError("calibration needs at least one positive pair")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp_cumulative = np.cumsum(sorted_labels == 1)
+    predicted = np.arange(1, labels.size + 1)
+
+    points: list[ThresholdPoint] = []
+    # Only evaluate at the last occurrence of each distinct score.
+    is_last = np.ones(labels.size, dtype=bool)
+    is_last[:-1] = sorted_scores[:-1] != sorted_scores[1:]
+    for i in np.flatnonzero(is_last):
+        tp = int(tp_cumulative[i])
+        precision = tp / int(predicted[i])
+        recall = tp / n_positive
+        f1 = 0.0 if precision + recall == 0 else 2 * precision * recall / (precision + recall)
+        points.append(
+            ThresholdPoint(
+                threshold=float(sorted_scores[i]),
+                precision=100 * precision,
+                recall=100 * recall,
+                f1=100 * f1,
+            )
+        )
+    return points
+
+
+def best_f1_threshold(labels: np.ndarray, scores: np.ndarray) -> ThresholdPoint:
+    """The threshold maximising F1 (ties resolve to the higher threshold)."""
+    points = precision_recall_curve(labels, scores)
+    return max(points, key=lambda p: (p.f1, p.threshold))

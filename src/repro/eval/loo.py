@@ -1,0 +1,148 @@
+"""The "leave-one-dataset-out" evaluation protocol (Section 2.2).
+
+For each target dataset, the matcher may use the other ten benchmarks as
+transfer data (fine-tuning corpora or demonstration pools) but never sees
+target labels, column names, or column types (ZeroER excepted).  Test
+sets are capped at 1,250 pairs, identical across all compared baselines
+for a given seed.  Each run repeats over several seeds; language-model
+matchers see a different serialised column order per seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..data.pairs import EMDataset
+from ..data.registry import DATASET_CODES
+from ..errors import ReproError
+from ..matchers.base import Matcher
+from .metrics import macro_mean, precision_recall_f1
+
+__all__ = ["SeedScore", "TargetResult", "StudyResult", "LeaveOneOutRunner"]
+
+#: A factory building a fresh matcher for one target dataset.  It receives
+#: the target's code so type-dependent matchers (ZeroER) can look up their
+#: column kinds — everything else must ignore it.
+MatcherFactory = Callable[[str], Matcher]
+
+
+@dataclass(frozen=True)
+class SeedScore:
+    """One repetition's scores on one target dataset."""
+
+    seed: int
+    f1: float
+    precision: float
+    recall: float
+
+
+@dataclass
+class TargetResult:
+    """All repetitions for one (matcher, target-dataset) cell."""
+
+    dataset: str
+    scores: list[SeedScore] = field(default_factory=list)
+    #: True when the matcher saw this dataset during its own pre-training
+    #: (Jellyfish); rendered in brackets, excluded from cross-dataset means.
+    seen_in_training: bool = False
+
+    @property
+    def mean_f1(self) -> float:
+        return float(np.mean([s.f1 for s in self.scores]))
+
+    @property
+    def std_f1(self) -> float:
+        if len(self.scores) < 2:
+            return 0.0
+        return float(np.std([s.f1 for s in self.scores], ddof=1))
+
+
+@dataclass
+class StudyResult:
+    """A full Table-3-style row: one matcher across all targets."""
+
+    matcher_name: str
+    params_millions: float
+    per_dataset: dict[str, TargetResult] = field(default_factory=dict)
+
+    @property
+    def mean_f1(self) -> float:
+        """Macro mean over all datasets (the paper includes bracketed cells)."""
+        return macro_mean({code: r.mean_f1 for code, r in self.per_dataset.items()})
+
+    def dataset_means(self) -> dict[str, float]:
+        return {code: r.mean_f1 for code, r in self.per_dataset.items()}
+
+
+class LeaveOneOutRunner:
+    """Drives the leave-one-dataset-out protocol for one matcher."""
+
+    def __init__(
+        self,
+        datasets: dict[str, EMDataset],
+        config: StudyConfig,
+        codes: Sequence[str] | None = None,
+    ) -> None:
+        if not datasets:
+            raise ReproError("no datasets supplied")
+        self.datasets = datasets
+        self.config = config
+        self.codes = tuple(codes) if codes is not None else tuple(
+            c for c in DATASET_CODES if c in datasets
+        )
+        missing = [c for c in self.codes if c not in datasets]
+        if missing:
+            raise ReproError(f"datasets missing for codes: {missing}")
+
+    def test_set(self, code: str) -> EMDataset:
+        """The capped, seed-0 test subsample — identical for all baselines."""
+        capped = self.datasets[code].subsample(self.config.test_cap, seed=0)
+        if self.config.test_fraction < 1.0:
+            n = max(8, int(len(capped) * self.config.test_fraction))
+            capped = capped.subsample(n, seed=0)
+        return capped
+
+    def transfer_sets(self, code: str) -> list[EMDataset]:
+        """Everything except the target (the ten transfer datasets)."""
+        return [self.datasets[c] for c in self.codes if c != code]
+
+    def run_target(
+        self,
+        matcher_factory: MatcherFactory,
+        code: str,
+        seen_in_training: bool = False,
+    ) -> TargetResult:
+        """Fit once on the transfer data, evaluate once per seed.
+
+        Per Section 2.2 the seeds vary the *serialised input order*; the
+        fitted model is shared across repetitions.
+        """
+        matcher = matcher_factory(code)
+        matcher.fit(self.transfer_sets(code), self.config, seed=self.config.seeds[0])
+        test = self.test_set(code)
+        labels = test.labels()
+        result = TargetResult(dataset=code, seen_in_training=seen_in_training)
+        for seed in self.config.seeds:
+            predictions = matcher.predict(test.pairs, serialization_seed=seed)
+            precision, recall, f1 = precision_recall_f1(labels, predictions)
+            result.scores.append(SeedScore(seed, f1, precision, recall))
+        return result
+
+    def run(
+        self,
+        matcher_factory: MatcherFactory,
+        matcher_name: str,
+        params_millions: float = 0.0,
+        seen_datasets: frozenset[str] = frozenset(),
+    ) -> StudyResult:
+        """Evaluate one matcher over every leave-one-out target."""
+        result = StudyResult(matcher_name=matcher_name, params_millions=params_millions)
+        for code in self.codes:
+            result.per_dataset[code] = self.run_target(
+                matcher_factory, code, seen_in_training=code in seen_datasets
+            )
+        return result

@@ -1,0 +1,71 @@
+"""Classification metrics (Section 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["ConfusionCounts", "confusion", "precision_recall_f1", "f1_score", "macro_mean"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def n(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+
+def confusion(labels: np.ndarray, predictions: np.ndarray) -> ConfusionCounts:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ReproError("labels and predictions have different shapes")
+    if labels.size == 0:
+        raise ReproError("cannot score an empty prediction set")
+    invalid = set(np.unique(labels)) | set(np.unique(predictions))
+    if not invalid <= {0, 1}:
+        raise ReproError(f"labels/predictions must be binary, found {sorted(invalid)}")
+    return ConfusionCounts(
+        tp=int(((labels == 1) & (predictions == 1)).sum()),
+        fp=int(((labels == 0) & (predictions == 1)).sum()),
+        fn=int(((labels == 1) & (predictions == 0)).sum()),
+        tn=int(((labels == 0) & (predictions == 0)).sum()),
+    )
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray) -> tuple[float, float, float]:
+    """Precision, recall and F1 in percent (paper convention).
+
+    F1 is zero when there are no true positives (and defined as zero when
+    both precision and recall vanish), matching standard EM evaluation.
+    """
+    counts = confusion(labels, predictions)
+    precision = counts.tp / (counts.tp + counts.fp) if counts.tp + counts.fp else 0.0
+    recall = counts.tp / (counts.tp + counts.fn) if counts.tp + counts.fn else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return 100 * precision, 100 * recall, 100 * f1
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """F1 in percent."""
+    return precision_recall_f1(labels, predictions)[2]
+
+
+def macro_mean(per_dataset_scores: dict[str, float]) -> float:
+    """Macro-averaged score: every dataset weighs equally (the "Mean" column)."""
+    if not per_dataset_scores:
+        raise ReproError("macro mean of an empty score table")
+    return float(np.mean(list(per_dataset_scores.values())))

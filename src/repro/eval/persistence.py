@@ -1,0 +1,80 @@
+"""Save and load study results as plain JSON.
+
+Long runs (``repro.study.full_run``) should survive interruption and be
+comparable across sessions; these helpers serialise
+:class:`~repro.eval.loo.StudyResult` objects without pickling code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from .loo import SeedScore, StudyResult, TargetResult
+
+__all__ = ["results_to_dict", "results_from_dict", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def results_to_dict(results: list[StudyResult]) -> dict:
+    """A JSON-safe document for a list of study results."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "results": [
+            {
+                "matcher": r.matcher_name,
+                "params_millions": r.params_millions,
+                "per_dataset": {
+                    code: {
+                        "seen_in_training": target.seen_in_training,
+                        "scores": [
+                            {"seed": s.seed, "f1": s.f1,
+                             "precision": s.precision, "recall": s.recall}
+                            for s in target.scores
+                        ],
+                    }
+                    for code, target in r.per_dataset.items()
+                },
+            }
+            for r in results
+        ],
+    }
+
+
+def results_from_dict(document: dict) -> list[StudyResult]:
+    """Rebuild study results from :func:`results_to_dict` output."""
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported results format {document.get('format_version')!r}"
+        )
+    results = []
+    for entry in document["results"]:
+        result = StudyResult(
+            matcher_name=entry["matcher"],
+            params_millions=entry["params_millions"],
+        )
+        for code, target_doc in entry["per_dataset"].items():
+            target = TargetResult(
+                dataset=code, seen_in_training=target_doc["seen_in_training"]
+            )
+            target.scores = [
+                SeedScore(s["seed"], s["f1"], s["precision"], s["recall"])
+                for s in target_doc["scores"]
+            ]
+            result.per_dataset[code] = target
+        results.append(result)
+    return results
+
+
+def save_results(results: list[StudyResult], path: str | Path) -> None:
+    """Write results to a JSON file (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results_to_dict(results), indent=2))
+
+
+def load_results(path: str | Path) -> list[StudyResult]:
+    """Read results saved by :func:`save_results`."""
+    return results_from_dict(json.loads(Path(path).read_text()))

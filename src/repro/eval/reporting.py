@@ -1,0 +1,59 @@
+"""Render study results as paper-style text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..data.registry import DATASET_CODES
+from ..errors import ReproError
+from .loo import StudyResult
+
+__all__ = ["format_table3", "format_rows", "format_cell"]
+
+
+def format_cell(mean: float, std: float, bracketed: bool = False) -> str:
+    """One Table-3 cell: ``79.2±2.8`` or ``(97.7±0.6)`` for seen datasets."""
+    body = f"{mean:.1f}±{std:.1f}"
+    return f"({body})" if bracketed else body
+
+
+def format_table3(results: Sequence[StudyResult], codes: Sequence[str] | None = None) -> str:
+    """The full Table-3 layout: one row per matcher, one column per dataset."""
+    if not results:
+        raise ReproError("no results to format")
+    codes = list(codes) if codes is not None else [
+        c for c in DATASET_CODES if c in results[0].per_dataset
+    ]
+    name_width = max(len(r.matcher_name) for r in results) + 2
+    header = f"{'Matcher':<{name_width}} {'#params':>9} " + " ".join(
+        f"{c:>12}" for c in codes
+    ) + f" {'Mean':>8}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        cells = []
+        for code in codes:
+            target = result.per_dataset[code]
+            cells.append(
+                f"{format_cell(target.mean_f1, target.std_f1, target.seen_in_training):>12}"
+            )
+        params = f"{result.params_millions:,.0f}" if result.params_millions else "-"
+        lines.append(
+            f"{result.matcher_name:<{name_width}} {params:>9} "
+            + " ".join(cells)
+            + f" {result.mean_f1:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[dict[str, object]], columns: Sequence[str]) -> str:
+    """A generic aligned table for the cost/throughput experiments."""
+    if not rows:
+        raise ReproError("no rows to format")
+    widths = {
+        col: max(len(col), max(len(str(row.get(col, ""))) for row in rows)) for col in columns
+    }
+    header = "  ".join(f"{col:>{widths[col]}}" for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(f"{str(row.get(col, '')):>{widths[col]}}" for col in columns))
+    return "\n".join(lines)

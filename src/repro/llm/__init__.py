@@ -1,0 +1,48 @@
+"""LLM substrate: client interface, prompts, simulated service, pricing."""
+
+from .batching import BatchJob, BatchResult
+from .client import EchoClient, LLMClient, LLMRequest, LLMResponse, MeteredClient, UsageMeter
+from .pricing import OPENAI_BATCH_PRICES, TOGETHER_AI_PRICES, ApiPrice, api_price_per_1k
+from .profiles import LLM_PROFILES, LLMProfile, get_profile
+from .prompts import (
+    Demonstration,
+    DemonstrationRetriever,
+    DemonstrationStrategy,
+    ParsedPrompt,
+    build_match_prompt,
+    parse_answer,
+    parse_match_prompt,
+    select_hand_picked,
+    select_random,
+)
+from .simulated import SimulatedLLM
+from .tokens import count_tokens
+
+__all__ = [
+    "ApiPrice",
+    "BatchJob",
+    "BatchResult",
+    "Demonstration",
+    "DemonstrationRetriever",
+    "DemonstrationStrategy",
+    "EchoClient",
+    "LLMClient",
+    "LLMProfile",
+    "LLMRequest",
+    "LLMResponse",
+    "LLM_PROFILES",
+    "MeteredClient",
+    "OPENAI_BATCH_PRICES",
+    "ParsedPrompt",
+    "SimulatedLLM",
+    "TOGETHER_AI_PRICES",
+    "UsageMeter",
+    "api_price_per_1k",
+    "build_match_prompt",
+    "count_tokens",
+    "get_profile",
+    "parse_answer",
+    "parse_match_prompt",
+    "select_hand_picked",
+    "select_random",
+]

@@ -1,0 +1,94 @@
+"""Batch submission over an LLM client (the OpenAI Batch API shape).
+
+The paper prices inference through the *Batch* API (Table 6), where
+requests are submitted as a job and collected later at a discounted
+rate.  :class:`BatchJob` reproduces that interaction shape over any
+:class:`~repro.llm.client.LLMClient`: submit many prompts, process, read
+results and an aggregate usage/cost report — with per-request error
+capture so one malformed prompt cannot void a million-pair job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LLMError
+from .client import LLMClient, LLMRequest, LLMResponse, UsageMeter
+
+__all__ = ["BatchResult", "BatchJob"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one request within a batch."""
+
+    index: int
+    response: LLMResponse | None
+    error: str | None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.response is not None
+
+
+@dataclass
+class BatchJob:
+    """A submit-then-collect batch over an LLM client."""
+
+    client: LLMClient
+    meter: UsageMeter = field(default_factory=UsageMeter)
+    _requests: list[LLMRequest] = field(default_factory=list)
+    _results: list[BatchResult] = field(default_factory=list)
+    _processed: bool = False
+
+    def submit(self, prompt: str, metadata: dict[str, str] | None = None) -> int:
+        """Queue one request; returns its index within the batch."""
+        if self._processed:
+            raise LLMError("batch already processed; create a new job")
+        self._requests.append(LLMRequest(prompt=prompt, metadata=metadata or {}))
+        return len(self._requests) - 1
+
+    def submit_many(self, prompts: list[str]) -> None:
+        for prompt in prompts:
+            self.submit(prompt)
+
+    def process(self) -> "BatchJob":
+        """Run every queued request, capturing per-request failures."""
+        if self._processed:
+            raise LLMError("batch already processed")
+        if not self._requests:
+            raise LLMError("batch contains no requests")
+        for index, request in enumerate(self._requests):
+            try:
+                response = self.client.complete(request)
+                self.meter.record(response)
+                self._results.append(BatchResult(index, response, None))
+            except LLMError as error:
+                self._results.append(BatchResult(index, None, str(error)))
+        self._processed = True
+        return self
+
+    # -- collection ---------------------------------------------------------
+
+    @property
+    def results(self) -> list[BatchResult]:
+        if not self._processed:
+            raise LLMError("process() the batch before reading results")
+        return list(self._results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if not r.succeeded)
+
+    def texts(self) -> list[str | None]:
+        """Completion texts in submission order (None where failed)."""
+        return [r.response.text if r.succeeded else None for r in self.results]
+
+    def report(self) -> str:
+        """One-line job summary: sizes, tokens, dollars."""
+        ok = len(self._results) - self.n_failed
+        return (
+            f"batch[{self.client.model_name}]: {ok}/{len(self._results)} ok, "
+            f"{self.meter.prompt_tokens:,} prompt tokens, "
+            f"${self.meter.dollars_spent:.4f}"
+        )

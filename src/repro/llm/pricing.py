@@ -1,0 +1,51 @@
+"""Published API and hosting prices (December 2024, as used in the paper).
+
+Prices are per 1,000 *input* tokens — entity matching generates a single
+output word, so output cost is disregarded (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+
+__all__ = ["ApiPrice", "OPENAI_BATCH_PRICES", "TOGETHER_AI_PRICES", "api_price_per_1k"]
+
+
+@dataclass(frozen=True)
+class ApiPrice:
+    """Price sheet entry for one hosted model."""
+
+    model: str
+    provider: str
+    dollars_per_1k_input_tokens: float
+
+    def __post_init__(self) -> None:
+        if self.dollars_per_1k_input_tokens <= 0:
+            raise CostModelError(f"{self.model}: price must be positive")
+
+
+#: OpenAI Batch API input prices (https://openai.com/api/pricing, Dec 2024).
+OPENAI_BATCH_PRICES: dict[str, ApiPrice] = {
+    "gpt-4": ApiPrice("gpt-4", "OpenAI Batch API", 0.015),
+    "gpt-3.5-turbo": ApiPrice("gpt-3.5-turbo", "OpenAI Batch API", 0.00075),
+    "gpt-4o-mini": ApiPrice("gpt-4o-mini", "OpenAI Batch API", 0.000075),
+}
+
+#: together.ai hosted inference prices (Dec 2024) for the open-weight LLMs.
+TOGETHER_AI_PRICES: dict[str, ApiPrice] = {
+    "solar": ApiPrice("solar", "Hosting on Together.ai", 0.0009),
+    "beluga2": ApiPrice("beluga2", "Hosting on Together.ai", 0.0009),
+    "mixtral-8x7b": ApiPrice("mixtral-8x7b", "Hosting on Together.ai", 0.0009),
+    "llama2-13b": ApiPrice("llama2-13b", "Hosting on Together.ai", 0.0003),
+}
+
+
+def api_price_per_1k(model: str) -> ApiPrice:
+    """Price-sheet lookup across providers (OpenAI first, then together.ai)."""
+    if model in OPENAI_BATCH_PRICES:
+        return OPENAI_BATCH_PRICES[model]
+    if model in TOGETHER_AI_PRICES:
+        return TOGETHER_AI_PRICES[model]
+    raise CostModelError(f"no published price for model {model!r}")

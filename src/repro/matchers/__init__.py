@@ -1,0 +1,31 @@
+"""The eight matching approaches of the study."""
+
+from .anymatch import ANYMATCH_BASES, AnyMatchMatcher
+from .base import Matcher, collect_transfer_pairs
+from .boosting import LogisticProxy, find_difficult_pairs, similarity_features
+from .cascade import CascadeMatcher
+from .ditto import DittoMatcher
+from .gmm import TwoComponentGMM
+from .jellyfish import JellyfishMatcher
+from .matchgpt import MatchGPTMatcher
+from .string_sim import StringSimMatcher
+from .unicorn import UnicornMatcher
+from .zeroer import ZeroERMatcher
+
+__all__ = [
+    "ANYMATCH_BASES",
+    "AnyMatchMatcher",
+    "CascadeMatcher",
+    "DittoMatcher",
+    "JellyfishMatcher",
+    "LogisticProxy",
+    "Matcher",
+    "MatchGPTMatcher",
+    "StringSimMatcher",
+    "TwoComponentGMM",
+    "UnicornMatcher",
+    "ZeroERMatcher",
+    "collect_transfer_pairs",
+    "find_difficult_pairs",
+    "similarity_features",
+]

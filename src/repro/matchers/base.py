@@ -1,0 +1,109 @@
+"""The matcher interface shared by all eight approaches."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..data.pairs import EMDataset, RecordPair
+from ..errors import MatcherError, NotFittedError
+
+__all__ = ["Matcher", "collect_transfer_pairs", "balance_labels"]
+
+
+class Matcher:
+    """A cross-dataset entity matcher.
+
+    ``fit`` receives only *transfer* datasets (never the target — the
+    leave-one-dataset-out runner enforces this), and ``predict`` labels a
+    batch of candidate pairs.  ``serialization_seed`` varies the column
+    order presented to language-model matchers (Section 2.2,
+    "Repetitions"); deterministic matchers may ignore it.
+    """
+
+    #: Short identifier, e.g. ``"ditto"``.
+    name: str = "matcher"
+    #: Table-3 style display name, e.g. ``"AnyMatch[GPT-2]"``.
+    display_name: str = "Matcher"
+    #: Nominal parameter count in millions (0 for parameter-free matchers).
+    params_millions: float = 0.0
+    #: Whether ``fit`` must run before ``predict``.
+    requires_fit: bool = False
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, transfer: Sequence[EMDataset], config: StudyConfig, seed: int = 0) -> "Matcher":
+        """Fit on transfer datasets (no-op for parameter-free matchers)."""
+        self._fit(list(transfer), config, seed)
+        self._fitted = True
+        return self
+
+    def _fit(self, transfer: list[EMDataset], config: StudyConfig, seed: int) -> None:
+        """Subclass hook; default is parameter-free."""
+
+    def predict(
+        self,
+        pairs: Sequence[RecordPair],
+        serialization_seed: int | None = None,
+    ) -> np.ndarray:
+        """Predict 0/1 labels for candidate pairs."""
+        if self.requires_fit and not self._fitted:
+            raise NotFittedError(f"{self.display_name} must be fitted before predict()")
+        if not pairs:
+            raise MatcherError("predict() received no pairs")
+        return self._predict(list(pairs), serialization_seed)
+
+    def _predict(self, pairs: list[RecordPair], serialization_seed: int | None) -> np.ndarray:
+        raise NotImplementedError
+
+
+def collect_transfer_pairs(
+    transfer: Sequence[EMDataset],
+    budget: int,
+    rng: np.random.Generator,
+) -> list[RecordPair]:
+    """Draw a label-preserving sample of at most ``budget`` transfer pairs.
+
+    Every transfer dataset contributes proportionally to its size, so large
+    datasets (DBGO) do not drown out small ones (BEER) entirely but still
+    dominate, as they do when fine-tuning on the union.
+    """
+    if not transfer:
+        raise MatcherError("no transfer datasets provided")
+    total = sum(len(ds) for ds in transfer)
+    if total == 0:
+        raise MatcherError("transfer datasets are empty")
+    picked: list[RecordPair] = []
+    for ds in transfer:
+        share = max(1, int(round(budget * len(ds) / total)))
+        order = rng.permutation(len(ds.pairs))
+        picked.extend(ds.pairs[i] for i in order[:share])
+    rng.shuffle(picked)  # type: ignore[arg-type]
+    return picked[:budget]
+
+
+def balance_labels(
+    pairs: list[RecordPair],
+    rng: np.random.Generator,
+    max_ratio: int = 2,
+) -> list[RecordPair]:
+    """Upsample the minority class until majority/minority <= ``max_ratio``.
+
+    Candidate sets are heavily skewed towards non-matches (Table 1); the
+    data-centric matchers counteract this so matches are adequately
+    represented in the fine-tuning sample.
+    """
+    positives = [p for p in pairs if p.label == 1]
+    negatives = [p for p in pairs if p.label == 0]
+    if not positives or not negatives:
+        return list(pairs)
+    minority, majority = sorted((positives, negatives), key=len)
+    target = max(len(minority), len(majority) // max_ratio)
+    extras = [
+        minority[int(rng.integers(0, len(minority)))]
+        for _ in range(target - len(minority))
+    ]
+    return pairs + extras

@@ -1,0 +1,78 @@
+"""Hard-example mining for AnyMatch's data-centric pipeline.
+
+AnyMatch uses AutoML boosting to find difficult training pairs.  The
+reproduction uses the same idea at reproduction scale: a cheap logistic
+regression over string-similarity features plays the weak learner, and
+the pairs it misclassifies are the "difficult examples" that get
+oversampled for the language-model fine-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.pairs import RecordPair
+from ..errors import MatcherError
+from ..text.similarity import jaccard, jaro_winkler, overlap_coefficient, ratcliff_obershelp
+
+__all__ = ["similarity_features", "LogisticProxy", "find_difficult_pairs"]
+
+
+def similarity_features(pair: RecordPair) -> np.ndarray:
+    """Cheap whole-record similarity features for the weak learner."""
+    left = " ".join(pair.left.values)
+    right = " ".join(pair.right.values)
+    return np.array(
+        [
+            ratcliff_obershelp(left, right),
+            jaccard(left, right),
+            jaro_winkler(left[:64], right[:64]),
+            overlap_coefficient(left, right),
+            1.0,  # bias
+        ]
+    )
+
+
+class LogisticProxy:
+    """Tiny logistic regression trained with full-batch gradient descent."""
+
+    def __init__(self, lr: float = 0.5, n_steps: int = 300, l2: float = 1e-3) -> None:
+        self.lr = lr
+        self.n_steps = n_steps
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticProxy":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise MatcherError("feature matrix and labels disagree")
+        w = np.zeros(X.shape[1])
+        for _ in range(self.n_steps):
+            probs = 1.0 / (1.0 + np.exp(-(X @ w)))
+            grad = X.T @ (probs - y) / X.shape[0] + self.l2 * w
+            w -= self.lr * grad
+        self.weights = w
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise MatcherError("proxy is not fitted")
+        return (X @ self.weights > 0.0).astype(np.int64)
+
+
+def find_difficult_pairs(pairs: list[RecordPair]) -> list[RecordPair]:
+    """Pairs a similarity-based weak learner misclassifies.
+
+    These are the pairs whose labels cannot be recovered from surface
+    similarity alone — exactly the examples a language model must study.
+    """
+    if len(pairs) < 8:
+        return []
+    X = np.stack([similarity_features(p) for p in pairs])
+    y = np.array([p.label for p in pairs])
+    if len(set(y.tolist())) < 2:
+        return []
+    proxy = LogisticProxy().fit(X, y)
+    predictions = proxy.predict(X)
+    return [pair for pair, pred in zip(pairs, predictions) if pred != pair.label]

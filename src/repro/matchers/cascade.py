@@ -1,0 +1,87 @@
+"""Hybrid cascade matching (the Finding-1 extension).
+
+Finding 1 observes that the parameter-free ZeroER is competitive on
+well-structured datasets and suggests "developing hybrid methods that
+combine efficient, parameter-free matchers with other techniques".  The
+:class:`CascadeMatcher` implements the classic cost-saving version of
+that idea: a cheap scorer labels the pairs it is confident about, and
+only the uncertain band escalates to an expensive matcher.  Because cost
+in this study is per token (Section 2.3), the fraction of escalated
+pairs translates directly into the deployment-cost saving.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..data.pairs import EMDataset, RecordPair
+from ..errors import ConfigurationError
+from .base import Matcher
+
+__all__ = ["CascadeMatcher"]
+
+
+class CascadeMatcher(Matcher):
+    """Escalate only uncertain pairs from a cheap scorer to a strong matcher.
+
+    ``cheap`` must expose ``match_scores(pairs) -> [0, 1]`` (StringSim-style
+    similarity or ZeroER posteriors both qualify); pairs whose cheap score
+    falls inside ``(low, high)`` are re-labelled by ``expensive``.
+    """
+
+    name = "cascade"
+    requires_fit = True
+
+    def __init__(
+        self,
+        cheap: Matcher,
+        expensive: Matcher,
+        low: float = 0.25,
+        high: float = 0.75,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= low < high <= 1.0:
+            raise ConfigurationError("need 0 <= low < high <= 1")
+        if not hasattr(cheap, "match_scores"):
+            raise ConfigurationError(
+                f"{cheap.display_name} exposes no match_scores(); it cannot "
+                "drive a cascade"
+            )
+        self.cheap = cheap
+        self.expensive = expensive
+        self.low = low
+        self.high = high
+        self.display_name = f"Cascade[{cheap.display_name} -> {expensive.display_name}]"
+        self.params_millions = expensive.params_millions
+        #: Fraction of pairs escalated in the most recent predict() call.
+        self.last_escalation_rate: float | None = None
+
+    def _fit(self, transfer: list[EMDataset], config: StudyConfig, seed: int) -> None:
+        if self.cheap.requires_fit:
+            self.cheap.fit(transfer, config, seed)
+        if self.expensive.requires_fit:
+            self.expensive.fit(transfer, config, seed)
+
+    def _predict(
+        self, pairs: list[RecordPair], serialization_seed: int | None
+    ) -> np.ndarray:
+        scores = np.asarray(self.cheap.match_scores(pairs, serialization_seed))
+        predictions = (scores >= self.high).astype(np.int64)
+        uncertain = (scores > self.low) & (scores < self.high)
+        self.last_escalation_rate = float(uncertain.mean())
+        if uncertain.any():
+            escalated = [pairs[i] for i in np.flatnonzero(uncertain)]
+            predictions[uncertain] = self.expensive.predict(
+                escalated, serialization_seed
+            )
+        return predictions
+
+    def escalation_cost_fraction(self, pairs: Sequence[RecordPair]) -> float:
+        """Fraction of the expensive matcher's full-batch cost the cascade
+        would incur on ``pairs`` (== the escalation rate, since cost is
+        proportional to the number of pairs sent)."""
+        scores = np.asarray(self.cheap.match_scores(list(pairs)))
+        return float(((scores > self.low) & (scores < self.high)).mean())

@@ -1,0 +1,177 @@
+"""Serialisation-to-token-ids plumbing shared by the neural matchers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..data.pairs import EMDataset, RecordPair
+from ..data.serialize import column_order, serialize_record
+from ..models.training import EncodedPairs
+from ..text.tfidf import TfIdfSummarizer
+from ..text.tokenizer import Vocabulary, WordTokenizer
+
+__all__ = ["build_vocabulary", "pair_text", "encode_pairs", "encode_texts"]
+
+#: Tokens the verbaliser readout needs; forced into every vocabulary.
+_VERBALISER_TOKENS = ("yes", "no")
+
+
+def build_vocabulary(
+    transfer: Sequence[EMDataset],
+    size: int,
+    n_hash_buckets: int = 256,
+) -> Vocabulary:
+    """Build a vocabulary over the transfer datasets' record texts.
+
+    The verbaliser tokens (``yes``/``no``) are prepended so decoder-style
+    matchers can always address them.
+    """
+    def corpus() -> Iterable[str]:
+        yield " ".join(_VERBALISER_TOKENS)
+        for dataset in transfer:
+            for pair in dataset.pairs:
+                yield " ".join(pair.left.values)
+                yield " ".join(pair.right.values)
+
+    tokenizer = WordTokenizer()
+    counts: Counter[str] = Counter()
+    for text in corpus():
+        counts.update(tokenizer.tokenize(text))
+    ordered = list(_VERBALISER_TOKENS) + [
+        tok for tok, _n in counts.most_common() if tok not in _VERBALISER_TOKENS
+    ]
+    return Vocabulary(ordered, size=size, n_hash_buckets=n_hash_buckets)
+
+
+def pair_text(
+    pair: RecordPair,
+    serialization_seed: int | None,
+    summarizer: TfIdfSummarizer | None = None,
+) -> tuple[str, str]:
+    """Serialise both records of a pair under a shared column permutation."""
+    order = column_order(pair.n_attributes, serialization_seed)
+    left = serialize_record(pair.left, order)
+    right = serialize_record(pair.right, order)
+    if summarizer is not None:
+        left = summarizer.summarize(left)
+        right = summarizer.summarize(right)
+    return left, right
+
+
+#: The textual marker separating the two records in an encoded pair.
+SEP_MARKER = "<sep>"
+
+#: Tokens never counted as cross-side evidence.
+_STRUCTURAL_TOKENS = frozenset({"val", "<", ">", "sep"})
+
+
+def _shared_token_flags(tokens: list[str], sep_index: int, vocab: Vocabulary) -> list[int]:
+    """Per-token cross-side evidence: 0 not shared, 1 shared common, 2 shared rare.
+
+    This is the shared-token feature channel: a purely textual signal
+    (computable by any string-processing step) standing in for the
+    token-matching attention a web-pretrained PLM brings along — see
+    DESIGN.md §2 and :class:`repro.nn.transformer._EmbeddingStem`.
+    Rare shared tokens (model numbers, author names) are the decisive
+    matching evidence; common shared tokens (filler words) are noise, and
+    the model receives the distinction explicitly.
+    """
+    left = {t for t in tokens[:sep_index] if t not in _STRUCTURAL_TOKENS}
+    right = {t for t in tokens[sep_index:] if t not in _STRUCTURAL_TOKENS}
+    both = left & right
+    flags = []
+    for t in tokens:
+        if t not in both:
+            flags.append(0)
+        elif vocab.is_common(t) or t.isdigit():
+            # Purely numeric tokens (price fragments, years, vote counts)
+            # collide across unrelated records far too often to count as
+            # identity evidence; only mixed alphanumeric tokens (SKUs,
+            # model numbers) and rare words keep the strong flag.
+            flags.append(1)
+        else:
+            flags.append(2)
+    return flags
+
+
+def encode_texts(
+    texts: Sequence[str],
+    vocab: Vocabulary,
+    max_len: int,
+    labels: np.ndarray | None = None,
+) -> EncodedPairs:
+    """Encode raw texts to padded id/flag matrices plus padding masks.
+
+    Texts containing :data:`SEP_MARKER` get shared-token flags computed
+    across the marker; others get all-zero flags.
+    """
+    tokenizer = WordTokenizer()
+    ids_rows: list[list[int]] = []
+    flag_rows: list[list[int]] = []
+    for text in texts:
+        tokens = tokenizer.tokenize(text)
+        marker = tokenizer.tokenize(SEP_MARKER)
+        sep_index = _find_subsequence(tokens, marker)
+        if sep_index >= 0:
+            flags = _shared_token_flags(tokens, sep_index, vocab)
+        else:
+            flags = [0] * len(tokens)
+        # [CLS] prefix, then truncate/pad both rows identically.
+        row_ids = [vocab.cls_id] + [vocab.id_of(t) for t in tokens]
+        row_flags = [0] + flags
+        row_ids = row_ids[:max_len]
+        row_flags = row_flags[:max_len]
+        padding = max_len - len(row_ids)
+        ids_rows.append(row_ids + [vocab.pad_id] * padding)
+        flag_rows.append(row_flags + [0] * padding)
+    ids = np.array(ids_rows, dtype=np.int64)
+    pad_mask = ids == vocab.pad_id
+    # Guarantee at least one attended position per row.
+    pad_mask[:, 0] = False
+    return EncodedPairs(
+        ids=ids,
+        pad_mask=pad_mask,
+        labels=labels if labels is not None else np.zeros(0, dtype=np.int64),
+        shared=np.array(flag_rows, dtype=np.int64),
+    )
+
+
+def _find_subsequence(tokens: list[str], needle: list[str]) -> int:
+    """Index of the first occurrence of ``needle`` in ``tokens``, or -1."""
+    if not needle:
+        return -1
+    for i in range(len(tokens) - len(needle) + 1):
+        if tokens[i:i + len(needle)] == needle:
+            return i
+    return -1
+
+
+def encode_pairs(
+    pairs: Sequence[RecordPair],
+    vocab: Vocabulary,
+    max_len: int,
+    serialization_seed: int | None = None,
+    summarizer: TfIdfSummarizer | None = None,
+    with_labels: bool = True,
+) -> EncodedPairs:
+    """Serialise, tokenise and pad a batch of record pairs.
+
+    Each side receives half of the token budget, so a verbose record
+    (long product descriptions) can never push its partner out of the
+    context window.
+    """
+    tokenizer = WordTokenizer()
+    side_budget = max(4, (max_len - 1 - len(tokenizer.tokenize(SEP_MARKER))) // 2)
+    texts = []
+    for pair in pairs:
+        left, right = pair_text(pair, serialization_seed, summarizer)
+        left_tokens = tokenizer.tokenize(left)[:side_budget]
+        right_tokens = tokenizer.tokenize(right)[:side_budget]
+        texts.append(f"{' '.join(left_tokens)} {SEP_MARKER} {' '.join(right_tokens)}")
+    labels = (
+        np.array([p.label for p in pairs], dtype=np.int64) if with_labels else None
+    )
+    return encode_texts(texts, vocab, max_len, labels)

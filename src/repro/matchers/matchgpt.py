@@ -1,0 +1,101 @@
+"""MatchGPT: prompting large language models for EM (Section 3.4).
+
+Builds general-complex-force prompts over any :class:`~repro.llm.client.LLMClient`,
+optionally with demonstrations drawn from the *transfer* datasets
+(Table 4's three strategies), parses the yes/no completions, and accounts
+token usage so the cost analysis can price a full run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..data.pairs import EMDataset, RecordPair
+from ..errors import MatcherError
+from ..llm.client import LLMClient, LLMRequest, UsageMeter
+from ..llm.prompts import (
+    Demonstration,
+    DemonstrationRetriever,
+    DemonstrationStrategy,
+    build_match_prompt,
+    parse_answer,
+    select_hand_picked,
+    select_random,
+)
+from .base import Matcher
+from .encoding import pair_text
+
+__all__ = ["MatchGPTMatcher"]
+
+
+class MatchGPTMatcher(Matcher):
+    """Prompt-based matcher over an LLM client."""
+
+    name = "matchgpt"
+    requires_fit = True  # needs the transfer datasets when demos are enabled
+
+    def __init__(
+        self,
+        client: LLMClient,
+        demo_strategy: DemonstrationStrategy = DemonstrationStrategy.NONE,
+        meter: UsageMeter | None = None,
+        display_name: str | None = None,
+        params_millions: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.client = client
+        self.demo_strategy = demo_strategy
+        self.meter = meter
+        self.display_name = display_name or f"MatchGPT[{client.model_name}]"
+        self.name = f"matchgpt-{client.model_name}"
+        self.params_millions = params_millions
+        self._transfer: list[EMDataset] = []
+        self._fixed_demos: tuple[Demonstration, ...] = ()
+        self._demo_rng: np.random.Generator | None = None
+        self._retriever: DemonstrationRetriever | None = None
+
+    def _fit(self, transfer: list[EMDataset], config: StudyConfig, seed: int) -> None:
+        """No fine-tuning; only demonstration sources are prepared."""
+        self._transfer = transfer
+        self._demo_rng = np.random.default_rng(seed)
+        if self.demo_strategy is DemonstrationStrategy.HAND_PICKED:
+            if not transfer:
+                raise MatcherError("hand-picked demonstrations need transfer datasets")
+            self._fixed_demos = select_hand_picked(transfer)
+        elif self.demo_strategy is DemonstrationStrategy.RETRIEVED:
+            if not transfer:
+                raise MatcherError("retrieved demonstrations need transfer datasets")
+            self._retriever = DemonstrationRetriever(transfer)
+
+    def _demos_for(
+        self, _pair: RecordPair, left_text: str, right_text: str
+    ) -> tuple[Demonstration, ...]:
+        if self.demo_strategy is DemonstrationStrategy.NONE:
+            return ()
+        if self.demo_strategy is DemonstrationStrategy.HAND_PICKED:
+            return self._fixed_demos
+        if self.demo_strategy is DemonstrationStrategy.RETRIEVED:
+            return self._retriever.retrieve(left_text, right_text)
+        if not self._transfer:
+            raise MatcherError("random demonstrations need transfer datasets")
+        return select_random(self._transfer, self._demo_rng)
+
+    def prompt_for(self, pair: RecordPair, serialization_seed: int | None = None) -> str:
+        """The exact prompt sent for one candidate pair (useful for debugging)."""
+        left, right = pair_text(pair, serialization_seed)
+        return build_match_prompt(left, right, self._demos_for(pair, left, right))
+
+    def _predict(self, pairs: list[RecordPair], serialization_seed: int | None) -> np.ndarray:
+        predictions = []
+        for pair in pairs:
+            prompt = self.prompt_for(pair, serialization_seed)
+            request = LLMRequest(
+                prompt=prompt,
+                metadata={"demo_strategy": self.demo_strategy.value},
+            )
+            response = self.client.complete(request)
+            if self.meter is not None:
+                self.meter.record(response)
+            predictions.append(parse_answer(response.text))
+        return np.array(predictions, dtype=np.int64)

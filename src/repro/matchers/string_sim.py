@@ -1,0 +1,52 @@
+"""The StringSim trivial baseline (Section 4.1, parameter-free baselines).
+
+Serialises both tuples by casting each column to a string and joining with
+a comma separator, computes Ratcliff/Obershelp similarity via ``difflib``
+and predicts a match above a 0.5 threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.pairs import RecordPair
+from ..data.serialize import column_order
+from ..errors import ConfigurationError
+from ..text.similarity import ratcliff_obershelp
+from .base import Matcher
+
+__all__ = ["StringSimMatcher"]
+
+
+class StringSimMatcher(Matcher):
+    """Comma-joined serialisation + Ratcliff/Obershelp threshold."""
+
+    name = "string_sim"
+    display_name = "StringSim"
+    params_millions = 0.0
+    requires_fit = False
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError("threshold must be in (0, 1)")
+        self.threshold = threshold
+
+    def similarity(self, pair: RecordPair, serialization_seed: int | None = None) -> float:
+        """The raw Ratcliff/Obershelp similarity of the serialised tuples."""
+        order = column_order(pair.n_attributes, serialization_seed)
+        left = ", ".join(pair.left.values[i] for i in order)
+        right = ", ".join(pair.right.values[i] for i in order)
+        return ratcliff_obershelp(left, right)
+
+    def match_scores(
+        self, pairs: list[RecordPair], serialization_seed: int | None = None
+    ) -> np.ndarray:
+        """Raw similarities in [0, 1] (usable as cascade confidence scores)."""
+        return np.array(
+            [self.similarity(p, serialization_seed) for p in pairs], dtype=np.float64
+        )
+
+    def _predict(self, pairs: list[RecordPair], serialization_seed: int | None) -> np.ndarray:
+        scores = self.match_scores(pairs, serialization_seed)
+        return (scores > self.threshold).astype(np.int64)

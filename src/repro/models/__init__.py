@@ -1,0 +1,23 @@
+"""Model substrate: nominal model cards and trainable surrogate classifiers."""
+
+from .cards import MODEL_CARDS, OPEN_WEIGHT_CARDS, ModelCard, ModelFamily, get_card
+from .decoder import CausalLMClassifier
+from .encoder import EncoderClassifier
+from .moe import MoEClassifier
+from .seq2seq import Seq2SeqClassifier
+from .training import EncodedPairs, predict_proba, train_classifier
+
+__all__ = [
+    "CausalLMClassifier",
+    "EncodedPairs",
+    "EncoderClassifier",
+    "MODEL_CARDS",
+    "MoEClassifier",
+    "ModelCard",
+    "ModelFamily",
+    "OPEN_WEIGHT_CARDS",
+    "Seq2SeqClassifier",
+    "get_card",
+    "predict_proba",
+    "train_classifier",
+]

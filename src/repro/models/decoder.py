@@ -1,0 +1,69 @@
+"""Decoder-only pair classifier (GPT-2 / LLaMA style; used by AnyMatch).
+
+Model-agnostic matchers keep the model structure intact (Section 3.2):
+the serialised pair becomes the prompt and the *language-model head
+itself* answers through the verbaliser tokens ``yes`` / ``no`` at the
+final position.  No task head is added — exactly the property that lets
+AnyMatch swap base models freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..nn import Module, TransformerDecoder
+from ..nn.tensor import Tensor
+
+__all__ = ["CausalLMClassifier"]
+
+
+class CausalLMClassifier(Module):
+    """Causal LM read out at the yes/no verbaliser token logits."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        d_ff: int,
+        max_len: int,
+        yes_id: int,
+        no_id: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if yes_id == no_id:
+            raise ConfigurationError("yes/no verbaliser tokens must differ")
+        self.backbone = TransformerDecoder(
+            vocab_size, dim, n_layers, n_heads, d_ff, max_len, rng,
+            cross_attention=False, dropout=dropout,
+        )
+        self.yes_id = yes_id
+        self.no_id = no_id
+
+    def forward(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        """Binary logits (batch, 2) = LM logits of [no, yes] at the answer slot.
+
+        The answer slot is the last non-padded position of each sequence.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        hidden = self.backbone.hidden(ids, key_padding_mask=pad_mask, flags=flags)  # (B, T, D)
+        if pad_mask is None:
+            last = np.full(ids.shape[0], ids.shape[1] - 1, dtype=np.int64)
+        else:
+            lengths = (~np.asarray(pad_mask, dtype=bool)).sum(axis=1)
+            last = np.maximum(lengths - 1, 0)
+        rows = np.arange(ids.shape[0])
+        answer_slot = hidden[rows, last, :]  # (B, D)
+        # Projecting only the answer slot through the LM head avoids a
+        # vocab-sized matmul at every position (same logits, ~T× cheaper).
+        lm_logits = self.backbone.lm_head(answer_slot)  # (B, V)
+        return lm_logits[:, np.array([self.no_id, self.yes_id])]

@@ -1,0 +1,54 @@
+"""Encoder-based pair classifiers (BERT-style; used by Ditto)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, TransformerEncoder
+from ..nn.tensor import Tensor
+
+__all__ = ["EncoderClassifier"]
+
+
+class EncoderClassifier(Module):
+    """Transformer encoder + CLS pooling + binary prediction head.
+
+    This is the "model-aware" shape the paper describes for Ditto: an
+    encoder language model with a separate prediction head (Section 3.2).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        d_ff: int,
+        max_len: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.backbone = TransformerEncoder(
+            vocab_size, dim, n_layers, n_heads, d_ff, max_len, rng, dropout
+        )
+        self.head = Linear(dim, 2, rng)
+
+    def encode(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        """Pooled CLS representation of shape (batch, dim)."""
+        hidden = self.backbone(ids, key_padding_mask=pad_mask, flags=flags)
+        return hidden[:, 0, :]
+
+    def forward(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        """Binary match logits of shape (batch, 2)."""
+        return self.head(self.encode(ids, pad_mask, flags))

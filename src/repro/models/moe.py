@@ -1,0 +1,70 @@
+"""Mixture-of-experts pair classifier (Unicorn-style).
+
+Unicorn (Section 3.2) encodes serialised inputs with a PLM, routes the
+representation through task-specific expert models via a learned gate
+(a multi-gate mixture of experts), and feeds the merged embedding into a
+matching module.  This is the second "model-aware" architecture of the
+study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..nn import Linear, Module, TransformerEncoder, stack
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["MoEClassifier"]
+
+
+class MoEClassifier(Module):
+    """Encoder backbone + gated mixture of expert transforms + match head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        d_ff: int,
+        max_len: int,
+        n_experts: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if n_experts < 2:
+            raise ConfigurationError("a mixture needs at least two experts")
+        self.backbone = TransformerEncoder(
+            vocab_size, dim, n_layers, n_heads, d_ff, max_len, rng, dropout
+        )
+        self.experts = [Linear(dim, dim, rng) for _ in range(n_experts)]
+        self.gate = Linear(dim, n_experts, rng)
+        self.head = Linear(dim, 2, rng)
+
+    def moe_representation(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        """Gated expert mixture of the pooled representation, (batch, dim)."""
+        pooled = self.backbone(ids, key_padding_mask=pad_mask, flags=flags)[:, 0, :]
+        gate_weights = F.softmax(self.gate(pooled), axis=-1)  # (B, E)
+        expert_outputs = stack(
+            [expert(pooled).tanh() for expert in self.experts], axis=1
+        )  # (B, E, D)
+        weighted = expert_outputs * gate_weights.reshape(
+            gate_weights.shape[0], gate_weights.shape[1], 1
+        )
+        return weighted.sum(axis=1)
+
+    def forward(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        return self.head(self.moe_representation(ids, pad_mask, flags))

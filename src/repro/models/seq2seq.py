@@ -1,0 +1,59 @@
+"""Encoder-decoder pair classifier (T5 style; used by AnyMatch [T5])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..nn import Module, TransformerDecoder, TransformerEncoder
+from ..nn.tensor import Tensor
+
+__all__ = ["Seq2SeqClassifier"]
+
+
+class Seq2SeqClassifier(Module):
+    """Encode the serialised pair; decode one step; read yes/no logits."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        d_ff: int,
+        max_len: int,
+        yes_id: int,
+        no_id: int,
+        start_id: int,
+        rng: np.random.Generator,
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if len({yes_id, no_id, start_id}) != 3:
+            raise ConfigurationError("yes/no/start tokens must be distinct")
+        self.encoder = TransformerEncoder(
+            vocab_size, dim, n_layers, n_heads, d_ff, max_len, rng, dropout
+        )
+        self.decoder = TransformerDecoder(
+            vocab_size, dim, n_layers, n_heads, d_ff, max_len, rng,
+            cross_attention=True, dropout=dropout,
+        )
+        self.yes_id = yes_id
+        self.no_id = no_id
+        self.start_id = start_id
+
+    def forward(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> Tensor:
+        """Binary logits (batch, 2) from the first decoded position."""
+        ids = np.asarray(ids, dtype=np.int64)
+        memory = self.encoder(ids, key_padding_mask=pad_mask, flags=flags)
+        start = np.full((ids.shape[0], 1), self.start_id, dtype=np.int64)
+        hidden = self.decoder.hidden(
+            start, memory=memory, memory_padding_mask=pad_mask
+        )  # (B, 1, D)
+        lm_logits = self.decoder.lm_head(hidden[:, 0, :])  # (B, V)
+        return lm_logits[:, np.array([self.no_id, self.yes_id])]

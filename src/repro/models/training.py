@@ -1,0 +1,98 @@
+"""Shared fine-tuning loop for the surrogate pair classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..errors import MatcherError
+from ..nn import AdamW, LinearWarmupSchedule, Module, clip_grad_norm, no_grad
+from ..nn import functional as F
+
+__all__ = ["EncodedPairs", "train_classifier", "predict_proba"]
+
+
+@dataclass
+class EncodedPairs:
+    """Token ids, padding masks, shared-token flags and labels."""
+
+    ids: np.ndarray           # (n, max_len) int64
+    pad_mask: np.ndarray      # (n, max_len) bool, True at padding
+    labels: np.ndarray        # (n,) int64 in {0, 1}; may be empty at inference
+    shared: np.ndarray | None = None  # (n, max_len) int64 in {0, 1}
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.pad_mask.shape:
+            raise MatcherError("ids and pad_mask shapes differ")
+        if self.labels.size and self.labels.shape[0] != self.ids.shape[0]:
+            raise MatcherError("labels length differs from ids")
+        if self.shared is not None and self.shared.shape != self.ids.shape:
+            raise MatcherError("shared flags shape differs from ids")
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    def take(self, indices: np.ndarray) -> "EncodedPairs":
+        labels = self.labels[indices] if self.labels.size else self.labels
+        shared = self.shared[indices] if self.shared is not None else None
+        return EncodedPairs(self.ids[indices], self.pad_mask[indices], labels, shared)
+
+
+def train_classifier(
+    model: Module,
+    data: EncodedPairs,
+    config: StudyConfig,
+    rng: np.random.Generator,
+    learning_rate: float | None = None,
+) -> list[float]:
+    """Fine-tune a pair classifier; returns the per-epoch mean losses."""
+    if len(data) == 0:
+        raise MatcherError("cannot train on an empty pair set")
+    if not data.labels.size:
+        raise MatcherError("training data has no labels")
+    model.train()
+    optimizer = AdamW(model.parameters(), lr=learning_rate or config.learning_rate)
+    n_batches_per_epoch = max(1, int(np.ceil(len(data) / config.batch_size)))
+    total_steps = n_batches_per_epoch * config.epochs
+    schedule = LinearWarmupSchedule(
+        optimizer, warmup_steps=max(1, total_steps // 10), total_steps=total_steps
+    )
+    epoch_losses: list[float] = []
+    for _epoch in range(config.epochs):
+        order = rng.permutation(len(data))
+        losses: list[float] = []
+        for start in range(0, len(data), config.batch_size):
+            batch = data.take(order[start:start + config.batch_size])
+            logits = model(batch.ids, batch.pad_mask, batch.shared)
+            loss = F.cross_entropy(logits, batch.labels)
+            model.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), max_norm=1.0)
+            schedule.step()
+            optimizer.step()
+            losses.append(loss.item())
+        epoch_losses.append(float(np.mean(losses)))
+    model.eval()
+    return epoch_losses
+
+
+def predict_proba(
+    model: Module,
+    data: EncodedPairs,
+    batch_size: int = 128,
+) -> np.ndarray:
+    """Match probabilities P(label=1) for each pair, shape (n,)."""
+    model.eval()
+    outputs: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(data), batch_size):
+            idx = np.arange(start, min(start + batch_size, len(data)))
+            batch = data.take(idx)
+            logits = model(batch.ids, batch.pad_mask, batch.shared)
+            probs = F.softmax(logits, axis=-1).numpy()
+            outputs.append(probs[:, 1])
+    if not outputs:
+        return np.zeros(0)
+    return np.concatenate(outputs)

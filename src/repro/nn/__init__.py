@@ -1,0 +1,44 @@
+"""Neural substrate: numpy autograd, layers, transformers, optimisers."""
+
+from . import functional
+from .attention import MultiHeadAttention
+from .layers import Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Sequential
+from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+from .transformer import (
+    FeedForward,
+    TransformerDecoder,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "Dropout",
+    "Embedding",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "LinearWarmupSchedule",
+    "Module",
+    "MultiHeadAttention",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "TransformerDecoder",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "clip_grad_norm",
+    "concat",
+    "functional",
+    "is_grad_enabled",
+    "load_checkpoint",
+    "no_grad",
+    "save_checkpoint",
+    "stack",
+]

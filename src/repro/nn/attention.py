@@ -1,0 +1,76 @@
+"""Multi-head attention for the transformer surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from . import functional as F
+from .layers import Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention"]
+
+#: Large negative logit used to mask out attention positions.
+_MASK_VALUE = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``n_heads`` heads.
+
+    Supports self-attention (``kv=None``), cross-attention, causal masking
+    (for the decoder surrogates) and key padding masks.
+    """
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator, causal: bool = False) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ConfigurationError(f"dim={dim} not divisible by n_heads={n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _dim = x.shape
+        return x.reshape(batch, length, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        x: Tensor,
+        kv: Tensor | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``x`` (queries) over ``kv`` (keys/values; defaults to ``x``).
+
+        ``key_padding_mask`` is a boolean array of shape ``(batch, kv_len)``
+        that is ``True`` at padding positions to be ignored.
+        """
+        source = kv if kv is not None else x
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(source))
+        v = self._split_heads(self.v_proj(source))
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        q_len, k_len = q.shape[2], k.shape[2]
+        if self.causal:
+            causal_mask = np.triu(np.ones((q_len, k_len), dtype=bool), k=1)
+            scores = scores.masked_fill(causal_mask[None, None, :, :], _MASK_VALUE)
+        if key_padding_mask is not None:
+            key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
+            if key_padding_mask.shape != (x.shape[0], k_len):
+                raise ConfigurationError(
+                    f"key_padding_mask shape {key_padding_mask.shape} != "
+                    f"({x.shape[0]}, {k_len})"
+                )
+            scores = scores.masked_fill(key_padding_mask[:, None, None, :], _MASK_VALUE)
+
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ v
+        batch = x.shape[0]
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.dim)
+        return self.out_proj(merged)

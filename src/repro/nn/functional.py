@@ -1,0 +1,143 @@
+"""Functional operations built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+Softmax, log-softmax and cross-entropy are implemented as fused primitives
+with hand-written backward passes (the composites would be numerically
+fragile and slow); the rest are thin composites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GradientError
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "gelu",
+    "dropout",
+    "sigmoid",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return x._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out_data)
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return x._make(out_data, (x,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Mean cross-entropy of integer targets against ``logits``.
+
+    ``logits`` has shape ``(..., n_classes)`` and ``targets`` the matching
+    leading shape.  Positions equal to ``ignore_index`` contribute nothing
+    (used to mask padding when training the decoder surrogates).
+    """
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:-1]:
+        raise GradientError(
+            f"target shape {targets.shape} does not match logits {logits.shape[:-1]}"
+        )
+    n_classes = logits.shape[-1]
+    flat_logits = logits.data.reshape(-1, n_classes)
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+    else:
+        keep = np.ones(flat_targets.shape, dtype=bool)
+    n_kept = int(keep.sum())
+    if n_kept == 0:
+        raise GradientError("cross_entropy: every target position is ignored")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_norm
+    safe_targets = np.where(keep, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.size), safe_targets]
+    loss_value = -(picked * keep).sum() / n_kept
+
+    def backward(grad: np.ndarray) -> None:
+        soft = np.exp(log_probs)
+        soft[np.arange(flat_targets.size), safe_targets] -= 1.0
+        soft *= keep[:, None] / n_kept
+        logits._accumulate(float(grad) * soft.reshape(logits.shape))
+
+    return logits._make(np.asarray(loss_value), (logits,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return x._make(out_data, (x,), backward)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable mean BCE against 0/1 targets."""
+    targets = np.asarray(targets, dtype=np.float64)
+    z = logits.data
+    loss_value = np.mean(np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z))))
+
+    def backward(grad: np.ndarray) -> None:
+        probs = 1.0 / (1.0 + np.exp(-z))
+        logits._accumulate(float(grad) * (probs - targets) / z.size)
+
+    return logits._make(np.asarray(loss_value), (logits,), backward)
+
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU with the tanh approximation (as in GPT-2/BERT)."""
+    inner = _GELU_C * (x.data + 0.044715 * x.data ** 3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x.data ** 2)
+        x._accumulate(grad * (0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner))
+
+    return x._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise GradientError("dropout probability must be < 1")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make(x.data * mask, (x,), backward)

@@ -1,0 +1,27 @@
+"""Checkpoint save/load for modules (npz, no pickling of code)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .layers import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's parameters to an ``.npz`` archive."""
+    state = module.state_dict()
+    if not state:
+        raise ConfigurationError("refusing to save a module with no parameters")
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

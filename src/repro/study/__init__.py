@@ -1,0 +1,24 @@
+"""Experiment drivers, one module per paper table/figure.
+
+Import the driver modules directly (``from repro.study import table3``);
+this package intentionally re-exports nothing at import time so that lower
+layers (e.g. the LLM profiles, which calibrate against
+:mod:`repro.study.paper_targets`) can depend on individual modules without
+import cycles.
+"""
+
+__all__ = [
+    "paper_targets",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figures",
+    "findings",
+    "ablations",
+    "extensions",
+    "roster",
+    "full_run",
+]

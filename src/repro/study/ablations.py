@@ -1,0 +1,158 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Three ablations accompany the main study:
+
+* **AnyMatch data pipeline** — label balancing, difficulty boosting and
+  attribute augmentation switched off one at a time (the data-centric
+  claim of Finding "data-centric beats model-centric").
+* **Ditto optimisations** — augmentation and summarisation on/off.
+* **Blocking** — recall (pair completeness) vs candidate-set reduction of
+  the token blocker across its ``min_shared`` knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import StudyConfig, get_profile
+from ..data.blocking import TokenBlocker
+from ..data.generators import build_all_datasets, build_dataset
+from ..eval.loo import LeaveOneOutRunner
+from ..eval.reporting import format_rows
+from ..matchers import AnyMatchMatcher, DittoMatcher
+from ..matchers.anymatch import ANYMATCH_BASES, _BaseSpec
+
+__all__ = [
+    "AblationResult",
+    "anymatch_data_ablation",
+    "ditto_ablation",
+    "blocking_ablation",
+]
+
+
+@dataclass
+class AblationResult:
+    title: str
+    rows: list[dict[str, object]]
+
+    def render(self) -> str:
+        if not self.rows:
+            return self.title
+        return f"{self.title}\n" + format_rows(self.rows, list(self.rows[0].keys()))
+
+
+class _AblatedAnyMatch(AnyMatchMatcher):
+    """AnyMatch with parts of the data pipeline disabled."""
+
+    def __init__(self, base: str, boosting: bool, balancing: bool, attributes: bool) -> None:
+        super().__init__(base)
+        spec = ANYMATCH_BASES[base]
+        self._spec = _BaseSpec(
+            display=spec.display,
+            params_millions=spec.params_millions,
+            architecture=spec.architecture,
+            width_factor=spec.width_factor,
+            lr_factor=spec.lr_factor,
+            epoch_factor=spec.epoch_factor,
+            boosting=boosting and spec.boosting,
+            attribute_augmentation=attributes and spec.attribute_augmentation,
+        )
+        self._balancing = balancing
+
+    def prepare_training_pairs(self, transfer, config, rng):
+        from ..matchers.base import balance_labels, collect_transfer_pairs
+        from ..matchers.boosting import find_difficult_pairs
+
+        pairs = collect_transfer_pairs(transfer, config.train_pair_budget, rng)
+        if self._spec.boosting:
+            pairs = pairs + find_difficult_pairs(pairs)
+        if self._balancing:
+            pairs = balance_labels(pairs, rng)
+        if self._spec.attribute_augmentation:
+            pairs = pairs + self._attribute_pairs(pairs, len(pairs) // 4, rng)
+        return pairs
+
+
+def anymatch_data_ablation(
+    target: str = "ABT",
+    base: str = "gpt2",
+    config: StudyConfig | None = None,
+    dataset_seed: int = 7,
+) -> AblationResult:
+    """Switch AnyMatch's data-selection steps off one at a time."""
+    config = config or get_profile("default")
+    datasets, _world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    runner = LeaveOneOutRunner(datasets, config)
+    variants = (
+        ("full pipeline", True, True, True),
+        ("no boosting", False, True, True),
+        ("no balancing", True, False, True),
+        ("no attribute augmentation", True, True, False),
+        ("raw sample only", False, False, False),
+    )
+    rows = []
+    for name, boosting, balancing, attributes in variants:
+        result = runner.run_target(
+            lambda code: _AblatedAnyMatch(base, boosting, balancing, attributes), target
+        )
+        rows.append(
+            {"variant": name, "target": target,
+             "F1": f"{result.mean_f1:.1f}±{result.std_f1:.1f}"}
+        )
+    return AblationResult(f"AnyMatch[{base}] data-pipeline ablation on {target}", rows)
+
+
+def ditto_ablation(
+    target: str = "ABT",
+    config: StudyConfig | None = None,
+    dataset_seed: int = 7,
+) -> AblationResult:
+    """Ditto with augmentation/summarisation toggled."""
+    config = config or get_profile("default")
+    datasets, _world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    runner = LeaveOneOutRunner(datasets, config)
+    variants = (
+        ("augment + summarise", True, True),
+        ("no augmentation", False, True),
+        ("no summarisation", True, False),
+        ("plain encoder", False, False),
+    )
+    rows = []
+    for name, augment, summarize in variants:
+        result = runner.run_target(
+            lambda code: DittoMatcher(augment=augment, summarize=summarize), target
+        )
+        rows.append(
+            {"variant": name, "target": target,
+             "F1": f"{result.mean_f1:.1f}±{result.std_f1:.1f}"}
+        )
+    return AblationResult(f"Ditto optimisation ablation on {target}", rows)
+
+
+def blocking_ablation(
+    code: str = "DBAC",
+    dataset_scale: float = 0.2,
+    dataset_seed: int = 7,
+) -> AblationResult:
+    """Token-blocker recall/reduction trade-off over ``min_shared``."""
+    dataset, _world = build_dataset(code, scale=dataset_scale, seed=dataset_seed)
+    left = [p.left for p in dataset.pairs]
+    right = [p.right for p in dataset.pairs]
+    true_matches = {
+        (p.left.record_id, p.right.record_id) for p in dataset.pairs if p.label == 1
+    }
+    rows = []
+    for min_shared in (1, 2, 3, 4):
+        blocker = TokenBlocker(min_shared=min_shared)
+        result = blocker.block(left, right)
+        rows.append(
+            {
+                "min_shared": min_shared,
+                "candidates": len(result.candidates),
+                "reduction": f"{result.reduction_ratio:.3f}",
+                "pair completeness": f"{result.pair_completeness(true_matches):.3f}",
+            }
+        )
+    return AblationResult(f"Token-blocking trade-off on {code}", rows)

@@ -1,0 +1,61 @@
+"""Figures 3 and 4 — cost-vs-quality and size-vs-quality scatter series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost.tradeoff import TradeoffPoint, build_tradeoff, pareto_front
+from ..eval.reporting import format_rows
+from .paper_targets import PARAMS_MILLIONS
+from .table6 import Table6Result
+
+__all__ = ["FigureResult", "figure3", "figure4"]
+
+
+@dataclass
+class FigureResult:
+    """A figure's scatter points, renderable as an aligned series table."""
+
+    title: str
+    points: list[TradeoffPoint]
+
+    def render(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append(
+                {
+                    "matcher": p.matcher,
+                    "mean F1": f"{p.mean_f1:.1f}",
+                    "$ / 1K tokens": (
+                        f"{p.dollars_per_1k_tokens:.7f}"
+                        if p.dollars_per_1k_tokens is not None
+                        else "-"
+                    ),
+                    "#params (M)": f"{p.params_millions:,.0f}",
+                }
+            )
+        return f"{self.title}\n" + format_rows(
+            rows, ["matcher", "mean F1", "$ / 1K tokens", "#params (M)"]
+        )
+
+    def front(self) -> list[TradeoffPoint]:
+        return pareto_front(self.points)
+
+
+def figure3(quality: dict[str, float], table6: Table6Result) -> FigureResult:
+    """Deployment cost versus prediction quality (Figure 3).
+
+    Jellyfish is excluded, as in the paper: its cross-dataset mean F1 is
+    not computable (it saw six evaluation datasets during training).
+    """
+    cost = table6.cost_table()
+    filtered = {name: f1 for name, f1 in quality.items() if name in cost and name != "Jellyfish"}
+    points = build_tradeoff(filtered, cost, PARAMS_MILLIONS)
+    return FigureResult("Figure 3: deployment cost vs prediction quality", points)
+
+
+def figure4(quality: dict[str, float]) -> FigureResult:
+    """Model size versus prediction quality (Figure 4)."""
+    params = {name: PARAMS_MILLIONS.get(name, 0.0) for name in quality}
+    points = build_tradeoff(quality, {}, params)
+    return FigureResult("Figure 4: model size vs prediction quality", points)

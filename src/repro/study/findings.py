@@ -1,0 +1,69 @@
+"""Findings 5 and 6 — the statistical claims of Section 4.1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.findings import (
+    DomainOverlapTest,
+    SkewCorrelation,
+    domain_overlap_test,
+    normalize_scores,
+    skew_correlation,
+)
+from ..errors import ReproError
+
+__all__ = ["FindingsResult", "run"]
+
+#: The reference matcher used to normalise F1 scales (Finding 5).
+REFERENCE_MATCHER = "MatchGPT[GPT-3.5-Turbo]"
+
+
+@dataclass
+class FindingsResult:
+    """Finding-5 t-tests (one per matcher) and Finding-6 correlations."""
+
+    overlap_tests: dict[str, DomainOverlapTest]
+    skew_correlations: dict[str, SkewCorrelation]
+
+    def render(self) -> str:
+        lines = ["Finding 5 — domain-overlap t-tests (reject = same-domain data helps):"]
+        for name, test in self.overlap_tests.items():
+            lines.append(
+                f"  {name:26} t={test.t_statistic:+.2f} p={test.p_value:.3f} "
+                f"rejects={test.rejects_null}"
+            )
+        lines.append("Finding 6 — Spearman(F1, imbalance rate):")
+        for name, corr in self.skew_correlations.items():
+            lines.append(
+                f"  {name:26} rho={corr.rho:+.3f} p={corr.p_value:.3f} weak={corr.is_weak}"
+            )
+        return "\n".join(lines)
+
+    @property
+    def any_rejection(self) -> bool:
+        return any(t.rejects_null for t in self.overlap_tests.values())
+
+    def mean_abs_rho(self) -> float:
+        values = [abs(c.rho) for c in self.skew_correlations.values()]
+        return sum(values) / len(values)
+
+
+def run(per_dataset: dict[str, dict[str, float]]) -> FindingsResult:
+    """Run both analyses over a Table-3-style per-dataset score table.
+
+    ``per_dataset`` maps matcher name → dataset code → mean F1 (e.g. from
+    :meth:`repro.study.table3.Table3Result.per_dataset_table`).
+    """
+    if REFERENCE_MATCHER not in per_dataset:
+        raise ReproError(
+            f"Finding 5 needs the reference matcher {REFERENCE_MATCHER!r} in the results"
+        )
+    reference = per_dataset[REFERENCE_MATCHER]
+    overlap_tests = {}
+    skew_correlations = {}
+    for name, scores in per_dataset.items():
+        normalized = normalize_scores(scores, reference)
+        overlap_tests[name] = domain_overlap_test(normalized)
+        skew_correlations[name] = skew_correlation(name, scores)
+    return FindingsResult(overlap_tests, skew_correlations)

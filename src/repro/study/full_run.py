@@ -1,0 +1,118 @@
+"""Run the complete study and save machine-readable results.
+
+This is the entry point behind ``python -m repro.study.full_run``: it
+regenerates every table and figure at the requested scale profile and
+writes one JSON document (consumed by EXPERIMENTS.md and the benchmark
+harness for paper-vs-measured comparisons).
+
+On a single CPU core the ``default`` profile takes roughly an hour; the
+``smoke`` profile a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..config import StudyConfig, get_profile
+from . import figures, findings, table3, table4, table5, table6
+
+
+def run_study(config: StudyConfig, out_path: Path, codes: tuple[str, ...] | None = None) -> dict:
+    """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON."""
+    started = time.time()
+    document: dict = {"profile": config.name, "codes": list(codes or ())}
+
+    # Table 3 runs one matcher at a time so partial results are saved
+    # incrementally (a single-core run takes tens of minutes).
+    from .roster import ROSTER_ORDER
+    from .table3 import Table3Result
+
+    results = []
+    for name in ROSTER_ORDER:
+        print(f"[full_run] Table 3: {name} ...", flush=True)
+        started_row = time.time()
+        partial = table3.run(config, matcher_names=(name,), codes=codes)
+        results.extend(partial.results)
+        t3 = Table3Result(results, config.name, codes=tuple(codes or ()))
+        document["table3"] = {
+            "per_dataset": t3.per_dataset_table(),
+            "std": {
+                r.matcher_name: {c: t.std_f1 for c, t in r.per_dataset.items()}
+                for r in t3.results
+            },
+            "mean": t3.quality_table(),
+            "rendered": t3.render(),
+        }
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(document, indent=2))
+        print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
+              f"({time.time() - started_row:.0f}s)", flush=True)
+    print(t3.render(), flush=True)
+
+    print("[full_run] Table 4 ...", flush=True)
+    t4 = table4.run(config, codes=codes)
+    document["table4"] = {
+        "per_dataset": {
+            f"{model}|{strategy}": {c: t.mean_f1 for c, t in res.per_dataset.items()}
+            for (model, strategy), res in t4.results.items()
+        },
+        "mean": {
+            f"{model}|{strategy}": res.mean_f1
+            for (model, strategy), res in t4.results.items()
+        },
+        "rendered": t4.render(),
+    }
+    print(t4.render(), flush=True)
+
+    print("[full_run] Tables 5-6, figures, findings ...", flush=True)
+    t5 = table5.run()
+    t6 = table6.run()
+    document["table5"] = t5.throughput_table()
+    document["table6"] = t6.cost_table()
+    fig3 = figures.figure3(t3.quality_table(), t6)
+    fig4 = figures.figure4(t3.quality_table())
+    document["figure3"] = [
+        {"matcher": p.matcher, "f1": p.mean_f1, "cost": p.dollars_per_1k_tokens}
+        for p in fig3.points
+    ]
+    document["figure3_front"] = [p.matcher for p in fig3.front()]
+    document["figure4"] = [
+        {"matcher": p.matcher, "f1": p.mean_f1, "params": p.params_millions}
+        for p in fig4.points
+    ]
+    try:
+        analysis = findings.run(t3.per_dataset_table())
+        document["findings"] = {
+            "any_rejection": analysis.any_rejection,
+            "mean_abs_rho": analysis.mean_abs_rho(),
+            "rendered": analysis.render(),
+        }
+    except Exception as error:  # pragma: no cover - needs the full roster
+        document["findings"] = {"error": str(error)}
+
+    document["wall_clock_seconds"] = round(time.time() - started, 1)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(document, indent=2))
+    print(f"[full_run] done in {document['wall_clock_seconds']}s -> {out_path}", flush=True)
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="smoke | default | full")
+    parser.add_argument("--out", default="results/full_study.json")
+    parser.add_argument(
+        "--codes", default="", help="comma-separated target subset (default: all 11)"
+    )
+    args = parser.parse_args(argv)
+    codes = tuple(c for c in args.codes.split(",") if c) or None
+    run_study(get_profile(args.profile), Path(args.out), codes=codes)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

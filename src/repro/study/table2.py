@@ -1,0 +1,35 @@
+"""Table 2 — taxonomy of the matchers with cross-dataset capabilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.reporting import format_rows
+
+__all__ = ["Table2Result", "run", "TAXONOMY"]
+
+#: (matcher, PLM size, type) triples exactly as printed in Table 2.
+TAXONOMY: tuple[tuple[str, str, str], ...] = (
+    ("ZeroER", "No", "Parameter-free"),
+    ("Ditto", "Small", "Model-aware"),
+    ("Unicorn", "Small", "Model-aware"),
+    ("AnyMatch", "Small", "Model-agnostic"),
+    ("Jellyfish", "Large", "Model-agnostic"),
+    ("TableGPT", "Large", "Model-agnostic"),
+    ("MatchGPT", "Large", "Model-agnostic"),
+)
+
+
+@dataclass
+class Table2Result:
+    rows: list[dict[str, object]]
+
+    def render(self) -> str:
+        return format_rows(self.rows, ["matcher", "plm", "type"])
+
+
+def run() -> Table2Result:
+    """The static taxonomy (no experiment; included for completeness)."""
+    return Table2Result(
+        [{"matcher": m, "plm": plm, "type": kind} for m, plm, kind in TAXONOMY]
+    )

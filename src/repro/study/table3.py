@@ -1,0 +1,63 @@
+"""Table 3 — cross-dataset F1 for all matcher variants (the main result)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import StudyConfig, get_profile
+from ..data.generators import build_all_datasets
+from ..eval.loo import LeaveOneOutRunner, StudyResult
+from ..eval.reporting import format_table3
+from .roster import ROSTER_ORDER, build_roster
+
+__all__ = ["Table3Result", "run"]
+
+
+@dataclass
+class Table3Result:
+    """All Table-3 rows, in paper order."""
+
+    results: list[StudyResult]
+    config_name: str = "default"
+    codes: tuple[str, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        return format_table3(self.results, self.codes or None)
+
+    def quality_table(self) -> dict[str, float]:
+        """Matcher → macro-mean F1 (input to the trade-off figures)."""
+        return {r.matcher_name: r.mean_f1 for r in self.results}
+
+    def per_dataset_table(self) -> dict[str, dict[str, float]]:
+        """Matcher → dataset → mean F1 (input to the findings analyses)."""
+        return {r.matcher_name: r.dataset_means() for r in self.results}
+
+
+def run(
+    config: StudyConfig | None = None,
+    matcher_names: tuple[str, ...] | None = None,
+    codes: tuple[str, ...] | None = None,
+    dataset_seed: int = 7,
+) -> Table3Result:
+    """Run the leave-one-dataset-out study for the requested matchers.
+
+    ``matcher_names`` defaults to all 14 variants; restrict it to keep a
+    run short (the trained matchers dominate the wall-clock cost).
+    """
+    config = config or get_profile("default")
+    matcher_names = matcher_names or ROSTER_ORDER
+    datasets, world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    if codes:
+        datasets = {c: datasets[c] for c in codes}
+    runner = LeaveOneOutRunner(datasets, config, codes=codes)
+    results = []
+    for entry in build_roster(world, names=tuple(matcher_names)):
+        results.append(
+            runner.run(
+                entry.factory,
+                matcher_name=entry.name,
+                params_millions=entry.params_millions,
+                seen_datasets=entry.seen_datasets,
+            )
+        )
+    return Table3Result(results, config.name, codes=tuple(codes or ()))

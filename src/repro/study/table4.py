@@ -1,0 +1,80 @@
+"""Table 4 — demonstration strategies for the prompted GPT models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import StudyConfig, get_profile
+from ..data.generators import build_all_datasets
+from ..eval.loo import LeaveOneOutRunner, StudyResult
+from ..eval.reporting import format_table3
+from ..llm.profiles import get_profile as get_llm_profile
+from ..llm.prompts import DemonstrationStrategy
+from ..llm.simulated import SimulatedLLM
+from ..matchers import MatchGPTMatcher
+
+__all__ = ["Table4Result", "run", "TABLE4_MODELS", "TABLE4_STRATEGIES"]
+
+#: The three models and three strategies evaluated in Table 4.
+TABLE4_MODELS: tuple[str, ...] = ("gpt-4o-mini", "gpt-3.5-turbo", "gpt-4")
+TABLE4_STRATEGIES: tuple[DemonstrationStrategy, ...] = (
+    DemonstrationStrategy.NONE,
+    DemonstrationStrategy.HAND_PICKED,
+    DemonstrationStrategy.RANDOM,
+)
+
+
+@dataclass
+class Table4Result:
+    """One StudyResult per (model, strategy) combination."""
+
+    results: dict[tuple[str, str], StudyResult]
+
+    def render(self) -> str:
+        ordered = [
+            self.results[(model, strategy.value)]
+            for model in TABLE4_MODELS
+            for strategy in TABLE4_STRATEGIES
+            if (model, strategy.value) in self.results
+        ]
+        return format_table3(ordered)
+
+    def mean_by_strategy(self, model: str) -> dict[str, float]:
+        return {
+            strategy.value: self.results[(model, strategy.value)].mean_f1
+            for strategy in TABLE4_STRATEGIES
+        }
+
+
+def run(
+    config: StudyConfig | None = None,
+    models: tuple[str, ...] = TABLE4_MODELS,
+    codes: tuple[str, ...] | None = None,
+    dataset_seed: int = 7,
+    llm_seed: int = 0,
+) -> Table4Result:
+    """Evaluate each model under the three demonstration strategies."""
+    config = config or get_profile("default")
+    datasets, world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    if codes:
+        datasets = {c: datasets[c] for c in codes}
+    runner = LeaveOneOutRunner(datasets, config, codes=codes)
+    results: dict[tuple[str, str], StudyResult] = {}
+    for model in models:
+        profile = get_llm_profile(model)
+        for strategy in TABLE4_STRATEGIES:
+            def factory(code: str, profile=profile, strategy=strategy):
+                client = SimulatedLLM(profile, world, seed=llm_seed)
+                return MatchGPTMatcher(
+                    client,
+                    demo_strategy=strategy,
+                    display_name=f"{profile.display_name} ({strategy.value})",
+                    params_millions=profile.params_millions,
+                )
+
+            results[(model, strategy.value)] = runner.run(
+                factory,
+                matcher_name=f"{profile.display_name} ({strategy.value})",
+                params_millions=profile.params_millions,
+            )
+    return Table4Result(results)

@@ -1,0 +1,57 @@
+"""Table 6 — cost per 1K tokens under the cheapest deployment scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost.deployment import DeploymentCost, DeploymentCostModel
+from ..eval.reporting import format_rows
+
+__all__ = ["Table6Result", "run", "METHOD_MODELS"]
+
+#: The Table-6 method/model pairs.  Jellyfish appears in the table but is
+#: excluded from the trade-off discussion (it saw evaluation data during
+#: training); TableGPT and GPT-3 are absent as in the paper (deprecated /
+#: unpriceable).
+METHOD_MODELS: tuple[tuple[str, str], ...] = (
+    ("MatchGPT[GPT-4]", "gpt-4"),
+    ("MatchGPT[SOLAR]", "solar"),
+    ("MatchGPT[Beluga2]", "beluga2"),
+    ("MatchGPT[GPT-3.5-Turbo]", "gpt-3.5-turbo"),
+    ("MatchGPT[Mixtral-8x7B]", "mixtral-8x7b"),
+    ("MatchGPT[GPT-4o-Mini]", "gpt-4o-mini"),
+    ("Jellyfish", "llama2-13b"),
+    ("Unicorn", "deberta"),
+    ("AnyMatch[LLaMA3.2]", "llama3.2-1b"),
+    ("AnyMatch[T5]", "t5"),
+    ("AnyMatch[GPT-2]", "gpt2"),
+    ("Ditto", "bert"),
+)
+
+
+@dataclass
+class Table6Result:
+    results: list[DeploymentCost]
+
+    def render(self) -> str:
+        rows = [
+            {
+                "method & model": f"{r.method} [{r.model}]",
+                "cost / 1K tokens": f"${r.dollars_per_1k_tokens:.7f}",
+                "deployment scenario": r.scenario,
+            }
+            for r in self.results
+        ]
+        return format_rows(rows, ["method & model", "cost / 1K tokens", "deployment scenario"])
+
+    def cost_table(self) -> dict[str, float]:
+        """Method → $/1K tokens (input to Figure 3)."""
+        return {r.method: r.dollars_per_1k_tokens for r in self.results}
+
+
+def run(cost_model: DeploymentCostModel | None = None) -> Table6Result:
+    """Price every method's cheapest deployment, sorted descending."""
+    cost_model = cost_model or DeploymentCostModel()
+    results = [cost_model.cheapest(method, model) for method, model in METHOD_MODELS]
+    results.sort(key=lambda r: r.dollars_per_1k_tokens, reverse=True)
+    return Table6Result(results)

@@ -1,0 +1,44 @@
+"""Text substrate: tokenisation, string similarity, and TF-IDF."""
+
+from .similarity import (
+    cosine_tokens,
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    numeric_similarity,
+    overlap_coefficient,
+    prefix_similarity,
+    ratcliff_obershelp,
+    tokenize_words,
+)
+from .tfidf import TfIdfModel, TfIdfSummarizer
+from .tokenizer import CLS, EOS, PAD, SEP, UNK, Vocabulary, WordTokenizer
+
+__all__ = [
+    "CLS",
+    "EOS",
+    "PAD",
+    "SEP",
+    "UNK",
+    "TfIdfModel",
+    "TfIdfSummarizer",
+    "Vocabulary",
+    "WordTokenizer",
+    "cosine_tokens",
+    "dice",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "numeric_similarity",
+    "overlap_coefficient",
+    "prefix_similarity",
+    "ratcliff_obershelp",
+    "tokenize_words",
+]

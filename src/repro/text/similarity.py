@@ -1,0 +1,205 @@
+"""String similarity functions used by the parameter-free matchers.
+
+All functions are pure, take two strings, and return a float in ``[0, 1]``
+where ``1.0`` means identical.  ZeroER builds its similarity feature vectors
+from these (Section 3.1); the StringSim baseline uses
+:func:`ratcliff_obershelp` (Section 4.1, "Parameter-free baselines").
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+import re
+
+__all__ = [
+    "ratcliff_obershelp",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "jaccard",
+    "overlap_coefficient",
+    "dice",
+    "monge_elkan",
+    "numeric_similarity",
+    "cosine_tokens",
+    "prefix_similarity",
+    "tokenize_words",
+]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lowercase and split a string into alphanumeric word tokens.
+
+    >>> tokenize_words("Abt's CD-Player, 2004!")
+    ['abt', 's', 'cd', 'player', '2004']
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def ratcliff_obershelp(a: str, b: str) -> float:
+    """Ratcliff/Obershelp similarity via :mod:`difflib` (paper's StringSim)."""
+    if not a and not b:
+        return 1.0
+    return difflib.SequenceMatcher(None, a, b).ratio()
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance with unit costs, O(len(a) * len(b))."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for memory locality.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to a similarity in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / max(len(a), len(b))
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity, the base of Jaro-Winkler."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_b = [False] * len(b)
+    matches_a: list[str] = []
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ch:
+                matched_b[j] = True
+                matches_a.append(ch)
+                break
+    if not matches_a:
+        return 0.0
+    matches_b = [b[j] for j, used in enumerate(matched_b) if used]
+    transpositions = sum(1 for x, y in zip(matches_a, matches_b) if x != y) // 2
+    m = len(matches_a)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity (rewards shared prefixes, capped at 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def jaccard(a: str, b: str) -> float:
+    """Jaccard similarity over word-token sets."""
+    sa, sb = set(tokenize_words(a)), set(tokenize_words(b))
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """Szymkiewicz-Simpson overlap coefficient over word-token sets."""
+    sa, sb = set(tokenize_words(a)), set(tokenize_words(b))
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def dice(a: str, b: str) -> float:
+    """Sorensen-Dice coefficient over word-token sets."""
+    sa, sb = set(tokenize_words(a)), set(tokenize_words(b))
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return 2.0 * len(sa & sb) / (len(sa) + len(sb))
+
+
+def monge_elkan(a: str, b: str) -> float:
+    """Monge-Elkan: mean best Jaro-Winkler match of each token of ``a`` in ``b``."""
+    ta, tb = tokenize_words(a), tokenize_words(b)
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    return sum(max(jaro_winkler(x, y) for y in tb) for x in ta) / len(ta)
+
+
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+def numeric_similarity(a: str, b: str) -> float:
+    """Similarity of the first numbers found in each string.
+
+    Used by ZeroER for numeric columns (prices, years).  Returns 0.0 when
+    either side has no parseable number, 1.0 for equal values, and a smooth
+    relative-difference decay otherwise.
+    """
+    ma, mb = _NUMBER_RE.search(a), _NUMBER_RE.search(b)
+    if ma is None or mb is None:
+        return 0.0
+    va, vb = float(ma.group()), float(mb.group())
+    if va == vb:
+        return 1.0
+    denom = max(abs(va), abs(vb))
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, 1.0 - abs(va - vb) / denom)
+
+
+def cosine_tokens(a: str, b: str) -> float:
+    """Cosine similarity over word-token count vectors."""
+    ta, tb = tokenize_words(a), tokenize_words(b)
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    counts_a: dict[str, int] = {}
+    counts_b: dict[str, int] = {}
+    for t in ta:
+        counts_a[t] = counts_a.get(t, 0) + 1
+    for t in tb:
+        counts_b[t] = counts_b.get(t, 0) + 1
+    dot = sum(counts_a[t] * counts_b.get(t, 0) for t in counts_a)
+    norm_a = math.sqrt(sum(v * v for v in counts_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in counts_b.values()))
+    # Clamp the tiny float excess so callers can rely on [0, 1].
+    return min(1.0, dot / (norm_a * norm_b))
+
+
+def prefix_similarity(a: str, b: str, length: int = 8) -> float:
+    """Fraction of the first ``length`` characters that agree."""
+    if not a and not b:
+        return 1.0
+    pa, pb = a[:length].lower(), b[:length].lower()
+    if not pa or not pb:
+        return 0.0
+    agree = sum(1 for x, y in zip(pa, pb) if x == y)
+    return agree / max(len(pa), len(pb))

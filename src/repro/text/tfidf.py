@@ -1,0 +1,87 @@
+"""TF-IDF vectorisation and the summarisation step used by Ditto.
+
+Ditto's "summarisation" optimisation (Section 4.1, model configurations)
+keeps only the highest-TF-IDF tokens of long attribute values so that the
+serialised pair fits the encoder's context window.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from .similarity import tokenize_words
+
+__all__ = ["TfIdfModel", "TfIdfSummarizer"]
+
+
+class TfIdfModel:
+    """A plain TF-IDF model over word tokens with smooth IDF."""
+
+    def __init__(self) -> None:
+        self._idf: dict[str, float] = {}
+        self._n_docs = 0
+
+    def fit(self, documents: Iterable[str]) -> "TfIdfModel":
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for doc in documents:
+            n_docs += 1
+            doc_freq.update(set(tokenize_words(doc)))
+        self._n_docs = n_docs
+        self._idf = {
+            tok: math.log((1 + n_docs) / (1 + df)) + 1.0 for tok, df in doc_freq.items()
+        }
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_docs > 0
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency; unseen tokens get max IDF."""
+        default = math.log(1 + self._n_docs) + 1.0 if self._n_docs else 1.0
+        return self._idf.get(token, default)
+
+    def vector(self, text: str) -> dict[str, float]:
+        """Sparse L2-normalised TF-IDF vector of a text snippet."""
+        counts = Counter(tokenize_words(text))
+        if not counts:
+            return {}
+        weights = {tok: tf * self.idf(tok) for tok, tf in counts.items()}
+        norm = math.sqrt(sum(w * w for w in weights.values()))
+        return {tok: w / norm for tok, w in weights.items()}
+
+    def cosine(self, a: str, b: str) -> float:
+        """Cosine similarity of two texts under this model."""
+        va, vb = self.vector(a), self.vector(b)
+        if not va or not vb:
+            return 1.0 if not va and not vb else 0.0
+        if len(vb) < len(va):
+            va, vb = vb, va
+        # Clamp the tiny float excess so callers can rely on [0, 1].
+        return min(1.0, sum(w * vb.get(tok, 0.0) for tok, w in va.items()))
+
+
+class TfIdfSummarizer:
+    """Keep the ``max_tokens`` highest-TF-IDF tokens of a value, in order.
+
+    This mirrors Ditto's summarisation: the retained tokens keep their
+    original order so the serialised record remains readable.
+    """
+
+    def __init__(self, model: TfIdfModel, max_tokens: int = 16) -> None:
+        self.model = model
+        self.max_tokens = max_tokens
+
+    def summarize(self, text: str) -> str:
+        tokens = tokenize_words(text)
+        if len(tokens) <= self.max_tokens:
+            return " ".join(tokens)
+        scored: Sequence[tuple[float, int]] = sorted(
+            ((self.model.idf(tok), i) for i, tok in enumerate(tokens)),
+            reverse=True,
+        )
+        keep = sorted(i for _score, i in scored[: self.max_tokens])
+        return " ".join(tokens[i] for i in keep)

@@ -1,0 +1,151 @@
+"""Word-level tokenisation and vocabularies for the surrogate language models.
+
+Real BERT/GPT-2/T5 use subword vocabularies learned over web corpora; the
+scaled-down surrogates here use a word-level vocabulary built from the
+transfer-learning datasets, with a deterministic hashing fallback so unseen
+target-dataset tokens still map into the embedding table (this is what lets
+the fine-tuned matchers generalise across datasets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from collections import Counter
+from collections.abc import Iterable
+
+from ..errors import ConfigurationError
+
+__all__ = ["WordTokenizer", "Vocabulary", "PAD", "UNK", "CLS", "SEP", "EOS", "SPECIALS"]
+
+#: Special token names, always occupying the first vocabulary slots.
+PAD = "<pad>"
+UNK = "<unk>"
+CLS = "<cls>"
+SEP = "<sep>"
+EOS = "<eos>"
+SPECIALS = (PAD, UNK, CLS, SEP, EOS)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+class WordTokenizer:
+    """Lowercasing word/punctuation tokenizer.
+
+    >>> WordTokenizer().tokenize("Sony MDR-7506, $99.99")
+    ['sony', 'mdr', '-', '7506', ',', '$', '99', '.', '99']
+    """
+
+    def tokenize(self, text: str) -> list[str]:
+        return _TOKEN_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """A fixed-size vocabulary with hashed fallback buckets for OOV tokens.
+
+    The first ``len(SPECIALS)`` ids are special tokens, followed by the most
+    frequent corpus tokens, followed by ``n_hash_buckets`` buckets that OOV
+    tokens hash into deterministically.  Hash buckets make cross-dataset
+    transfer possible without growing the embedding table.
+    """
+
+    def __init__(
+        self,
+        tokens_by_frequency: list[str],
+        size: int,
+        n_hash_buckets: int = 256,
+        n_common: int = 150,
+    ) -> None:
+        if size <= len(SPECIALS) + n_hash_buckets:
+            raise ConfigurationError(
+                f"vocabulary size {size} too small for {len(SPECIALS)} specials "
+                f"and {n_hash_buckets} hash buckets"
+            )
+        self.size = size
+        self.n_hash_buckets = n_hash_buckets
+        self._common: frozenset[str] = frozenset(tokens_by_frequency[:n_common])
+        n_words = size - len(SPECIALS) - n_hash_buckets
+        self._id_of: dict[str, int] = {tok: i for i, tok in enumerate(SPECIALS)}
+        for tok in tokens_by_frequency[:n_words]:
+            if tok not in self._id_of:
+                self._id_of[tok] = len(self._id_of)
+        self._hash_base = size - n_hash_buckets
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Iterable[str],
+        size: int,
+        tokenizer: WordTokenizer | None = None,
+        n_hash_buckets: int = 256,
+    ) -> "Vocabulary":
+        """Build a vocabulary from an iterable of text snippets."""
+        tokenizer = tokenizer or WordTokenizer()
+        counts: Counter[str] = Counter()
+        for text in corpus:
+            counts.update(tokenizer.tokenize(text))
+        ordered = [tok for tok, _count in counts.most_common()]
+        return cls(ordered, size=size, n_hash_buckets=n_hash_buckets)
+
+    def _hash_bucket(self, token: str) -> int:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=4).digest()
+        return self._hash_base + int.from_bytes(digest, "little") % self.n_hash_buckets
+
+    def id_of(self, token: str) -> int:
+        """Map a token to an id; OOV tokens land in a stable hash bucket."""
+        known = self._id_of.get(token)
+        if known is not None:
+            return known
+        return self._hash_bucket(token)
+
+    def is_common(self, token: str) -> bool:
+        """Whether the token was among the most frequent corpus tokens.
+
+        Shared *rare* tokens (model numbers, person names) are the core
+        matching evidence; shared common tokens (marketing filler) are
+        noise.  The encoders receive this distinction as a feature.
+        """
+        return token in self._common
+
+    @property
+    def pad_id(self) -> int:
+        return self._id_of[PAD]
+
+    @property
+    def cls_id(self) -> int:
+        return self._id_of[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._id_of[SEP]
+
+    @property
+    def eos_id(self) -> int:
+        return self._id_of[EOS]
+
+    def encode(
+        self,
+        text: str,
+        max_len: int,
+        tokenizer: WordTokenizer | None = None,
+        add_cls: bool = True,
+    ) -> list[int]:
+        """Encode text to a fixed-length id sequence (padded/truncated).
+
+        The layout is ``[CLS] tokens... [PAD]...`` which is what the
+        encoder surrogates expect; decoder surrogates strip the CLS.
+        """
+        tokenizer = tokenizer or WordTokenizer()
+        ids = [self.id_of(t) for t in tokenizer.tokenize(text)]
+        if add_cls:
+            ids = [self.cls_id] + ids
+        ids = ids[:max_len]
+        if len(ids) < max_len:
+            ids = ids + [self.pad_id] * (max_len - len(ids))
+        return ids
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._id_of

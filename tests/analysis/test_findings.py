@@ -1,0 +1,86 @@
+"""Tests for the Finding-5 and Finding-6 analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    domain_overlap_test,
+    normalize_scores,
+    skew_correlation,
+)
+from repro.data.registry import DATASET_CODES, DATASETS
+from repro.errors import ReproError
+from repro.study.paper_targets import TABLE3_F1
+
+
+class TestNormalize:
+    def test_subtracts_reference(self):
+        scores = {"ABT": 80.0, "WDC": 70.0}
+        reference = {"ABT": 75.0, "WDC": 75.0}
+        assert normalize_scores(scores, reference) == {"ABT": 5.0, "WDC": -5.0}
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(ReproError):
+            normalize_scores({"ABT": 1.0}, {})
+
+
+class TestDomainOverlapTest:
+    def test_paper_scores_do_not_reject(self):
+        """Finding 5 on the paper's own numbers: no significant benefit."""
+        reference = TABLE3_F1["MatchGPT[GPT-3.5-Turbo]"]
+        rejections = 0
+        for matcher in ("Ditto", "Unicorn", "AnyMatch[GPT-2]", "MatchGPT[GPT-4]"):
+            normalized = normalize_scores(TABLE3_F1[matcher], reference)
+            result = domain_overlap_test(normalized)
+            rejections += result.rejects_null
+        assert rejections == 0
+
+    def test_constructed_effect_detected(self):
+        """Sanity: a large injected same-domain advantage IS detected."""
+        scores = {}
+        for code in DATASET_CODES:
+            from repro.data.registry import same_domain_codes
+
+            scores[code] = 30.0 if same_domain_codes(code) else 0.0
+        # add small jitter so variance is nonzero
+        rng = np.random.default_rng(0)
+        scores = {c: v + rng.normal(0, 0.5) for c, v in scores.items()}
+        assert domain_overlap_test(scores).rejects_null
+
+    def test_group_sizes(self):
+        reference = TABLE3_F1["MatchGPT[GPT-3.5-Turbo]"]
+        normalized = normalize_scores(TABLE3_F1["Ditto"], reference)
+        result = domain_overlap_test(normalized)
+        assert result.n_same_domain == 6
+        assert result.n_unique_domain == 5
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ReproError):
+            domain_overlap_test({"NOPE": 1.0, "ABT": 1.0, "WDC": 0.0, "DBAC": 0.0})
+
+    def test_too_few_scores_raise(self):
+        with pytest.raises(ReproError):
+            domain_overlap_test({"ABT": 1.0, "BEER": 0.0})
+
+
+class TestSkewCorrelation:
+    def test_paper_lm_matchers_weak(self):
+        """Finding 6 on the paper's numbers: |rho| < 0.3 on average."""
+        rhos = []
+        for matcher in ("Ditto", "Unicorn", "AnyMatch[GPT-2]", "AnyMatch[T5]",
+                        "MatchGPT[GPT-4]", "MatchGPT[GPT-4o-Mini]"):
+            result = skew_correlation(matcher, TABLE3_F1[matcher])
+            rhos.append(abs(result.rho))
+        assert np.mean(rhos) < 0.35
+
+    def test_constructed_strong_correlation_detected(self):
+        scores = {code: 100.0 * DATASETS[code].imbalance_rate for code in DATASET_CODES}
+        result = skew_correlation("synthetic", scores)
+        assert result.rho == pytest.approx(1.0)
+        assert not result.is_weak
+
+    def test_too_few_datasets_raise(self):
+        with pytest.raises(ReproError):
+            skew_correlation("x", {"ABT": 1.0, "WDC": 2.0})

@@ -1,0 +1,84 @@
+"""Tests for the deployment cost model (Table 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.deployment import DeploymentCostModel
+from repro.cost.hardware import ACADEMIC_4XA100, MachineSpec
+from repro.errors import CostModelError, ReproError
+from repro.models.cards import get_card
+from repro.study.paper_targets import TABLE6_COST
+
+
+@pytest.fixture(scope="module")
+def model() -> DeploymentCostModel:
+    return DeploymentCostModel()
+
+
+class TestSelfHosting:
+    def test_cost_formula(self, model):
+        """cost = p / (2 * throughput * 3600) * 1000 for the 8-GPU machine."""
+        card = get_card("bert")
+        throughput = model._simulator.tokens_per_second(card)
+        expected = 19.22 / (2 * throughput * 3600) * 1000
+        assert model.self_hosting_cost(card) == pytest.approx(expected)
+
+    def test_scenario_label(self, model):
+        assert model.self_hosting_scenario(get_card("bert")) == "8x on p4d.24xlarge"
+        assert model.self_hosting_scenario(get_card("mixtral-8x7b")) == "4x on p4d.24xlarge"
+
+
+class TestCheapestSelection:
+    @pytest.mark.parametrize(
+        "method,card,paper_cost",
+        [
+            ("Ditto", "bert", 0.0000031),
+            ("AnyMatch[GPT-2]", "gpt2", 0.0000038),
+            ("AnyMatch[T5]", "t5", 0.0000050),
+            ("AnyMatch[LLaMA3.2]", "llama3.2-1b", 0.000010),
+            ("Unicorn", "deberta", 0.000012),
+            ("MatchGPT[GPT-4o-Mini]", "gpt-4o-mini", 0.000075),
+            ("MatchGPT[GPT-3.5-Turbo]", "gpt-3.5-turbo", 0.00075),
+            ("MatchGPT[SOLAR]", "solar", 0.0009),
+            ("MatchGPT[Beluga2]", "beluga2", 0.0009),
+            ("MatchGPT[GPT-4]", "gpt-4", 0.015),
+        ],
+    )
+    def test_matches_table6_within_10_percent(self, model, method, card, paper_cost):
+        result = model.cheapest(method, card)
+        assert result.dollars_per_1k_tokens == pytest.approx(paper_cost, rel=0.10)
+
+    def test_gpt4_vs_ditto_three_orders_of_magnitude(self, model):
+        gpt4 = model.cheapest("MatchGPT[GPT-4]", "gpt-4").dollars_per_1k_tokens
+        ditto = model.cheapest("Ditto", "bert").dollars_per_1k_tokens
+        assert gpt4 / ditto > 1_000
+
+    def test_api_model_scenario(self, model):
+        assert model.cheapest("m", "gpt-4").scenario == "OpenAI Batch API"
+
+    def test_hosted_beats_self_host_for_large_models(self, model):
+        assert model.cheapest("m", "solar").scenario == "Hosting on Together.ai"
+
+    def test_unknown_api_model_raises(self, model):
+        with pytest.raises(ReproError):  # unknown card name
+            model.cheapest("m", "unknown")
+
+
+class TestPriceRun:
+    def test_linear_in_tokens(self, model):
+        per_1k = model.cheapest("x", "gpt-4").dollars_per_1k_tokens
+        assert model.price_run("gpt-4", 2_000) == pytest.approx(2 * per_1k)
+
+    def test_negative_tokens_raise(self, model):
+        with pytest.raises(CostModelError):
+            model.price_run("gpt-4", -1)
+
+
+class TestConstruction:
+    def test_free_cloud_machine_rejected(self):
+        with pytest.raises(CostModelError):
+            DeploymentCostModel(cloud_machine=ACADEMIC_4XA100)
+
+    def test_scale_factor(self, model):
+        assert model.scale_factor == 2.0

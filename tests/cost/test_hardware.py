@@ -1,0 +1,38 @@
+"""Tests for the hardware specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.hardware import (
+    A100_40GB,
+    ACADEMIC_4XA100,
+    AWS_P4D_24XLARGE,
+    GPUSpec,
+    MachineSpec,
+)
+from repro.errors import CostModelError
+
+
+class TestSpecs:
+    def test_a100_datasheet(self):
+        assert A100_40GB.memory_gb == 40.0
+        assert A100_40GB.peak_tflops == 312.0
+
+    def test_paper_machines(self):
+        assert ACADEMIC_4XA100.n_gpus == 4
+        assert AWS_P4D_24XLARGE.n_gpus == 8
+        assert AWS_P4D_24XLARGE.hourly_usd == 19.22
+
+    def test_total_memory(self):
+        assert AWS_P4D_24XLARGE.total_memory_gb == 320.0
+
+    def test_invalid_gpu_raises(self):
+        with pytest.raises(CostModelError):
+            GPUSpec("bad", memory_gb=0, peak_tflops=1, memory_bandwidth_tb_s=1)
+
+    def test_invalid_machine_raises(self):
+        with pytest.raises(CostModelError):
+            MachineSpec("bad", A100_40GB, n_gpus=0, hourly_usd=1.0)
+        with pytest.raises(CostModelError):
+            MachineSpec("bad", A100_40GB, n_gpus=1, hourly_usd=-1.0)

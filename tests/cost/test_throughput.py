@@ -1,0 +1,83 @@
+"""Tests for the throughput simulator, including the Table-5 calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.hardware import ACADEMIC_4XA100
+from repro.cost.throughput import ThroughputSimulator
+from repro.errors import CostModelError
+from repro.models.cards import OPEN_WEIGHT_CARDS, get_card
+from repro.study.paper_targets import TABLE5_THROUGHPUT
+
+
+@pytest.fixture(scope="module")
+def simulator() -> ThroughputSimulator:
+    return ThroughputSimulator(ACADEMIC_4XA100)
+
+
+class TestPlacement:
+    @pytest.mark.parametrize(
+        "model,expected",
+        [("bert", 1), ("llama2-13b", 1), ("mixtral-8x7b", 2), ("beluga2", 4), ("solar", 4)],
+    )
+    def test_gpus_needed_matches_paper(self, simulator, model, expected):
+        assert simulator.gpus_needed(get_card(model)) == expected
+
+    def test_api_models_rejected(self, simulator):
+        with pytest.raises(CostModelError):
+            simulator.gpus_needed(get_card("gpt-4"))
+
+
+class TestBatchSearch:
+    def test_batch_is_power_of_two(self, simulator):
+        for name in OPEN_WEIGHT_CARDS:
+            batch = simulator.max_batch_size(get_card(name))
+            assert batch & (batch - 1) == 0
+
+    def test_small_models_fit_large_batches(self, simulator):
+        assert simulator.max_batch_size(get_card("bert")) >= 2048
+        assert simulator.max_batch_size(get_card("solar")) <= 128
+
+    def test_within_4x_of_paper(self, simulator):
+        """The memory model predicts batch sizes to the right order of
+        magnitude (the paper's probe sizes depend on framework overheads
+        the analytic model cannot see)."""
+        for name in OPEN_WEIGHT_CARDS:
+            batch = simulator.max_batch_size(get_card(name))
+            paper = TABLE5_THROUGHPUT[name]["batch"]
+            assert paper / 4 <= batch <= paper * 4, name
+
+
+class TestThroughputCalibration:
+    @pytest.mark.parametrize("name", OPEN_WEIGHT_CARDS)
+    def test_matches_table5_within_2_percent(self, simulator, name):
+        simulated = simulator.tokens_per_second(get_card(name))
+        paper = TABLE5_THROUGHPUT[name]["tokens_per_s"]
+        assert abs(simulated - paper) / paper < 0.02, name
+
+    def test_ditto_fastest(self, simulator):
+        rates = {n: simulator.tokens_per_second(get_card(n)) for n in OPEN_WEIGHT_CARDS}
+        assert max(rates, key=rates.get) == "bert"
+
+    def test_three_orders_of_magnitude_spread(self, simulator):
+        rates = [simulator.tokens_per_second(get_card(n)) for n in OPEN_WEIGHT_CARDS]
+        assert max(rates) / min(rates) > 1_000
+
+    def test_slm_two_orders_above_llms(self, simulator):
+        """Excluding Jellyfish, SLM throughput >= 100x the open LLMs."""
+        slm_min = min(
+            simulator.tokens_per_second(get_card(n))
+            for n in ("bert", "gpt2", "deberta", "t5", "llama3.2-1b")
+        )
+        llm_max = max(
+            simulator.tokens_per_second(get_card(n))
+            for n in ("mixtral-8x7b", "beluga2", "solar")
+        )
+        assert slm_min / llm_max > 100
+
+    def test_simulate_bundles_fields(self, simulator):
+        result = simulator.simulate(get_card("bert"))
+        assert result.model == "bert"
+        assert result.n_gpus_used == 1
+        assert result.tokens_per_second > 0

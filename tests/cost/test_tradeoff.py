@@ -1,0 +1,52 @@
+"""Tests for the quality-cost trade-off series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.tradeoff import TradeoffPoint, build_tradeoff, pareto_front
+from repro.errors import CostModelError
+
+
+@pytest.fixture
+def points():
+    quality = {"cheap-good": 85.0, "cheap-bad": 60.0, "pricey-best": 90.0, "no-cost": 80.0}
+    cost = {"cheap-good": 1e-5, "cheap-bad": 1e-5, "pricey-best": 1e-2}
+    params = {"cheap-good": 100, "cheap-bad": 100, "pricey-best": 10_000, "no-cost": 13_000}
+    return build_tradeoff(quality, cost, params)
+
+
+class TestBuildTradeoff:
+    def test_sorted_by_quality(self, points):
+        f1s = [p.mean_f1 for p in points]
+        assert f1s == sorted(f1s, reverse=True)
+
+    def test_missing_cost_is_none(self, points):
+        no_cost = next(p for p in points if p.matcher == "no-cost")
+        assert no_cost.dollars_per_1k_tokens is None
+        assert no_cost.params_millions == 13_000
+
+    def test_empty_quality_raises(self):
+        with pytest.raises(CostModelError):
+            build_tradeoff({}, {}, {})
+
+
+class TestParetoFront:
+    def test_front_members(self, points):
+        front = {p.matcher for p in pareto_front(points)}
+        assert front == {"cheap-good", "pricey-best"}
+
+    def test_dominated_point_excluded(self, points):
+        assert "cheap-bad" not in {p.matcher for p in pareto_front(points)}
+
+    def test_unpriced_points_excluded(self, points):
+        assert "no-cost" not in {p.matcher for p in pareto_front(points)}
+
+    def test_front_sorted_by_cost(self, points):
+        front = pareto_front(points)
+        costs = [p.dollars_per_1k_tokens for p in front]
+        assert costs == sorted(costs)
+
+    def test_single_point_is_front(self):
+        point = TradeoffPoint("only", 50.0, 1e-3, 10)
+        assert pareto_front([point]) == [point]

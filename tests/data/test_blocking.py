@@ -1,0 +1,69 @@
+"""Tests for the token-overlap blocker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_dataset
+from repro.data.blocking import TokenBlocker
+from repro.data.record import Record
+from repro.errors import DatasetError
+
+
+def _records(texts: list[str], prefix: str) -> list[Record]:
+    return [Record(f"{prefix}{i}", (t,), f"e-{prefix}{i}") for i, t in enumerate(texts)]
+
+
+class TestTokenBlocker:
+    def test_shared_tokens_become_candidates(self):
+        left = _records(["sony mdr headphones", "canon eos camera"], "l")
+        right = _records(["sony mdr v2", "nikon lens kit"], "r")
+        result = TokenBlocker(min_shared=2).block(left, right)
+        ids = {(a.record_id, b.record_id) for a, b in result.candidates}
+        assert ("l0", "r0") in ids
+        assert ("l1", "r1") not in ids
+
+    def test_min_shared_threshold(self):
+        left = _records(["alpha beta"], "l")
+        right = _records(["alpha gamma"], "r")
+        assert len(TokenBlocker(min_shared=1).block(left, right).candidates) == 1
+        assert len(TokenBlocker(min_shared=2).block(left, right).candidates) == 0
+
+    def test_stopword_tokens_ignored(self):
+        # 'common' appears in every right record -> above max_df -> ignored.
+        left = _records(["common alpha"], "l")
+        right = _records([f"common token{i}" for i in range(10)], "r")
+        result = TokenBlocker(min_shared=1, max_df=0.5).block(left, right)
+        assert len(result.candidates) == 0
+
+    def test_reduction_ratio(self):
+        left = _records(["a b", "c d"], "l")
+        right = _records(["a b", "e f"], "r")
+        result = TokenBlocker(min_shared=2).block(left, right)
+        assert result.reduction_ratio == pytest.approx(1 - 1 / 4)
+
+    def test_pair_completeness_on_benchmark(self):
+        dataset, _world = build_dataset("DBAC", scale=0.05, seed=7)
+        left = [p.left for p in dataset.pairs]
+        right = [p.right for p in dataset.pairs]
+        truth = {(p.left.record_id, p.right.record_id) for p in dataset.pairs if p.label == 1}
+        result = TokenBlocker(min_shared=2).block(left, right)
+        assert result.pair_completeness(truth) > 0.8
+        assert result.reduction_ratio > 0.5
+
+    def test_empty_relations_raise(self):
+        with pytest.raises(DatasetError):
+            TokenBlocker().block([], _records(["a"], "r"))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(DatasetError):
+            TokenBlocker(min_shared=0)
+        with pytest.raises(DatasetError):
+            TokenBlocker(max_df=0.0)
+
+    def test_completeness_requires_truth(self):
+        left = _records(["a b"], "l")
+        right = _records(["a b"], "r")
+        result = TokenBlocker(min_shared=1).block(left, right)
+        with pytest.raises(DatasetError):
+            result.pair_completeness(set())

@@ -1,0 +1,66 @@
+"""A user-defined domain generator plugs into the synthesis pipeline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.data.generators import synthesize
+from repro.data.generators.base import DomainGenerator, EntityProto
+from repro.data.record import AttributeKind
+from repro.data.registry import get_spec
+
+
+class _BookGenerator(DomainGenerator):
+    """Minimal custom domain: books with title and ISBN-ish id."""
+
+    def make_entity(self, code, idx, perturber):
+        title = f"{perturber.choice(('red', 'blue', 'green'))} book {idx}"
+        return EntityProto(f"{code}:e{idx}", (title, f"isbn{idx:05d}"), group_key="books")
+
+    def make_sibling(self, entity, code, idx, perturber):
+        title, _isbn = entity.canonical
+        return EntityProto(f"{code}:e{idx}", (f"{title} vol ii", f"isbn{idx:05d}"),
+                           group_key=entity.group_key)
+
+
+@pytest.fixture(scope="module")
+def book_spec():
+    # Borrow a registered spec's shape and repoint it at a 2-attribute book schema.
+    base = get_spec("BEER")
+    return dataclasses.replace(
+        base,
+        code="BOOK",
+        full_name="Books",
+        domain="books",
+        n_attributes=2,
+        n_positives=20,
+        n_negatives=60,
+        attribute_kinds=(AttributeKind.NAME, AttributeKind.NAME),
+        generator="custom",
+    )
+
+
+class TestCustomGenerator:
+    def test_synthesize_accepts_custom_generator(self, book_spec):
+        dataset, world = synthesize(book_spec, _BookGenerator(), scale=1.0, seed=3)
+        assert dataset.n_positives == 20
+        assert dataset.n_negatives == 60
+        assert len(world) > 0
+
+    def test_labels_align_with_entities(self, book_spec):
+        dataset, _world = synthesize(book_spec, _BookGenerator(), scale=1.0, seed=3)
+        for pair in dataset.pairs:
+            assert (pair.left.entity_id == pair.right.entity_id) == (pair.label == 1)
+
+    def test_matchable_by_library_matchers(self, book_spec):
+        from repro.eval.metrics import f1_score
+        from repro.matchers import StringSimMatcher
+
+        dataset, _world = synthesize(book_spec, _BookGenerator(), scale=1.0, seed=3)
+        predictions = StringSimMatcher().predict(dataset.pairs, serialization_seed=0)
+        # The custom domain flows through serialisation and matching; the
+        # trivial baseline beats the all-no answer (sibling volumes with
+        # near-identical titles cap its precision by construction).
+        assert f1_score(dataset.labels(), predictions) > 25.0

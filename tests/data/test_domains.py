@@ -1,0 +1,114 @@
+"""Direct tests of the per-domain generators' source asymmetries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.data.generators.perturb import Perturber
+
+
+@pytest.fixture
+def perturber():
+    return Perturber(np.random.default_rng(0))
+
+
+class TestPerturber:
+    def test_typo_changes_word(self, perturber):
+        results = {perturber.typo("keyboard") for _ in range(20)}
+        assert any(r != "keyboard" for r in results)
+
+    def test_typo_short_words_untouched(self, perturber):
+        assert perturber.typo("ab") == "ab"
+
+    def test_abbreviate_truncates(self, perturber):
+        short = perturber.abbreviate("corporation")
+        assert 3 <= len(short) <= 5
+        assert "corporation".startswith(short)
+
+    def test_corrupt_text_protects_digit_tokens(self, perturber):
+        """SKU-style tokens survive corruption far more often than words."""
+        survived_sku = survived_word = 0
+        for _ in range(300):
+            out = perturber.corrupt_text("wireless mdr7506x headphones", 1.0)
+            survived_sku += "mdr7506x" in out
+            survived_word += "wireless" in out
+        assert survived_sku > survived_word
+
+    def test_corrupt_never_empty(self, perturber):
+        assert perturber.corrupt_text("word", 1.0)
+
+    def test_reformat_phone_keeps_digits(self, perturber):
+        phone = perturber.phone()
+        digits = [c for c in phone if c.isdigit()]
+        for _ in range(10):
+            reformatted = perturber.reformat_phone(phone)
+            assert [c for c in reformatted if c.isdigit()] == digits
+
+    def test_jitter_bounded(self, perturber):
+        for _ in range(50):
+            jittered = perturber.jitter_number(100.0, rel=0.1)
+            assert 90.0 <= jittered <= 110.0
+
+    def test_maybe_missing_probabilistic(self, perturber):
+        outcomes = {perturber.maybe_missing("x", 1.0) for _ in range(100)}
+        assert outcomes == {"", "x"}
+
+
+def _views(code: str):
+    dataset, _world = build_dataset(code, scale=0.1, seed=7)
+    matches = [p for p in dataset.pairs if p.label == 1]
+    return matches
+
+
+class TestSourceAsymmetries:
+    def test_web_product_right_side_verbose(self):
+        matches = _views("ABT")
+        left_len = np.mean([len(" ".join(p.left.values).split()) for p in matches])
+        right_len = np.mean([len(" ".join(p.right.values).split()) for p in matches])
+        assert right_len > 1.5 * left_len
+
+    def test_citation_right_side_long_venue(self):
+        matches = _views("DBAC")
+        rights = " ".join(" ".join(p.right.values) for p in matches)
+        assert "proceedings" in rights or "transactions" in rights
+
+    def test_citation_right_abbreviates_authors(self):
+        matches = _views("DBAC")
+        rights = " ".join(p.right.values[1] for p in matches)
+        assert ". " in rights  # "j. smith" style initials
+
+    def test_dbgo_right_side_loses_venues(self):
+        matches = _views("DBGO")
+        missing = sum(1 for p in matches if p.right.values[2] == "")
+        assert missing > len(matches) * 0.2
+
+    def test_movie_duration_formats_differ(self):
+        matches = _views("ROIM")
+        lefts = " ".join(p.left.values[4] for p in matches)
+        rights = " ".join(p.right.values[4] for p in matches)
+        assert "min" in lefts
+        assert "h " in rights
+
+    def test_music_track_length_formats_differ(self):
+        matches = _views("ITAM")
+        lefts = " ".join(p.left.values[6] for p in matches)
+        assert ":" in lefts  # iTunes mm:ss
+        rights = [p.right.values[6] for p in matches]
+        assert all(":" not in r for r in rights)  # Amazon raw seconds
+
+    def test_beer_abv_formats_differ(self):
+        matches = _views("BEER")
+        rights = [p.right.values[3] for p in matches]
+        assert any(r.endswith("%") for r in rights)
+
+    def test_restaurant_phone_formats_vary(self):
+        matches = _views("FOZA")
+        formats = {p.right.values[3].count("-") for p in matches if p.right.values[3]}
+        assert len(formats) > 1
+
+    def test_software_right_often_lacks_vendor(self):
+        matches = _views("AMGO")
+        missing = sum(1 for p in matches if p.right.values[1] == "")
+        assert missing > len(matches) * 0.3

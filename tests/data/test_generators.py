@@ -1,0 +1,91 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_CODES, build_dataset, get_spec
+from repro.data.generators import build_all_datasets
+from repro.errors import DatasetError
+
+
+@pytest.mark.parametrize("code", DATASET_CODES)
+class TestPerDataset:
+    def test_scaled_counts(self, code):
+        spec = get_spec(code)
+        dataset, _world = build_dataset(code, scale=0.1, seed=7)
+        assert dataset.n_positives == max(4, round(spec.n_positives * 0.1))
+        assert dataset.n_negatives == max(4, round(spec.n_negatives * 0.1))
+
+    def test_arity_matches_spec(self, code):
+        dataset, _world = build_dataset(code, scale=0.05, seed=7)
+        spec = get_spec(code)
+        for pair in dataset.pairs:
+            assert pair.n_attributes == spec.n_attributes
+
+    def test_labels_consistent_with_entity_ids(self, code):
+        dataset, _world = build_dataset(code, scale=0.05, seed=7)
+        for pair in dataset.pairs:
+            same = pair.left.entity_id == pair.right.entity_id
+            assert same == (pair.label == 1), pair.pair_id
+
+    def test_world_registers_all_records(self, code):
+        dataset, world = build_dataset(code, scale=0.05, seed=7)
+        for pair in dataset.pairs:
+            assert pair.left.fingerprint() in world
+            assert pair.right.fingerprint() in world
+
+    def test_deterministic(self, code):
+        build_dataset.cache_clear()
+        a, _ = build_dataset(code, scale=0.05, seed=3)
+        build_dataset.cache_clear()
+        b, _ = build_dataset(code, scale=0.05, seed=3)
+        assert [p.pair_id for p in a] == [p.pair_id for p in b]
+        assert [p.left.values for p in a] == [p.left.values for p in b]
+
+    def test_seed_changes_content(self, code):
+        a, _ = build_dataset(code, scale=0.05, seed=1)
+        b, _ = build_dataset(code, scale=0.05, seed=2)
+        assert [p.left.values for p in a] != [p.left.values for p in b]
+
+    def test_values_are_strings(self, code):
+        dataset, _world = build_dataset(code, scale=0.05, seed=7)
+        for pair in dataset.pairs[:50]:
+            assert all(isinstance(v, str) for v in pair.left.values)
+            assert all(isinstance(v, str) for v in pair.right.values)
+
+    def test_hard_negatives_present(self, code):
+        dataset, _world = build_dataset(code, scale=0.1, seed=7)
+        hard = [p for p in dataset.pairs if p.label == 0 and p.hardness > 0.6]
+        assert hard, "every benchmark needs confusable negatives"
+
+
+class TestGlobalProperties:
+    def test_invalid_scale_raises(self):
+        with pytest.raises(DatasetError):
+            build_dataset("ABT", scale=0.0, seed=7)
+
+    def test_build_all_merges_worlds(self):
+        datasets, world = build_all_datasets(scale=0.05, seed=7)
+        assert set(datasets) == set(DATASET_CODES)
+        total_records = sum(
+            len({p.left.fingerprint() for p in ds} | {p.right.fingerprint() for p in ds})
+            for ds in datasets.values()
+        )
+        # The merged world holds (nearly) every distinct fingerprint.
+        assert len(world) >= 0.95 * total_records
+
+    def test_positive_hardness_spread(self):
+        dataset, _world = build_dataset("ABT", scale=0.2, seed=7)
+        hardness = np.array([p.hardness for p in dataset.pairs if p.label == 1])
+        assert hardness.std() > 0.05
+
+    def test_free_text_datasets_have_long_values(self):
+        abt, _ = build_dataset("ABT", scale=0.05, seed=7)
+        dbac, _ = build_dataset("DBAC", scale=0.05, seed=7)
+
+        def mean_len(ds):
+            return np.mean([len(" ".join(p.right.values).split()) for p in ds.pairs])
+
+        assert mean_len(abt) > mean_len(dbac)

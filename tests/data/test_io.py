@@ -1,0 +1,107 @@
+"""Tests for CSV ingestion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import read_labelled_pairs_csv, read_relation_csv
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def relation_files(tmp_path):
+    left = tmp_path / "left.csv"
+    left.write_text(
+        "id,title,price\n"
+        "a1,sony mdr headphones,99.99\n"
+        "a2,canon eos camera,450\n"
+    )
+    right = tmp_path / "right.csv"
+    right.write_text(
+        "id,name,cost\n"
+        "b1,sony mdr wireless,94\n"
+        "b2,nikon lens,120\n"
+    )
+    pairs = tmp_path / "pairs.csv"
+    pairs.write_text("left,right,label\na1,b1,1\na2,b2,0\n")
+    return left, right, pairs
+
+
+class TestReadRelation:
+    def test_basic(self, relation_files):
+        left, _right, _pairs = relation_files
+        records = read_relation_csv(left)
+        assert len(records) == 2
+        assert records[0].record_id == "a1"
+        assert records[0].values == ("sony mdr headphones", "99.99")
+
+    def test_headers_discarded(self, relation_files):
+        """Restriction 2: no column-name information survives ingestion."""
+        left, _right, _pairs = relation_files
+        records = read_relation_csv(left)
+        for record in records:
+            assert "title" not in record.values
+            assert "price" not in record.values
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("x1,alpha\nx2,beta\n")
+        records = read_relation_csv(path, has_header=False)
+        assert len(records) == 2
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,a,b\nr1,1,2\nr2,only-one\n")
+        with pytest.raises(DatasetError):
+            read_relation_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("id,a\n")
+        with pytest.raises(DatasetError):
+            read_relation_csv(path)
+
+    def test_empty_id_raises(self, tmp_path):
+        path = tmp_path / "noid.csv"
+        path.write_text("id,a\n,x\n")
+        with pytest.raises(DatasetError):
+            read_relation_csv(path)
+
+
+class TestReadPairs:
+    def test_dataset_built(self, relation_files):
+        left_path, right_path, pairs_path = relation_files
+        left = read_relation_csv(left_path)
+        right = read_relation_csv(right_path)
+        dataset = read_labelled_pairs_csv(pairs_path, left, right, name="shops")
+        assert len(dataset) == 2
+        assert dataset.n_positives == 1
+        assert dataset.pairs[0].left.record_id == "a1"
+
+    def test_unknown_id_raises(self, relation_files, tmp_path):
+        left_path, right_path, _ = relation_files
+        left = read_relation_csv(left_path)
+        right = read_relation_csv(right_path)
+        bad = tmp_path / "badpairs.csv"
+        bad.write_text("l,r,label\nmissing,b1,1\n")
+        with pytest.raises(DatasetError):
+            read_labelled_pairs_csv(bad, left, right)
+
+    def test_bad_label_raises(self, relation_files, tmp_path):
+        left_path, right_path, _ = relation_files
+        left = read_relation_csv(left_path)
+        right = read_relation_csv(right_path)
+        bad = tmp_path / "badlabel.csv"
+        bad.write_text("l,r,label\na1,b1,maybe\n")
+        with pytest.raises(DatasetError):
+            read_labelled_pairs_csv(bad, left, right)
+
+    def test_matchable_end_to_end(self, relation_files):
+        from repro.matchers import StringSimMatcher
+
+        left_path, right_path, pairs_path = relation_files
+        left = read_relation_csv(left_path)
+        right = read_relation_csv(right_path)
+        dataset = read_labelled_pairs_csv(pairs_path, left, right)
+        predictions = StringSimMatcher().predict(dataset.pairs)
+        assert len(predictions) == 2

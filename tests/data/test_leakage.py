@@ -1,0 +1,44 @@
+"""Tests for the data-leakage analyses (Section 5.1)."""
+
+from __future__ import annotations
+
+from repro.data import build_all_datasets
+from repro.data.leakage import corpus_audit, pairwise_overlap_matrix, tuple_overlap
+
+
+class TestTupleOverlap:
+    def test_self_overlap_is_full(self, abt_dataset):
+        report = tuple_overlap(abt_dataset, abt_dataset)
+        assert not report.is_clean
+        assert report.n_shared_tuples > 0
+
+    def test_cross_dataset_zero_overlap(self):
+        """The paper's guarantee: zero tuple overlap between every pair."""
+        datasets, _world = build_all_datasets(scale=0.05, seed=7)
+        reports = pairwise_overlap_matrix(datasets)
+        assert len(reports) == 11 * 10 // 2
+        assert all(r.is_clean for r in reports)
+
+
+class TestCorpusAudit:
+    def test_detects_known_source(self):
+        hits = corpus_audit(
+            ["https://sites.google.com/site/anhaidgroup/projects/data"],
+            ["https://sites.google.com/site/anhaidgroup/projects/data/page1",
+             "https://example.com/other"],
+        )
+        assert hits == ["https://sites.google.com/site/anhaidgroup/projects/data"]
+
+    def test_clean_corpus_returns_empty(self):
+        hits = corpus_audit(
+            ["https://github.com/megagonlabs/ditto"],
+            ["https://news.example.com", "https://blog.example.org"],
+        )
+        assert hits == []
+
+    def test_deduplicates_hits(self):
+        hits = corpus_audit(
+            ["https://a.example"],
+            ["https://a.example/1", "https://a.example/2"],
+        )
+        assert hits == ["https://a.example"]

@@ -1,0 +1,135 @@
+"""Tests for record pairs and EM datasets (splits, caps, skew)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import EMDataset, RecordPair
+from repro.data.record import AttributeKind, Record
+from repro.errors import DatasetError
+
+from ..conftest import make_pair
+
+
+def _dataset(n_pos: int, n_neg: int) -> EMDataset:
+    pairs = []
+    for i in range(n_pos):
+        pairs.append(make_pair((f"match {i}", "x"), (f"match {i}", "y"), 1, f"p{i}"))
+    for i in range(n_neg):
+        pairs.append(make_pair((f"left {i}", "x"), (f"right {i}", "y"), 0, f"n{i}"))
+    return EMDataset(
+        name="T", domain="test", n_attributes=2,
+        attribute_kinds=(AttributeKind.NAME, AttributeKind.TEXT),
+        pairs=pairs,
+    )
+
+
+class TestRecordPair:
+    def test_invalid_label_raises(self):
+        with pytest.raises(DatasetError):
+            make_pair(("a",), ("b",), label=2)
+
+    def test_arity_mismatch_raises(self):
+        left = Record("l", ("a", "b"), "e1")
+        right = Record("r", ("c",), "e2")
+        with pytest.raises(DatasetError):
+            RecordPair("p", left, right, label=0)
+
+    def test_invalid_hardness_raises(self):
+        left = Record("l", ("a",), "e1")
+        right = Record("r", ("b",), "e2")
+        with pytest.raises(DatasetError):
+            RecordPair("p", left, right, label=0, hardness=1.5)
+
+
+class TestEMDataset:
+    def test_counts_and_imbalance(self):
+        ds = _dataset(10, 30)
+        assert ds.n_positives == 10
+        assert ds.n_negatives == 30
+        assert ds.imbalance_rate == pytest.approx(0.75)
+
+    def test_empty_imbalance_raises(self):
+        ds = _dataset(1, 1)
+        ds.pairs = []
+        with pytest.raises(DatasetError):
+            _ = ds.imbalance_rate
+
+    def test_wrong_arity_pair_rejected(self):
+        with pytest.raises(DatasetError):
+            EMDataset(
+                name="T", domain="test", n_attributes=3,
+                attribute_kinds=(AttributeKind.NAME,) * 3,
+                pairs=[make_pair(("a",), ("b",), 0)],
+            )
+
+    def test_labels_array(self):
+        ds = _dataset(2, 3)
+        labels = ds.labels()
+        assert labels.sum() == 2
+        assert labels.dtype == np.int64
+
+    def test_shuffled_is_permutation(self):
+        ds = _dataset(5, 5)
+        shuffled = ds.shuffled(seed=1)
+        assert {p.pair_id for p in shuffled} == {p.pair_id for p in ds}
+        assert [p.pair_id for p in shuffled] != [p.pair_id for p in ds]
+
+    def test_subsample_caps_size(self):
+        ds = _dataset(20, 80)
+        sub = ds.subsample(30, seed=0)
+        assert len(sub) == 30
+
+    def test_subsample_noop_when_small(self):
+        ds = _dataset(3, 3)
+        assert len(ds.subsample(100, seed=0)) == 6
+
+    def test_subsample_deterministic(self):
+        ds = _dataset(20, 80)
+        ids_a = [p.pair_id for p in ds.subsample(30, seed=5)]
+        ids_b = [p.pair_id for p in ds.subsample(30, seed=5)]
+        assert ids_a == ids_b
+
+    def test_subsample_keeps_both_labels(self):
+        ds = _dataset(1, 200)
+        sub = ds.subsample(10, seed=0)
+        assert {p.label for p in sub} == {0, 1}
+
+    def test_subsample_invalid_raises(self):
+        with pytest.raises(DatasetError):
+            _dataset(2, 2).subsample(0, seed=0)
+
+    def test_split_stratified(self):
+        ds = _dataset(20, 60)
+        a, b = ds.split((0.5, 0.5), seed=0)
+        assert a.n_positives == 10 and b.n_positives == 10
+        assert a.n_negatives == 30 and b.n_negatives == 30
+
+    def test_split_disjoint_and_complete(self):
+        ds = _dataset(10, 10)
+        a, b = ds.split((0.3, 0.7), seed=1)
+        ids_a = {p.pair_id for p in a}
+        ids_b = {p.pair_id for p in b}
+        assert not ids_a & ids_b
+        assert ids_a | ids_b == {p.pair_id for p in ds}
+
+    def test_split_bad_fractions_raise(self):
+        with pytest.raises(DatasetError):
+            _dataset(2, 2).split((0.5, 0.6), seed=0)
+
+    def test_to_relations_deduplicates(self):
+        ds = _dataset(3, 3)
+        # Duplicate one record across pairs.
+        ds.pairs.append(ds.pairs[0])
+        left, right = ds.to_relations()
+        left_ids = [r.record_id for r in left]
+        assert len(left_ids) == len(set(left_ids))
+        assert left.n_attributes == ds.n_attributes
+
+    def test_to_relations_cover_all_records(self):
+        ds = _dataset(4, 4)
+        left, right = ds.to_relations()
+        ids = {r.record_id for r in left} | {r.record_id for r in right}
+        expected = {p.left.record_id for p in ds} | {p.right.record_id for p in ds}
+        assert ids == expected

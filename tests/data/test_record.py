@@ -1,0 +1,50 @@
+"""Tests for records, relations and fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.record import AttributeKind, Record, Relation
+from repro.errors import SchemaMismatchError
+
+
+class TestRecord:
+    def test_basic_construction(self):
+        r = Record("r1", ("sony", "99.99"), "e1", source="left")
+        assert r.n_attributes == 2
+
+    def test_non_string_values_raise(self):
+        with pytest.raises(SchemaMismatchError):
+            Record("r1", ("sony", 99.99), "e1")  # type: ignore[arg-type]
+
+    def test_fingerprint_normalises_whitespace_and_case(self):
+        a = Record("a", ("Sony  MDR", "99"), "e1")
+        b = Record("b", ("sony mdr", "99"), "e1")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_order_invariant(self):
+        a = Record("a", ("alpha", "beta"), "e1")
+        b = Record("b", ("beta", "alpha"), "e1")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_content(self):
+        a = Record("a", ("alpha",), "e1")
+        b = Record("b", ("gamma",), "e1")
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestRelation:
+    def test_add_and_iterate(self):
+        rel = Relation("left", 2, (AttributeKind.NAME, AttributeKind.NUMERIC))
+        rel.add(Record("r1", ("a", "1"), "e1"))
+        assert len(rel) == 1
+        assert next(iter(rel)).record_id == "r1"
+
+    def test_wrong_arity_record_raises(self):
+        rel = Relation("left", 2, (AttributeKind.NAME, AttributeKind.NUMERIC))
+        with pytest.raises(SchemaMismatchError):
+            rel.add(Record("r1", ("a",), "e1"))
+
+    def test_kind_count_mismatch_raises(self):
+        with pytest.raises(SchemaMismatchError):
+            Relation("left", 2, (AttributeKind.NAME,))

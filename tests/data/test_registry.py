@@ -1,0 +1,72 @@
+"""Tests for the Table-1 dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import (
+    DATASET_CODES,
+    DATASETS,
+    JELLYFISH_SEEN,
+    get_spec,
+    same_domain_codes,
+)
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_eleven_datasets(self):
+        assert len(DATASET_CODES) == 11
+        assert set(DATASET_CODES) == set(DATASETS)
+
+    @pytest.mark.parametrize(
+        "code,n_attr,n_pos,n_neg",
+        [
+            ("ABT", 3, 1_028, 8_547),
+            ("WDC", 3, 2_250, 7_992),
+            ("DBAC", 4, 2_220, 10_143),
+            ("DBGO", 4, 5_347, 23_360),
+            ("FOZA", 6, 110, 836),
+            ("ZOYE", 7, 90, 354),
+            ("AMGO", 3, 1_167, 10_293),
+            ("BEER", 4, 68, 382),
+            ("ITAM", 8, 132, 407),
+            ("ROIM", 5, 190, 410),
+            ("WAAM", 5, 962, 9_280),
+        ],
+    )
+    def test_table1_statistics(self, code, n_attr, n_pos, n_neg):
+        spec = get_spec(code)
+        assert spec.n_attributes == n_attr
+        assert spec.n_positives == n_pos
+        assert spec.n_negatives == n_neg
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("NOPE")
+
+    def test_imbalance_rate(self):
+        assert get_spec("ABT").imbalance_rate == pytest.approx(8547 / 9575)
+
+    def test_kind_layout_matches_arity(self):
+        for spec in DATASETS.values():
+            assert len(spec.attribute_kinds) == spec.n_attributes
+
+    def test_jellyfish_seen_is_six(self):
+        assert len(JELLYFISH_SEEN) == 6
+        assert JELLYFISH_SEEN <= set(DATASET_CODES)
+
+
+class TestDomains:
+    def test_same_domain_pairs(self):
+        assert same_domain_codes("ABT") == ("WDC",)
+        assert same_domain_codes("DBGO") == ("DBAC",)
+        assert same_domain_codes("FOZA") == ("ZOYE",)
+
+    def test_unique_domains(self):
+        for code in ("AMGO", "BEER", "ITAM", "ROIM", "WAAM"):
+            assert same_domain_codes(code) == ()
+
+    def test_exactly_six_share_a_domain(self):
+        shared = [c for c in DATASET_CODES if same_domain_codes(c)]
+        assert len(shared) == 6

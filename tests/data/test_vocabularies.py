@@ -1,0 +1,43 @@
+"""Sanity checks on the generator word pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import vocabularies as V
+
+_POOLS = {
+    name: value
+    for name, value in vars(V).items()
+    if name.isupper() and isinstance(value, tuple)
+}
+
+
+class TestPools:
+    def test_pools_exist(self):
+        assert len(_POOLS) >= 20
+
+    @pytest.mark.parametrize("name", sorted(_POOLS))
+    def test_pool_nonempty_and_unique(self, name):
+        pool = _POOLS[name]
+        assert len(pool) >= 5, name
+        assert len(set(pool)) == len(pool), f"{name} contains duplicates"
+
+    @pytest.mark.parametrize("name", sorted(_POOLS))
+    def test_pool_entries_lowercase_strings(self, name):
+        for entry in _POOLS[name]:
+            assert isinstance(entry, str)
+            assert entry == entry.lower(), f"{name}: {entry!r} not lowercase"
+            assert entry.strip() == entry
+
+    def test_venue_long_forms_cover_all_venues(self):
+        assert set(V.VENUES) <= set(V.VENUE_LONG)
+
+    def test_domain_separation(self):
+        """Identity pools of different domains barely overlap (cross-dataset
+        disjointness depends on it)."""
+        brands = set(V.BRANDS)
+        breweries = {part for name in V.BREWERY_PARTS for part in name.split()}
+        venues = set(V.VENUES)
+        assert not brands & venues
+        assert len(brands & breweries) <= 2

@@ -1,0 +1,68 @@
+"""Tests for the bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.bootstrap import bootstrap_f1, paired_bootstrap_difference
+
+
+@pytest.fixture
+def scored_pairs(rng):
+    labels = rng.integers(0, 2, size=200)
+    good = labels.copy()
+    flip = rng.random(200) < 0.1
+    good[flip] = 1 - good[flip]
+    bad = labels.copy()
+    flip = rng.random(200) < 0.4
+    bad[flip] = 1 - bad[flip]
+    return labels, good, bad
+
+
+class TestBootstrapF1:
+    def test_interval_contains_point(self, scored_pairs):
+        labels, good, _bad = scored_pairs
+        interval = bootstrap_f1(labels, good, n_resamples=300)
+        assert interval.lower <= interval.point <= interval.upper
+
+    def test_perfect_predictions_tight_at_100(self, scored_pairs):
+        labels, _good, _bad = scored_pairs
+        interval = bootstrap_f1(labels, labels, n_resamples=200)
+        assert interval.point == 100.0
+        assert interval.lower == interval.upper == 100.0
+
+    def test_wider_interval_for_smaller_sets(self, rng):
+        labels = rng.integers(0, 2, size=400)
+        predictions = labels.copy()
+        flip = rng.random(400) < 0.2
+        predictions[flip] = 1 - predictions[flip]
+        wide = bootstrap_f1(labels[:40], predictions[:40], n_resamples=400)
+        narrow = bootstrap_f1(labels, predictions, n_resamples=400)
+        assert wide.width > narrow.width
+
+    def test_deterministic_given_seed(self, scored_pairs):
+        labels, good, _bad = scored_pairs
+        a = bootstrap_f1(labels, good, seed=5)
+        b = bootstrap_f1(labels, good, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_f1(np.array([1, 0]), np.array([1]))
+        with pytest.raises(ReproError):
+            bootstrap_f1(np.array([1, 0]), np.array([1, 0]), confidence=0.3)
+
+
+class TestPairedDifference:
+    def test_detects_clear_gap(self, scored_pairs):
+        labels, good, bad = scored_pairs
+        interval = paired_bootstrap_difference(labels, good, bad, n_resamples=400)
+        assert interval.point > 0
+        assert interval.lower > 0, "clear quality gap should exclude zero"
+
+    def test_no_difference_includes_zero(self, scored_pairs):
+        labels, good, _bad = scored_pairs
+        interval = paired_bootstrap_difference(labels, good, good, n_resamples=200)
+        assert interval.contains(0.0)

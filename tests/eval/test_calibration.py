@@ -1,0 +1,74 @@
+"""Tests for threshold calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.eval.calibration import best_f1_threshold, precision_recall_curve
+from repro.eval.metrics import f1_score
+
+
+class TestCurve:
+    def test_perfect_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        best = best_f1_threshold(labels, scores)
+        assert best.f1 == 100.0
+        assert 0.2 < best.threshold <= 0.8
+
+    def test_recall_monotone_down_the_curve(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        points = precision_recall_curve(labels, scores)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls)  # descending threshold -> recall grows
+
+    def test_last_point_full_recall(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.6, 0.3, 0.1])
+        points = precision_recall_curve(labels, scores)
+        assert points[-1].recall == 100.0
+
+    def test_duplicate_scores_collapse(self):
+        labels = np.array([1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5])
+        points = precision_recall_curve(labels, scores)
+        assert len(points) == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            precision_recall_curve(np.array([0, 0]), np.array([0.1, 0.2]))
+        with pytest.raises(ReproError):
+            precision_recall_curve(np.array([]), np.array([]))
+        with pytest.raises(ReproError):
+            precision_recall_curve(np.array([1]), np.array([0.5, 0.6]))
+
+
+class TestBestThreshold:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_best_beats_default_threshold(self, seed):
+        """The calibrated threshold never loses to the fixed 0.5 cut."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=60)
+        if labels.sum() == 0:
+            labels[0] = 1
+        scores = np.clip(labels * 0.35 + rng.random(60) * 0.6, 0, 1)
+        best = best_f1_threshold(labels, scores)
+        default_f1 = f1_score(labels, (scores > 0.5).astype(int))
+        assert best.f1 >= default_f1 - 1e-9
+
+    def test_on_matcher_scores(self, abt_dataset):
+        from repro.data import get_spec
+        from repro.matchers import ZeroERMatcher
+
+        matcher = ZeroERMatcher(get_spec("ABT").attribute_kinds)
+        scores = matcher.match_scores(list(abt_dataset.pairs))
+        best = best_f1_threshold(abt_dataset.labels(), scores)
+        assert 0.0 <= best.threshold <= 1.0
+        assert best.f1 > 0.0

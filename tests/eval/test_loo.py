@@ -1,0 +1,95 @@
+"""Tests for the leave-one-dataset-out runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import StudyConfig
+from repro.errors import ReproError
+from repro.eval.loo import LeaveOneOutRunner
+from repro.matchers import Matcher, StringSimMatcher
+
+
+class _SpyMatcher(Matcher):
+    """Records what it is fitted on; predicts all zeros."""
+
+    name = "spy"
+    display_name = "Spy"
+    requires_fit = True
+
+    def __init__(self):
+        super().__init__()
+        self.fitted_on: list[str] = []
+
+    def _fit(self, transfer, config, seed):
+        self.fitted_on = [ds.name for ds in transfer]
+
+    def _predict(self, pairs, serialization_seed):
+        return np.zeros(len(pairs), dtype=np.int64)
+
+
+@pytest.fixture
+def runner(small_datasets, tiny_config):
+    return LeaveOneOutRunner(small_datasets, tiny_config, codes=("ABT", "DBAC", "BEER"))
+
+
+class TestProtocol:
+    def test_target_excluded_from_transfer(self, runner):
+        spy = _SpyMatcher()
+        runner.run_target(lambda code: spy, "DBAC")
+        assert "DBAC" not in spy.fitted_on
+        assert set(spy.fitted_on) == {"ABT", "BEER"}
+
+    def test_test_set_identical_across_matchers(self, runner):
+        a = runner.test_set("ABT")
+        b = runner.test_set("ABT")
+        assert [p.pair_id for p in a] == [p.pair_id for p in b]
+
+    def test_test_cap_applied(self, small_datasets, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, test_cap=10, test_fraction=1.0)
+        runner = LeaveOneOutRunner(small_datasets, config)
+        assert len(runner.test_set("ABT")) <= 10
+
+    def test_one_score_per_seed(self, runner, tiny_config):
+        result = runner.run_target(lambda code: StringSimMatcher(), "ABT")
+        assert len(result.scores) == len(tiny_config.seeds)
+        assert [s.seed for s in result.scores] == list(tiny_config.seeds)
+
+    def test_full_run_covers_all_targets(self, runner):
+        result = runner.run(lambda code: StringSimMatcher(), "StringSim")
+        assert set(result.per_dataset) == {"ABT", "DBAC", "BEER"}
+
+    def test_seen_datasets_marked(self, runner):
+        result = runner.run(
+            lambda code: StringSimMatcher(), "X", seen_datasets=frozenset({"DBAC"})
+        )
+        assert result.per_dataset["DBAC"].seen_in_training
+        assert not result.per_dataset["ABT"].seen_in_training
+
+    def test_mean_and_std(self, runner):
+        result = runner.run_target(lambda code: StringSimMatcher(), "ABT")
+        values = [s.f1 for s in result.scores]
+        assert result.mean_f1 == pytest.approx(np.mean(values))
+        assert result.std_f1 == pytest.approx(np.std(values, ddof=1))
+
+    def test_single_seed_std_zero(self, small_datasets, tiny_config):
+        config = tiny_config.with_seeds((0,))
+        runner = LeaveOneOutRunner(small_datasets, config)
+        result = runner.run_target(lambda code: StringSimMatcher(), "ABT")
+        assert result.std_f1 == 0.0
+
+    def test_missing_dataset_raises(self, small_datasets, tiny_config):
+        with pytest.raises(ReproError):
+            LeaveOneOutRunner(small_datasets, tiny_config, codes=("ABT", "WDC"))
+
+    def test_empty_datasets_raise(self, tiny_config):
+        with pytest.raises(ReproError):
+            LeaveOneOutRunner({}, tiny_config)
+
+    def test_study_result_macro_mean(self, runner):
+        result = runner.run(lambda code: StringSimMatcher(), "StringSim")
+        expected = np.mean([r.mean_f1 for r in result.per_dataset.values()])
+        assert result.mean_f1 == pytest.approx(expected)

@@ -1,0 +1,74 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.eval.metrics import confusion, f1_score, macro_mean, precision_recall_f1
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        preds = np.array([1, 0, 0, 1, 1])
+        counts = confusion(labels, preds)
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (2, 1, 1, 1)
+        assert counts.n == 5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            confusion(np.array([1, 0]), np.array([1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            confusion(np.array([]), np.array([]))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ReproError):
+            confusion(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestF1:
+    def test_perfect(self):
+        labels = np.array([1, 0, 1])
+        assert f1_score(labels, labels) == 100.0
+
+    def test_all_wrong(self):
+        assert f1_score(np.array([1, 0]), np.array([0, 1])) == 0.0
+
+    def test_known_value(self):
+        labels = np.array([1, 1, 1, 0, 0, 0, 0])
+        preds = np.array([1, 1, 0, 1, 0, 0, 0])
+        precision, recall, f1 = precision_recall_f1(labels, preds)
+        assert precision == pytest.approx(100 * 2 / 3)
+        assert recall == pytest.approx(100 * 2 / 3)
+        assert f1 == pytest.approx(100 * 2 / 3)
+
+    def test_all_negative_prediction_zero_f1(self):
+        labels = np.array([1, 1, 0, 0])
+        assert f1_score(labels, np.zeros(4, dtype=int)) == 0.0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=60)
+    )
+    @settings(max_examples=50)
+    def test_f1_bounded_and_harmonic(self, rows):
+        labels = np.array([r[0] for r in rows])
+        preds = np.array([r[1] for r in rows])
+        precision, recall, f1 = precision_recall_f1(labels, preds)
+        assert 0.0 <= f1 <= 100.0
+        assert f1 <= max(precision, recall) + 1e-9
+        assert f1 >= min(precision, recall) - 1e-9 or f1 == 0.0
+
+
+class TestMacroMean:
+    def test_equal_weighting(self):
+        assert macro_mean({"A": 80.0, "B": 20.0}) == 50.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            macro_mean({})

@@ -1,0 +1,42 @@
+"""Tests for study-result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.loo import SeedScore, StudyResult, TargetResult
+from repro.eval.persistence import load_results, results_from_dict, save_results
+
+
+def _results() -> list[StudyResult]:
+    result = StudyResult(matcher_name="Ditto", params_millions=110)
+    for code, seen in (("ABT", False), ("DBAC", True)):
+        target = TargetResult(dataset=code, seen_in_training=seen)
+        target.scores = [SeedScore(0, 70.0, 68.0, 72.0), SeedScore(1, 71.0, 69.0, 73.0)]
+        result.per_dataset[code] = target
+    return [result]
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        original = _results()
+        path = tmp_path / "nested" / "results.json"
+        save_results(original, path)
+        loaded = load_results(path)
+        assert loaded[0].matcher_name == "Ditto"
+        assert loaded[0].per_dataset["DBAC"].seen_in_training
+        assert loaded[0].per_dataset["ABT"].scores[1].f1 == 71.0
+        assert loaded[0].mean_f1 == pytest.approx(original[0].mean_f1)
+
+    def test_rendering_survives_roundtrip(self, tmp_path):
+        from repro.eval.reporting import format_table3
+
+        path = tmp_path / "r.json"
+        save_results(_results(), path)
+        text = format_table3(load_results(path), codes=("ABT", "DBAC"))
+        assert "Ditto" in text and "(" in text  # bracketed seen cell
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ReproError):
+            results_from_dict({"format_version": 99, "results": []})

@@ -1,0 +1,60 @@
+"""Tests for the table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.loo import SeedScore, StudyResult, TargetResult
+from repro.eval.reporting import format_cell, format_rows, format_table3
+
+
+def _result(name: str, seen: bool = False) -> StudyResult:
+    result = StudyResult(matcher_name=name, params_millions=110)
+    for code, f1 in (("ABT", 70.0), ("DBAC", 90.0)):
+        target = TargetResult(dataset=code, seen_in_training=seen and code == "DBAC")
+        target.scores = [SeedScore(0, f1, f1, f1), SeedScore(1, f1 + 2, f1, f1)]
+        result.per_dataset[code] = target
+    return result
+
+
+class TestFormatCell:
+    def test_plain(self):
+        assert format_cell(79.25, 2.8) == "79.2±2.8"
+
+    def test_bracketed(self):
+        assert format_cell(97.7, 0.6, bracketed=True) == "(97.7±0.6)"
+
+
+class TestFormatTable3:
+    def test_contains_all_rows_and_means(self):
+        text = format_table3([_result("Ditto"), _result("Unicorn")], codes=("ABT", "DBAC"))
+        assert "Ditto" in text and "Unicorn" in text
+        assert "71.0" in text  # per-dataset mean of 70 and 72
+        assert "Mean" in text
+
+    def test_bracketed_seen_cells(self):
+        text = format_table3([_result("Jellyfish", seen=True)], codes=("ABT", "DBAC"))
+        assert "(91.0±1.4)" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            format_table3([])
+
+
+class TestFormatRows:
+    def test_alignment_and_content(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_rows(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("a")
+        assert "222" in text
+
+    def test_missing_column_blank(self):
+        text = format_rows([{"a": 1}], ["a", "b"])
+        assert text
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            format_rows([], ["a"])

@@ -1,0 +1,140 @@
+"""Integration tests: the full pipeline wired end to end.
+
+Everything here runs at smoke scale — the goal is exercising real
+cross-module paths (generator -> blocker -> matcher -> metrics -> study
+driver), not benchmark-quality numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DemonstrationStrategy,
+    LeaveOneOutRunner,
+    MatchGPTMatcher,
+    Record,
+    RecordPair,
+    SimulatedLLM,
+    StringSimMatcher,
+    StudyConfig,
+    SurrogateScale,
+    TokenBlocker,
+    UsageMeter,
+    build_all_datasets,
+    f1_score,
+    get_llm_profile,
+)
+from repro.matchers import DittoMatcher
+
+
+@pytest.fixture(scope="module")
+def world_and_datasets():
+    return build_all_datasets(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return StudyConfig(
+        name="integration", seeds=(0, 1), test_fraction=0.5,
+        train_pair_budget=150, epochs=2, dataset_scale=0.05,
+        surrogate=SurrogateScale(d_model=16, n_layers=1, n_heads=2, d_ff=32,
+                                 max_len=32, vocab_size=1024),
+    )
+
+
+class TestBlockThenMatch:
+    def test_pipeline_on_benchmark_records(self, world_and_datasets):
+        datasets, world = world_and_datasets
+        dataset = datasets["DBAC"]
+        left = [p.left for p in dataset.pairs][:80]
+        right = [p.right for p in dataset.pairs][:80]
+        blocked = TokenBlocker(min_shared=2).block(left, right)
+        assert blocked.candidates
+
+        candidates = [
+            RecordPair(f"c{i}", a, b, label=int(a.entity_id == b.entity_id))
+            for i, (a, b) in enumerate(blocked.candidates)
+        ]
+        client = SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0)
+        matcher = MatchGPTMatcher(client)
+        matcher._fitted = True  # no demonstrations -> no transfer needed
+        predictions = matcher.predict(candidates, serialization_seed=0)
+        labels = np.array([p.label for p in candidates])
+        assert f1_score(labels, predictions) > 60.0
+
+
+class TestLeaveOneOutWithLLM:
+    def test_budgeted_llm_study(self, world_and_datasets, config):
+        """A leave-one-out run over a metered simulated GPT-4."""
+        datasets, world = world_and_datasets
+        meter = UsageMeter(price_per_1k_tokens=0.015)
+        runner = LeaveOneOutRunner(datasets, config, codes=("ABT", "DBAC", "BEER"))
+
+        def factory(code: str):
+            client = SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0)
+            return MatchGPTMatcher(client, meter=meter)
+
+        result = runner.run(factory, "MatchGPT[GPT-4]", params_millions=1_760_000)
+        assert result.mean_f1 > 60.0
+        assert meter.n_requests > 0
+        assert meter.dollars_spent > 0.0
+
+    def test_demonstrations_change_prompts_and_costs(self, world_and_datasets, config):
+        datasets, world = world_and_datasets
+        runner = LeaveOneOutRunner(datasets, config, codes=("ABT", "DBAC", "BEER"))
+        tokens = {}
+        for strategy in (DemonstrationStrategy.NONE, DemonstrationStrategy.RANDOM):
+            meter = UsageMeter()
+
+            def factory(code: str, strategy=strategy, meter=meter):
+                client = SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0)
+                return MatchGPTMatcher(client, demo_strategy=strategy, meter=meter)
+
+            runner.run_target(factory, "ABT")
+            tokens[strategy.value] = meter.prompt_tokens
+        assert tokens["random-selected"] > 2 * tokens["none"]
+
+
+class TestTrainedMatcherLoo:
+    def test_ditto_full_cycle(self, world_and_datasets, config):
+        datasets, _world = world_and_datasets
+        runner = LeaveOneOutRunner(datasets, config, codes=("ABT", "DBAC", "BEER"))
+        result = runner.run_target(lambda code: DittoMatcher(), "DBAC")
+        assert len(result.scores) == 2
+        assert 0.0 <= result.mean_f1 <= 100.0
+
+    def test_baseline_comparison_shape(self, world_and_datasets, config):
+        """StringSim stays below the simulated GPT-4 on every target."""
+        datasets, world = world_and_datasets
+        runner = LeaveOneOutRunner(datasets, config, codes=("ABT", "DBAC", "BEER"))
+        string_sim = runner.run(lambda code: StringSimMatcher(), "StringSim")
+
+        def gpt4_factory(code: str):
+            return MatchGPTMatcher(SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0))
+
+        gpt4 = runner.run(gpt4_factory, "MatchGPT[GPT-4]")
+        assert gpt4.mean_f1 > string_sim.mean_f1
+
+
+class TestCrossDatasetRestrictions:
+    def test_serialization_never_leaks_column_names(self, world_and_datasets):
+        """Restriction 2: serialised records carry values only."""
+        from repro.data.serialize import serialize_pair
+
+        datasets, _world = world_and_datasets
+        for dataset in datasets.values():
+            text = serialize_pair(dataset.pairs[0], seed=0)
+            for banned in ("title", "price:", "name:", "author:", "column"):
+                assert banned not in text.lower().replace("val ", "")
+                break  # spot-check one banned marker per dataset
+
+    def test_record_entity_ids_not_in_serialization(self, world_and_datasets):
+        from repro.data.serialize import serialize_pair
+
+        datasets, _world = world_and_datasets
+        pair = datasets["ABT"].pairs[0]
+        text = serialize_pair(pair)
+        assert pair.left.entity_id not in text
+        assert pair.right.entity_id not in text

@@ -1,0 +1,130 @@
+"""Failure-injection tests: the pipeline fails loudly, not silently."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import StudyConfig
+from repro.data import build_dataset
+from repro.data.record import Record
+from repro.data.pairs import RecordPair
+from repro.errors import MatcherError, PromptError, ReproError
+from repro.llm import EchoClient, LLMClient, LLMRequest, LLMResponse
+from repro.matchers import MatchGPTMatcher, StringSimMatcher
+
+
+class _GarbageClient(EchoClient):
+    """An LLM that answers with unparseable chatter."""
+
+    def __init__(self):
+        super().__init__(fixed_answer="as an entity model I cannot decide")
+
+
+class _FlakyClient(LLMClient):
+    """Fails every second request (simulating API errors)."""
+
+    model_name = "flaky"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        self.calls += 1
+        if self.calls % 2 == 0:
+            raise ConnectionError("simulated API outage")
+        return LLMResponse("No", self.model_name, 10, 1)
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    dataset, _world = build_dataset("BEER", scale=0.1, seed=7)
+    return list(dataset.pairs[:6])
+
+
+@pytest.fixture(scope="module")
+def config():
+    return StudyConfig(name="fail", seeds=(0,), dataset_scale=0.05)
+
+
+class TestLLMFailures:
+    def test_unparseable_answers_raise_prompt_error(self, pairs, config):
+        matcher = MatchGPTMatcher(_GarbageClient()).fit([], config)
+        with pytest.raises(PromptError):
+            matcher.predict(pairs)
+
+    def test_api_errors_propagate(self, pairs, config):
+        matcher = MatchGPTMatcher(_FlakyClient()).fit([], config)
+        with pytest.raises(ConnectionError):
+            matcher.predict(pairs)
+
+    def test_failures_are_repro_errors_where_promised(self, pairs, config):
+        """Library-deliberate failures stay inside the ReproError hierarchy."""
+        matcher = MatchGPTMatcher(_GarbageClient()).fit([], config)
+        with pytest.raises(ReproError):
+            matcher.predict(pairs)
+
+
+class TestMalformedData:
+    def test_mixed_arity_batch_rejected_by_zeroer(self, pairs):
+        from repro.data import get_spec
+        from repro.matchers import ZeroERMatcher
+
+        bad = RecordPair(
+            "bad",
+            Record("x", ("only one",), "e-x"),
+            Record("y", ("also one",), "e-y"),
+            label=0,
+        )
+        matcher = ZeroERMatcher(get_spec("BEER").attribute_kinds)
+        with pytest.raises(MatcherError):
+            matcher.predict(pairs + [bad])
+
+    def test_stringsim_tolerates_empty_values(self):
+        pair = RecordPair(
+            "p", Record("a", ("", ""), "e1"), Record("b", ("", ""), "e2"), label=0
+        )
+        predictions = StringSimMatcher().predict([pair])
+        assert predictions.shape == (1,)
+
+    def test_unicode_values_survive_the_pipeline(self):
+        pair = RecordPair(
+            "p",
+            Record("a", ("café München — ★", "99€"), "e1"),
+            Record("b", ("cafe munchen", "99"), "e1"),
+            label=1,
+        )
+        StringSimMatcher().predict([pair])
+        from repro.data.serialize import fingerprint_serialized, serialize_record
+
+        assert fingerprint_serialized(serialize_record(pair.left))
+
+
+class TestNumericalEdges:
+    def test_gmm_on_near_constant_scores(self):
+        from repro.matchers.gmm import TwoComponentGMM
+
+        X = np.full((30, 4), 0.5) + np.random.default_rng(0).normal(0, 1e-9, (30, 4))
+        init = np.full(30, 0.5)
+        init[:3] = 0.9
+        gmm = TwoComponentGMM().fit(X, init)
+        assert np.isfinite(gmm.match_posterior(X)).all()
+
+    def test_training_with_extreme_learning_rate_stays_finite(self, config):
+        """Gradient clipping keeps even absurd LRs from producing NaNs."""
+        from repro.models import EncoderClassifier, train_classifier
+        from repro.models.training import EncodedPairs
+        from dataclasses import replace
+
+        rng = np.random.default_rng(0)
+        model = EncoderClassifier(64, 16, 1, 2, 32, 8, rng)
+        data = EncodedPairs(
+            ids=rng.integers(0, 64, size=(16, 8)),
+            pad_mask=np.zeros((16, 8), dtype=bool),
+            labels=rng.integers(0, 2, size=16).astype(np.int64),
+        )
+        hot = replace(config, learning_rate=5.0, epochs=2)
+        losses = train_classifier(model, data, hot, rng)
+        assert all(np.isfinite(losses))
+        for p in model.parameters():
+            assert np.isfinite(p.data).all()

@@ -1,0 +1,71 @@
+"""Tests for the batch-API-shaped submission wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LLMError, PromptError
+from repro.llm.batching import BatchJob
+from repro.llm.client import EchoClient, LLMClient, LLMRequest, LLMResponse, UsageMeter
+
+
+class _PickyClient(LLMClient):
+    """Rejects prompts containing 'bad'."""
+
+    model_name = "picky"
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        if "bad" in request.prompt:
+            raise PromptError("refused")
+        return LLMResponse("Yes", self.model_name, 5, 1)
+
+
+class TestBatchJob:
+    def test_submit_process_collect(self):
+        job = BatchJob(EchoClient("No"))
+        job.submit_many(["p1", "p2", "p3"])
+        job.process()
+        assert job.texts() == ["No", "No", "No"]
+        assert job.n_failed == 0
+
+    def test_per_request_failures_captured(self):
+        job = BatchJob(_PickyClient())
+        job.submit_many(["good one", "a bad one", "another good"])
+        job.process()
+        assert job.n_failed == 1
+        assert job.texts() == ["Yes", None, "Yes"]
+        failed = next(r for r in job.results if not r.succeeded)
+        assert "refused" in failed.error
+
+    def test_meter_accounts_only_successes(self):
+        meter = UsageMeter(price_per_1k_tokens=1.0)
+        job = BatchJob(_PickyClient(), meter=meter)
+        job.submit_many(["good", "bad"])
+        job.process()
+        assert meter.n_requests == 1
+        assert meter.prompt_tokens == 5
+
+    def test_report_format(self):
+        job = BatchJob(EchoClient("No"))
+        job.submit("hello world")
+        job.process()
+        report = job.report()
+        assert "1/1 ok" in report
+        assert "$" in report
+
+    def test_lifecycle_enforced(self):
+        job = BatchJob(EchoClient("No"))
+        with pytest.raises(LLMError):
+            job.process()  # empty
+        job.submit("x")
+        job.process()
+        with pytest.raises(LLMError):
+            job.process()  # twice
+        with pytest.raises(LLMError):
+            job.submit("y")  # after processing
+
+    def test_results_before_process_raise(self):
+        job = BatchJob(EchoClient("No"))
+        job.submit("x")
+        with pytest.raises(LLMError):
+            _ = job.results

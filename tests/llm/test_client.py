@@ -1,0 +1,71 @@
+"""Tests for the LLM client abstraction and usage metering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, LLMError
+from repro.llm.client import EchoClient, LLMRequest, LLMResponse, MeteredClient, UsageMeter
+
+
+class TestLLMRequest:
+    def test_empty_prompt_raises(self):
+        with pytest.raises(LLMError):
+            LLMRequest(prompt="")
+
+    def test_bad_max_tokens_raises(self):
+        with pytest.raises(LLMError):
+            LLMRequest(prompt="x", max_tokens=0)
+
+
+class TestEchoClient:
+    def test_fixed_answer(self):
+        client = EchoClient("Yes")
+        response = client.complete(LLMRequest(prompt="anything"))
+        assert response.text == "Yes"
+        assert response.prompt_tokens > 0
+
+    def test_total_tokens(self):
+        response = LLMResponse("No", "echo", prompt_tokens=10, completion_tokens=1)
+        assert response.total_tokens == 11
+
+
+class TestUsageMeter:
+    def test_accumulates(self):
+        meter = UsageMeter(price_per_1k_tokens=0.01)
+        meter.record(LLMResponse("No", "m", 500, 1))
+        meter.record(LLMResponse("No", "m", 500, 1))
+        assert meter.n_requests == 2
+        assert meter.prompt_tokens == 1000
+        assert meter.dollars_spent == pytest.approx(0.01)
+
+    def test_output_tokens_not_priced(self):
+        """Section 2.3: only input cost counts for sequence classification."""
+        meter = UsageMeter(price_per_1k_tokens=1.0)
+        meter.record(LLMResponse("No", "m", 0, 1_000_000))
+        assert meter.dollars_spent == 0.0
+
+    def test_token_budget_enforced(self):
+        meter = UsageMeter(token_budget=100)
+        with pytest.raises(BudgetExceededError):
+            meter.record(LLMResponse("No", "m", 200, 1))
+
+    def test_dollar_budget_enforced(self):
+        meter = UsageMeter(price_per_1k_tokens=1.0, dollar_budget=0.5)
+        meter.record(LLMResponse("No", "m", 400, 1))
+        with pytest.raises(BudgetExceededError):
+            meter.record(LLMResponse("No", "m", 400, 1))
+
+    def test_negative_price_raises(self):
+        with pytest.raises(LLMError):
+            UsageMeter(price_per_1k_tokens=-1.0)
+
+
+class TestMeteredClient:
+    def test_records_every_call(self):
+        meter = UsageMeter()
+        client = MeteredClient(EchoClient("Yes"), meter)
+        client.complete(LLMRequest(prompt="one two three"))
+        client.complete(LLMRequest(prompt="four"))
+        assert meter.n_requests == 2
+        assert meter.prompt_tokens == 4

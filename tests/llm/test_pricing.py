@@ -1,0 +1,34 @@
+"""Tests for the published price sheets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.llm.pricing import OPENAI_BATCH_PRICES, TOGETHER_AI_PRICES, api_price_per_1k
+
+
+class TestPricing:
+    def test_paper_quoted_openai_prices(self):
+        assert OPENAI_BATCH_PRICES["gpt-4"].dollars_per_1k_input_tokens == 0.015
+        assert OPENAI_BATCH_PRICES["gpt-3.5-turbo"].dollars_per_1k_input_tokens == 0.00075
+        assert OPENAI_BATCH_PRICES["gpt-4o-mini"].dollars_per_1k_input_tokens == 0.000075
+
+    def test_together_prices_for_open_models(self):
+        assert TOGETHER_AI_PRICES["solar"].dollars_per_1k_input_tokens == 0.0009
+        assert TOGETHER_AI_PRICES["beluga2"].dollars_per_1k_input_tokens == 0.0009
+
+    def test_lookup_order(self):
+        assert api_price_per_1k("gpt-4").provider == "OpenAI Batch API"
+        assert api_price_per_1k("solar").provider == "Hosting on Together.ai"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(CostModelError):
+            api_price_per_1k("unknown-model")
+
+    def test_gpt4_is_200x_gpt4o_mini(self):
+        ratio = (
+            OPENAI_BATCH_PRICES["gpt-4"].dollars_per_1k_input_tokens
+            / OPENAI_BATCH_PRICES["gpt-4o-mini"].dollars_per_1k_input_tokens
+        )
+        assert ratio == pytest.approx(200.0)

@@ -1,0 +1,56 @@
+"""Tests for the LLM behaviour profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm.profiles import LLM_PROFILES, get_profile
+from repro.llm.prompts import DemonstrationStrategy
+from repro.study.paper_targets import TABLE3_F1, TABLE4_F1
+
+
+class TestProfiles:
+    def test_seven_profiles(self):
+        assert len(LLM_PROFILES) == 7
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("gpt-5")
+
+    def test_targets_match_table3(self):
+        profile = get_profile("gpt-4")
+        for code, value in TABLE3_F1["MatchGPT[GPT-4]"].items():
+            assert profile.target_f1(code, DemonstrationStrategy.NONE) == value
+
+    def test_demo_strategies_match_table4(self):
+        profile = get_profile("gpt-3.5-turbo")
+        hand = TABLE4_F1[("gpt-3.5-turbo", "hand-picked")]
+        for code, value in hand.items():
+            assert profile.target_f1(code, DemonstrationStrategy.HAND_PICKED) == value
+
+    def test_open_models_fall_back_to_none(self):
+        profile = get_profile("mixtral-8x7b")
+        none = profile.target_f1("ABT", DemonstrationStrategy.NONE)
+        assert profile.target_f1("ABT", DemonstrationStrategy.RANDOM) == none
+
+    def test_unknown_dataset_falls_back_to_mean(self):
+        profile = get_profile("gpt-4")
+        fallback = profile.target_f1("CUSTOM", DemonstrationStrategy.NONE)
+        values = list(TABLE3_F1["MatchGPT[GPT-4]"].values())
+        assert fallback == pytest.approx(sum(values) / len(values))
+
+    def test_demonstrations_hurt_weak_models_on_average(self):
+        """The Table-4 envelope: hand-picked demos hurt GPT-3.5."""
+        profile = get_profile("gpt-3.5-turbo")
+        codes = TABLE3_F1["MatchGPT[GPT-3.5-Turbo]"].keys()
+        none_mean = sum(profile.target_f1(c, DemonstrationStrategy.NONE) for c in codes)
+        hand_mean = sum(profile.target_f1(c, DemonstrationStrategy.HAND_PICKED) for c in codes)
+        assert hand_mean < none_mean
+
+    def test_demonstrations_help_gpt4_on_average(self):
+        profile = get_profile("gpt-4")
+        codes = TABLE3_F1["MatchGPT[GPT-4]"].keys()
+        none_mean = sum(profile.target_f1(c, DemonstrationStrategy.NONE) for c in codes)
+        random_mean = sum(profile.target_f1(c, DemonstrationStrategy.RANDOM) for c in codes)
+        assert random_mean > none_mean

@@ -1,0 +1,78 @@
+"""Tests for the RAG demonstration retriever (the Section-5.1 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_dataset, serialize_record
+from repro.errors import PromptError
+from repro.llm import DemonstrationRetriever
+
+
+@pytest.fixture(scope="module")
+def transfer():
+    return [build_dataset(c, scale=0.05, seed=7)[0] for c in ("WDC", "DBAC")]
+
+
+@pytest.fixture(scope="module")
+def retriever(transfer):
+    return DemonstrationRetriever(transfer)
+
+
+class TestRetriever:
+    def test_returns_requested_count(self, retriever):
+        demos = retriever.retrieve("val sony camera", "val sony camera kit")
+        assert len(demos) == 3
+
+    def test_label_diversity_forced(self, retriever):
+        demos = retriever.retrieve("val sony camera", "val canon camera")
+        assert {d.label for d in demos} == {0, 1}
+
+    def test_retrieves_relevant_domain(self, retriever, transfer):
+        """A citation-like query retrieves citation demos, not products."""
+        citation = transfer[1].pairs[0]
+        demos = retriever.retrieve(
+            serialize_record(citation.left), serialize_record(citation.right)
+        )
+        from repro.data.generators.vocabularies import VENUES
+
+        text = " ".join(f"{d.left_text} {d.right_text}" for d in demos)
+        # Citation records carry venue names; product records do not.
+        assert any(venue in text for venue in VENUES)
+
+    def test_deterministic(self, retriever):
+        a = retriever.retrieve("val alpha", "val beta")
+        b = retriever.retrieve("val alpha", "val beta")
+        assert a == b
+
+    def test_empty_transfer_raises(self):
+        with pytest.raises(PromptError):
+            DemonstrationRetriever([])
+
+
+class TestRetrievedStrategyEndToEnd:
+    def test_matchgpt_uses_retrieved_demos(self, transfer):
+        from repro.config import get_profile as cfg
+        from repro.llm import DemonstrationStrategy, SimulatedLLM
+        from repro.llm import get_profile as llm_profile
+        from repro.matchers import MatchGPTMatcher
+
+        dataset, world = build_dataset("ABT", scale=0.05, seed=7)
+        client = SimulatedLLM(llm_profile("gpt-4"), world, seed=0)
+        matcher = MatchGPTMatcher(
+            client, demo_strategy=DemonstrationStrategy.RETRIEVED
+        ).fit(transfer, cfg("smoke"))
+        prompt = matcher.prompt_for(dataset.pairs[0])
+        assert prompt.count("Answer:") == 4  # three demos + query
+
+    def test_retrieved_without_transfer_raises(self):
+        from repro.config import get_profile as cfg
+        from repro.errors import MatcherError
+        from repro.llm import DemonstrationStrategy, EchoClient
+        from repro.matchers import MatchGPTMatcher
+
+        matcher = MatchGPTMatcher(
+            EchoClient("No"), demo_strategy=DemonstrationStrategy.RETRIEVED
+        )
+        with pytest.raises(MatcherError):
+            matcher.fit([], cfg("smoke"))

@@ -1,0 +1,133 @@
+"""Tests for the simulated LLM service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset, serialize_record
+from repro.errors import LLMError
+from repro.eval.metrics import f1_score
+from repro.llm import (
+    LLMRequest,
+    SimulatedLLM,
+    build_match_prompt,
+    get_profile,
+    parse_answer,
+)
+from repro.study.paper_targets import TABLE3_F1
+
+
+@pytest.fixture(scope="module")
+def abt():
+    return build_dataset("ABT", scale=0.15, seed=7)
+
+
+def _predict_all(client, dataset, seed=None):
+    predictions = []
+    for pair in dataset.pairs:
+        prompt = build_match_prompt(
+            serialize_record(pair.left), serialize_record(pair.right)
+        )
+        predictions.append(parse_answer(client.complete(LLMRequest(prompt)).text))
+    return np.array(predictions)
+
+
+class TestCalibration:
+    def test_gpt4_near_paper_envelope(self, abt):
+        dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-4"), world, seed=0)
+        predictions = _predict_all(client, dataset)
+        f1 = f1_score(dataset.labels(), predictions)
+        target = TABLE3_F1["MatchGPT[GPT-4]"]["ABT"]
+        assert abs(f1 - target) < 8.0
+
+    def test_gpt4_beats_gpt35(self, abt):
+        dataset, world = abt
+        strong = _predict_all(SimulatedLLM(get_profile("gpt-4"), world, 0), dataset)
+        weak = _predict_all(SimulatedLLM(get_profile("gpt-3.5-turbo"), world, 0), dataset)
+        labels = dataset.labels()
+        assert f1_score(labels, strong) > f1_score(labels, weak)
+
+    def test_errors_concentrate_on_hard_pairs(self, abt):
+        """Within each label class, misclassified pairs are harder.
+
+        (The comparison is per class: matches and non-matches have
+        different base hardness distributions by construction.)
+        """
+        dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-3.5-turbo"), world, seed=0)
+        predictions = _predict_all(client, dataset)
+        labels = dataset.labels()
+        hardness = np.array([p.hardness for p in dataset.pairs])
+        wrong = predictions != labels
+        negatives = labels == 0
+        assert wrong[negatives].sum() >= 5, "need errors to compare"
+        assert (
+            hardness[negatives & wrong].mean() > hardness[negatives & ~wrong].mean()
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_answers(self, abt):
+        dataset, world = abt
+        a = _predict_all(SimulatedLLM(get_profile("gpt-4"), world, 3), dataset)
+        b = _predict_all(SimulatedLLM(get_profile("gpt-4"), world, 3), dataset)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_answers(self, abt):
+        dataset, world = abt
+        a = _predict_all(SimulatedLLM(get_profile("gpt-3.5-turbo"), world, 0), dataset)
+        b = _predict_all(SimulatedLLM(get_profile("gpt-3.5-turbo"), world, 99), dataset)
+        assert (a != b).any()
+
+    def test_prompt_sensitivity(self, abt):
+        """Different serialised column orders can flip borderline answers."""
+        dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-3.5-turbo"), world, seed=0)
+        flips = 0
+        from repro.data.serialize import column_order
+
+        for pair in dataset.pairs[:300]:
+            answers = set()
+            for seed in (0, 1, 2):
+                order = column_order(pair.n_attributes, seed)
+                prompt = build_match_prompt(
+                    serialize_record(pair.left, order), serialize_record(pair.right, order)
+                )
+                answers.add(client.complete(LLMRequest(prompt)).text)
+            flips += len(answers) > 1
+        assert flips > 0
+
+
+class TestFallback:
+    def test_out_of_world_uses_similarity(self, abt):
+        _dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-4"), world, seed=0)
+        prompt = build_match_prompt("val unknown thing alpha", "val unknown thing alpha")
+        response = client.complete(LLMRequest(prompt))
+        assert response.text == "Yes"
+        assert client.n_fallback_decisions == 1
+
+    def test_out_of_world_dissimilar_is_no(self, abt):
+        _dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-4"), world, seed=0)
+        prompt = build_match_prompt("val aaa bbb", "val zzz qqq ")
+        assert client.complete(LLMRequest(prompt)).text == "No"
+
+
+class TestMetadata:
+    def test_bad_strategy_tag_raises(self, abt):
+        _dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-4"), world, seed=0)
+        prompt = build_match_prompt("val a", "val b")
+        with pytest.raises(LLMError):
+            client.complete(LLMRequest(prompt, metadata={"demo_strategy": "bogus"}))
+
+    def test_usage_reported(self, abt):
+        _dataset, world = abt
+        client = SimulatedLLM(get_profile("gpt-4"), world, seed=0)
+        prompt = build_match_prompt("val a", "val b")
+        response = client.complete(LLMRequest(prompt))
+        assert response.prompt_tokens > 10
+        assert response.completion_tokens >= 1

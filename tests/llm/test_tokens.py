@@ -1,0 +1,33 @@
+"""Tests for the deterministic token counter."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokens import count_tokens
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_words_and_punct(self):
+        assert count_tokens("Yes.") == 2
+
+    def test_long_words_split(self):
+        assert count_tokens("internationalisation") > 1
+
+    def test_monotone_under_concatenation(self):
+        a, b = "entity one", "entity two"
+        assert count_tokens(a + " " + b) == count_tokens(a) + count_tokens(b)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50)
+    def test_non_negative_and_bounded(self, text):
+        n = count_tokens(text)
+        assert 0 <= n <= max(1, len(text))
+
+    def test_deterministic(self):
+        prompt = "Do the two entities match? Entity 1: 'sony mdr'"
+        assert count_tokens(prompt) == count_tokens(prompt)

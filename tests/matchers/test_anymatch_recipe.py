@@ -1,0 +1,39 @@
+"""Tests for the AnyMatch fine-tuning recipe helpers."""
+
+from __future__ import annotations
+
+from repro.config import StudyConfig
+from repro.matchers.anymatch import ANYMATCH_BASES, replace_config_epochs
+
+
+class TestEpochRecipe:
+    def test_identity_factor_returns_same_config(self):
+        config = StudyConfig(name="t", seeds=(0,), epochs=4)
+        assert replace_config_epochs(config, 1.0) is config
+
+    def test_scaling(self):
+        config = StudyConfig(name="t", seeds=(0,), epochs=4)
+        assert replace_config_epochs(config, 1.5).epochs == 6
+
+    def test_never_below_one(self):
+        config = StudyConfig(name="t", seeds=(0,), epochs=1)
+        assert replace_config_epochs(config, 0.1).epochs == 1
+
+    def test_decoder_variants_train_longer(self):
+        for spec in ANYMATCH_BASES.values():
+            assert spec.epoch_factor >= 1.0
+
+
+class TestBaseSpecInvariants:
+    def test_llama_recipe_matches_paper(self):
+        """Paper Sec 4.1: LLaMA3.2 variant drops boosting and attribute
+        augmentation, keeps balancing, lowers the learning rate."""
+        llama = ANYMATCH_BASES["llama3.2"]
+        assert not llama.boosting
+        assert not llama.attribute_augmentation
+        assert llama.lr_factor < 1.0
+
+    def test_small_variants_use_full_pipeline(self):
+        for base in ("gpt2", "t5"):
+            spec = ANYMATCH_BASES[base]
+            assert spec.boosting and spec.attribute_augmentation

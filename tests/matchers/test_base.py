@@ -1,0 +1,86 @@
+"""Tests for the matcher interface and transfer-pair sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatcherError, NotFittedError
+from repro.matchers.base import Matcher, balance_labels, collect_transfer_pairs
+
+from ..conftest import make_pair
+
+
+class _Stub(Matcher):
+    name = "stub"
+    display_name = "Stub"
+    requires_fit = True
+
+    def _predict(self, pairs, serialization_seed):
+        return np.zeros(len(pairs), dtype=np.int64)
+
+
+class TestMatcherInterface:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            _Stub().predict([make_pair(("a",), ("b",), 0)])
+
+    def test_predict_after_fit_works(self, tiny_config):
+        matcher = _Stub().fit([], tiny_config)
+        preds = matcher.predict([make_pair(("a",), ("b",), 0)])
+        assert preds.tolist() == [0]
+
+    def test_empty_pairs_raise(self, tiny_config):
+        matcher = _Stub().fit([], tiny_config)
+        with pytest.raises(MatcherError):
+            matcher.predict([])
+
+
+class TestCollectTransferPairs:
+    def test_budget_respected(self, small_datasets, rng):
+        pairs = collect_transfer_pairs(list(small_datasets.values()), 50, rng)
+        assert len(pairs) <= 50
+
+    def test_every_dataset_contributes(self, small_datasets, rng):
+        pairs = collect_transfer_pairs(list(small_datasets.values()), 200, rng)
+        sources = {p.pair_id.split("-")[0] for p in pairs}
+        assert sources == set(small_datasets)
+
+    def test_large_datasets_contribute_more(self, small_datasets, rng):
+        pairs = collect_transfer_pairs(list(small_datasets.values()), 300, rng)
+        counts = {}
+        for p in pairs:
+            code = p.pair_id.split("-")[0]
+            counts[code] = counts.get(code, 0) + 1
+        assert counts["ABT"] > counts["BEER"]
+
+    def test_no_transfer_raises(self, rng):
+        with pytest.raises(MatcherError):
+            collect_transfer_pairs([], 10, rng)
+
+
+class TestBalanceLabels:
+    def _pairs(self, n_pos, n_neg):
+        return (
+            [make_pair((f"m{i}",), (f"m{i}",), 1, f"p{i}") for i in range(n_pos)]
+            + [make_pair((f"a{i}",), (f"b{i}",), 0, f"n{i}") for i in range(n_neg)]
+        )
+
+    def test_upsamples_minority(self, rng):
+        balanced = balance_labels(self._pairs(5, 40), rng, max_ratio=2)
+        n_pos = sum(1 for p in balanced if p.label == 1)
+        n_neg = sum(1 for p in balanced if p.label == 0)
+        assert n_neg / n_pos <= 2.0
+
+    def test_already_balanced_unchanged(self, rng):
+        pairs = self._pairs(10, 10)
+        assert len(balance_labels(pairs, rng)) == len(pairs)
+
+    def test_single_class_unchanged(self, rng):
+        pairs = self._pairs(5, 0)
+        assert len(balance_labels(pairs, rng)) == 5
+
+    def test_extras_are_copies_of_minority(self, rng):
+        balanced = balance_labels(self._pairs(2, 20), rng, max_ratio=2)
+        extra = balanced[22:]
+        assert all(p.label == 1 for p in extra)

@@ -1,0 +1,60 @@
+"""Tests for the hard-example mining proxy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatcherError
+from repro.matchers.boosting import LogisticProxy, find_difficult_pairs, similarity_features
+
+from ..conftest import make_pair
+
+
+class TestSimilarityFeatures:
+    def test_shape_and_bias(self):
+        feats = similarity_features(make_pair(("a b",), ("a c",), 0))
+        assert feats.shape == (5,)
+        assert feats[-1] == 1.0
+
+    def test_identical_pair_high_features(self):
+        same = similarity_features(make_pair(("sony mdr",), ("sony mdr",), 1))
+        diff = similarity_features(make_pair(("sony mdr",), ("zzz qqq",), 0))
+        assert (same[:4] >= diff[:4]).all()
+
+
+class TestLogisticProxy:
+    def test_learns_linearly_separable(self, rng):
+        X = np.vstack([rng.normal(2, 0.5, (50, 2)), rng.normal(-2, 0.5, (50, 2))])
+        X = np.hstack([X, np.ones((100, 1))])
+        y = np.array([1] * 50 + [0] * 50)
+        proxy = LogisticProxy().fit(X, y)
+        assert (proxy.predict(X) == y).mean() > 0.95
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(MatcherError):
+            LogisticProxy().predict(np.ones((2, 3)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(MatcherError):
+            LogisticProxy().fit(np.ones((4, 2)), np.ones(5))
+
+
+class TestFindDifficultPairs:
+    def test_returns_misclassified(self):
+        easy_pos = [make_pair((f"same {i}",), (f"same {i}",), 1, f"p{i}") for i in range(20)]
+        easy_neg = [make_pair((f"aaa {i}",), (f"zzz {i+50}",), 0, f"n{i}") for i in range(20)]
+        # Hard: textually identical yet a non-match — impossible for a
+        # similarity-only learner, so it must land in the difficult set.
+        hard = [make_pair((f"sony mdr {i}",), (f"sony mdr {i}",), 0, f"h{i}") for i in range(5)]
+        difficult = find_difficult_pairs(easy_pos + easy_neg + hard)
+        hard_ids = {p.pair_id for p in hard}
+        found_ids = {p.pair_id for p in difficult}
+        assert hard_ids & found_ids, "sibling-style non-matches should be mined"
+
+    def test_small_sample_returns_empty(self):
+        assert find_difficult_pairs([make_pair(("a",), ("b",), 0)]) == []
+
+    def test_single_class_returns_empty(self):
+        pairs = [make_pair((f"x{i}",), (f"y{i}",), 0, f"n{i}") for i in range(10)]
+        assert find_difficult_pairs(pairs) == []

@@ -1,0 +1,104 @@
+"""Tests for the hybrid cascade matcher (the Finding-1 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset, get_spec
+from repro.errors import ConfigurationError
+from repro.eval.metrics import f1_score
+from repro.llm import SimulatedLLM, UsageMeter, get_profile
+from repro.matchers import MatchGPTMatcher, StringSimMatcher, ZeroERMatcher
+from repro.matchers.cascade import CascadeMatcher
+
+
+class _ScoreStub(StringSimMatcher):
+    """StringSim with a controllable score table for unit tests."""
+
+    def __init__(self, scores):
+        super().__init__()
+        self._scores = scores
+
+    def match_scores(self, pairs, serialization_seed=None):
+        return np.array(self._scores[: len(pairs)])
+
+
+class _ConstantMatcher(StringSimMatcher):
+    display_name = "AlwaysYes"
+
+    def _predict(self, pairs, serialization_seed):
+        return np.ones(len(pairs), dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def abt():
+    return build_dataset("ABT", scale=0.08, seed=7)
+
+
+class TestRouting:
+    def _pairs(self, abt, n=4):
+        return list(abt[0].pairs[:n])
+
+    def test_confident_pairs_not_escalated(self, abt, tiny_config):
+        cheap = _ScoreStub([0.9, 0.1, 0.95, 0.05])
+        cascade = CascadeMatcher(cheap, _ConstantMatcher()).fit([], tiny_config)
+        predictions = cascade.predict(self._pairs(abt))
+        assert predictions.tolist() == [1, 0, 1, 0]
+        assert cascade.last_escalation_rate == 0.0
+
+    def test_uncertain_pairs_escalated(self, abt, tiny_config):
+        cheap = _ScoreStub([0.5, 0.5, 0.9, 0.1])
+        cascade = CascadeMatcher(cheap, _ConstantMatcher()).fit([], tiny_config)
+        predictions = cascade.predict(self._pairs(abt))
+        assert predictions.tolist() == [1, 1, 1, 0]  # escalated -> AlwaysYes
+        assert cascade.last_escalation_rate == pytest.approx(0.5)
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            CascadeMatcher(_ScoreStub([]), _ConstantMatcher(), low=0.8, high=0.2)
+
+    def test_scoreless_cheap_matcher_rejected(self):
+        from repro.matchers import Matcher
+
+        class NoScores(Matcher):
+            display_name = "NoScores"
+
+        with pytest.raises(ConfigurationError):
+            CascadeMatcher(NoScores(), _ConstantMatcher())
+
+
+class TestEndToEnd:
+    def test_cascade_saves_cost_and_keeps_quality(self, abt, tiny_config):
+        """ZeroER -> simulated GPT-4: fewer tokens, near-GPT-4 quality."""
+        dataset, world = abt
+        pairs = list(dataset.pairs)
+        labels = dataset.labels()
+
+        meter_full = UsageMeter()
+        full = MatchGPTMatcher(
+            SimulatedLLM(get_profile("gpt-4"), world, seed=0), meter=meter_full
+        ).fit([], tiny_config)
+        full_predictions = full.predict(pairs, serialization_seed=0)
+
+        meter_cascade = UsageMeter()
+        expensive = MatchGPTMatcher(
+            SimulatedLLM(get_profile("gpt-4"), world, seed=0), meter=meter_cascade
+        )
+        expensive._fitted = True
+        cheap = StringSimMatcher()
+        cascade = CascadeMatcher(cheap, expensive, low=0.2, high=0.65).fit([], tiny_config)
+        cascade_predictions = cascade.predict(pairs, serialization_seed=0)
+
+        assert meter_cascade.prompt_tokens < meter_full.prompt_tokens
+        assert 0.0 < cascade.last_escalation_rate < 1.0
+        full_f1 = f1_score(labels, full_predictions)
+        cascade_f1 = f1_score(labels, cascade_predictions)
+        assert cascade_f1 > full_f1 - 25.0  # quality within a sane band
+
+    def test_escalation_cost_fraction(self, abt, tiny_config):
+        dataset, _world = abt
+        cheap = ZeroERMatcher(get_spec("ABT").attribute_kinds)
+        cascade = CascadeMatcher(cheap, _ConstantMatcher()).fit([], tiny_config)
+        fraction = cascade.escalation_cost_fraction(dataset.pairs)
+        assert 0.0 <= fraction <= 1.0

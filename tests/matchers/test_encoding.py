@@ -1,0 +1,101 @@
+"""Tests for the pair-encoding plumbing (shared-token flags, budgets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matchers.encoding import (
+    SEP_MARKER,
+    build_vocabulary,
+    encode_pairs,
+    encode_texts,
+    pair_text,
+)
+
+from ..conftest import make_pair
+
+
+@pytest.fixture(scope="module")
+def vocab(request):
+    from repro.data import build_dataset
+
+    transfer = [build_dataset(c, scale=0.05, seed=7)[0] for c in ("DBAC", "BEER")]
+    return build_vocabulary(transfer, size=1024)
+
+
+class TestBuildVocabulary:
+    def test_verbaliser_tokens_present(self, vocab):
+        assert "yes" in vocab
+        assert "no" in vocab
+
+    def test_yes_no_ids_distinct(self, vocab):
+        assert vocab.id_of("yes") != vocab.id_of("no")
+
+
+class TestPairText:
+    def test_shared_permutation(self):
+        pair = make_pair(("a1", "a2"), ("b1", "b2"), 1)
+        left, right = pair_text(pair, serialization_seed=4)
+        assert left.split().index("a1") == right.split().index("b1")
+
+
+class TestEncodePairs:
+    def test_shapes(self, vocab):
+        pairs = [make_pair(("sony mdr", "desc"), ("sony mdr", "desc"), 1)]
+        data = encode_pairs(pairs, vocab, max_len=32)
+        assert data.ids.shape == (1, 32)
+        assert data.pad_mask.shape == (1, 32)
+        assert data.shared.shape == (1, 32)
+        assert data.labels.tolist() == [1]
+
+    def test_without_labels(self, vocab):
+        pairs = [make_pair(("a",), ("b",), 0)]
+        data = encode_pairs(pairs, vocab, max_len=16, with_labels=False)
+        assert data.labels.size == 0
+
+    def test_shared_rare_token_flagged_two(self, vocab):
+        pairs = [make_pair(("zweiundvierzig42",), ("zweiundvierzig42",), 1)]
+        data = encode_pairs(pairs, vocab, max_len=16)
+        assert (data.shared == 2).sum() >= 2  # one occurrence per side
+
+    def test_disjoint_pair_no_shared_flags(self, vocab):
+        pairs = [make_pair(("aaaa bbbb",), ("cccc dddd",), 0)]
+        data = encode_pairs(pairs, vocab, max_len=16)
+        assert (data.shared > 0).sum() == 0
+
+    def test_numeric_shared_tokens_demoted(self, vocab):
+        pairs = [make_pair(("1234",), ("1234",), 1)]
+        data = encode_pairs(pairs, vocab, max_len=16)
+        assert (data.shared == 2).sum() == 0
+        assert (data.shared == 1).sum() >= 2
+
+    def test_side_budget_preserves_right_record(self, vocab):
+        long_left = " ".join(f"tok{i}" for i in range(100))
+        pairs = [make_pair((long_left,), ("needleword99x",), 0)]
+        data = encode_pairs(pairs, vocab, max_len=32)
+        needle_id = vocab.id_of("needleword99x")
+        assert (data.ids == needle_id).any(), "right record must survive truncation"
+
+    def test_pad_mask_matches_pad_ids(self, vocab):
+        pairs = [make_pair(("short",), ("short",), 1)]
+        data = encode_pairs(pairs, vocab, max_len=32)
+        np.testing.assert_array_equal(
+            data.pad_mask[0, 1:], data.ids[0, 1:] == vocab.pad_id
+        )
+
+    def test_serialization_seed_changes_encoding(self, vocab):
+        pairs = [make_pair(("a", "b", "c"), ("x", "y", "z"), 0)]
+        a = encode_pairs(pairs, vocab, max_len=16, serialization_seed=0)
+        b = encode_pairs(pairs, vocab, max_len=16, serialization_seed=1)
+        assert (a.ids != b.ids).any()
+
+
+class TestEncodeTexts:
+    def test_text_without_marker_gets_zero_flags(self, vocab):
+        data = encode_texts(["plain text no separator"], vocab, max_len=16)
+        assert (data.shared == 0).all()
+
+    def test_text_with_marker_gets_flags(self, vocab):
+        data = encode_texts([f"rareword77z {SEP_MARKER} rareword77z"], vocab, max_len=16)
+        assert (data.shared == 2).sum() >= 2

@@ -1,0 +1,86 @@
+"""Tests for the two-component GMM (ZeroER's core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatcherError
+from repro.matchers.gmm import TwoComponentGMM
+
+
+def _two_blob_data(rng, n=200, separation=4.0):
+    a = rng.normal(0.0, 1.0, size=(n, 2))
+    b = rng.normal(separation, 1.0, size=(n // 4, 2))
+    X = np.vstack([b, a])
+    truth = np.array([1] * (n // 4) + [0] * n)
+    return X, truth
+
+
+class TestGMM:
+    def test_separates_clear_blobs(self, rng):
+        X, truth = _two_blob_data(rng)
+        init = np.where(X.mean(axis=1) > 2.0, 0.9, 0.1)
+        gmm = TwoComponentGMM().fit(X, init)
+        posterior = gmm.match_posterior(X)
+        predictions = (posterior > 0.5).astype(int)
+        accuracy = (predictions == truth).mean()
+        assert accuracy > 0.95
+
+    def test_component_one_follows_init(self, rng):
+        """The match component stays anchored to the seeded responsibilities."""
+        X, truth = _two_blob_data(rng)
+        init = np.where(X.mean(axis=1) > 2.0, 0.9, 0.1)
+        gmm = TwoComponentGMM().fit(X, init)
+        assert gmm.match_posterior(X)[truth == 1].mean() > 0.5
+
+    def test_converges(self, rng):
+        X, _ = _two_blob_data(rng)
+        init = np.where(X.mean(axis=1) > 2.0, 0.9, 0.1)
+        gmm = TwoComponentGMM(max_iter=500).fit(X, init)
+        assert gmm.n_iter_ < 500
+
+    def test_posterior_in_unit_interval(self, rng):
+        X, _ = _two_blob_data(rng)
+        init = np.full(X.shape[0], 0.5)
+        init[:10] = 0.9
+        gmm = TwoComponentGMM().fit(X, init)
+        posterior = gmm.match_posterior(X)
+        assert ((posterior >= 0) & (posterior <= 1)).all()
+
+    def test_degenerate_constant_features_stable(self):
+        X = np.ones((50, 3))
+        X[:10] += 0.5
+        init = np.full(50, 0.1)
+        init[:10] = 0.9
+        gmm = TwoComponentGMM().fit(X, init)
+        assert np.isfinite(gmm.match_posterior(X)).all()
+
+    def test_too_few_rows_raise(self):
+        with pytest.raises(MatcherError):
+            TwoComponentGMM().fit(np.ones((3, 2)), np.full(3, 0.5))
+
+    def test_wrong_init_shape_raises(self):
+        with pytest.raises(MatcherError):
+            TwoComponentGMM().fit(np.ones((10, 2)), np.full(9, 0.5))
+
+    def test_unfitted_posterior_raises(self):
+        with pytest.raises(MatcherError):
+            TwoComponentGMM().match_posterior(np.ones((4, 2)))
+
+    def test_invalid_reg_raises(self):
+        with pytest.raises(MatcherError):
+            TwoComponentGMM(reg=0.0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_posterior_bounded_for_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        init = rng.uniform(0.05, 0.95, size=30)
+        gmm = TwoComponentGMM().fit(X, init)
+        posterior = gmm.match_posterior(X)
+        assert np.isfinite(posterior).all()
+        assert ((posterior >= 0) & (posterior <= 1)).all()

@@ -1,0 +1,140 @@
+"""Tests for the trainable matchers (Ditto, Unicorn, AnyMatch).
+
+These use the tiny test config: the check is wiring (fit -> predict ->
+better than chance on in-transfer data), not benchmark quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.eval.metrics import f1_score
+from repro.matchers import AnyMatchMatcher, DittoMatcher, UnicornMatcher
+from repro.matchers.anymatch import ANYMATCH_BASES
+
+
+@pytest.fixture(scope="module")
+def fitted_matchers(tiny_config, small_datasets):
+    """Fit one of each matcher kind on the DBAC+BEER transfer data."""
+    transfer = [small_datasets["DBAC"], small_datasets["BEER"]]
+    matchers = {
+        "ditto": DittoMatcher(),
+        "unicorn": UnicornMatcher(n_experts=2),
+        "anymatch-gpt2": AnyMatchMatcher("gpt2"),
+        "anymatch-t5": AnyMatchMatcher("t5"),
+    }
+    for matcher in matchers.values():
+        matcher.fit(transfer, tiny_config, seed=0)
+    return matchers
+
+
+# NOTE: module-scoped fixtures keep this file fast; the fixtures above are
+# function-scoped in conftest, so re-declare the pieces we need here.
+@pytest.fixture(scope="module")
+def tiny_config():
+    from repro.config import StudyConfig, SurrogateScale
+
+    return StudyConfig(
+        name="test", seeds=(0, 1), train_pair_budget=150, epochs=2, batch_size=16,
+        dataset_scale=0.05,
+        surrogate=SurrogateScale(d_model=16, n_layers=1, n_heads=2, d_ff=32,
+                                 max_len=32, vocab_size=1024),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_datasets():
+    from repro.data import build_dataset
+
+    return {c: build_dataset(c, scale=0.05, seed=7)[0] for c in ("ABT", "DBAC", "BEER")}
+
+
+class TestFitPredictCycle:
+    @pytest.mark.parametrize("name", ["ditto", "unicorn", "anymatch-gpt2", "anymatch-t5"])
+    def test_predicts_binary_labels(self, fitted_matchers, small_datasets, name):
+        matcher = fitted_matchers[name]
+        predictions = matcher.predict(small_datasets["ABT"].pairs, serialization_seed=0)
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert len(predictions) == len(small_datasets["ABT"])
+
+    @pytest.mark.parametrize("name", ["ditto", "unicorn", "anymatch-gpt2"])
+    def test_match_scores_are_probabilities(self, fitted_matchers, small_datasets, name):
+        scores = fitted_matchers[name].match_scores(list(small_datasets["ABT"].pairs))
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    @pytest.mark.parametrize("name", ["ditto", "unicorn", "anymatch-gpt2"])
+    def test_learns_transfer_data(self, fitted_matchers, small_datasets, name):
+        """On data from the training distribution, beat the all-no baseline."""
+        dataset = small_datasets["DBAC"]
+        predictions = fitted_matchers[name].predict(dataset.pairs, serialization_seed=0)
+        assert f1_score(dataset.labels(), predictions) > 10.0
+
+    def test_unfitted_predict_raises(self, small_datasets):
+        with pytest.raises(NotFittedError):
+            DittoMatcher().predict(small_datasets["ABT"].pairs)
+
+
+class TestAnyMatchPipeline:
+    def test_unknown_base_raises(self):
+        with pytest.raises(ConfigurationError):
+            AnyMatchMatcher("bert")
+
+    def test_base_specs_cover_paper_variants(self):
+        assert set(ANYMATCH_BASES) == {"gpt2", "t5", "llama3.2"}
+        assert ANYMATCH_BASES["llama3.2"].boosting is False
+        assert ANYMATCH_BASES["gpt2"].boosting is True
+
+    def test_llama_variant_is_wider(self, tiny_config):
+        gpt2 = AnyMatchMatcher("gpt2")._scaled(tiny_config.surrogate)
+        llama = AnyMatchMatcher("llama3.2")._scaled(tiny_config.surrogate)
+        assert llama.d_model > gpt2.d_model
+        assert llama.n_layers > gpt2.n_layers
+
+    def test_pipeline_balances_labels(self, tiny_config, small_datasets, rng):
+        matcher = AnyMatchMatcher("gpt2")
+        pairs = matcher.prepare_training_pairs(
+            [small_datasets["DBAC"], small_datasets["BEER"]], tiny_config, rng
+        )
+        labels = np.array([p.label for p in pairs])
+        ratio = (labels == 0).sum() / max(1, (labels == 1).sum())
+        assert ratio <= 2.5
+
+    def test_attribute_pairs_single_attribute(self, small_datasets, rng):
+        source = list(small_datasets["DBAC"].pairs)
+        extras = AnyMatchMatcher("gpt2")._attribute_pairs(source, 10, rng)
+        assert len(extras) == 10
+        assert all(p.n_attributes == 1 for p in extras)
+        assert {p.label for p in extras} == {0, 1}
+
+    def test_display_names(self):
+        assert AnyMatchMatcher("gpt2").display_name == "AnyMatch[GPT-2]"
+        assert AnyMatchMatcher("llama3.2").params_millions == 1_300
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDittoPieces:
+    def test_augmentation_produces_variants(self, small_datasets, rng):
+        matcher = DittoMatcher()
+        source = list(small_datasets["DBAC"].pairs)
+        augmented = matcher._augmented(source, rng)
+        assert augmented
+        assert all(p.pair_id.endswith(("+cd", "+sd")) for p in augmented)
+
+    def test_augmented_labels_preserved(self, small_datasets, rng):
+        matcher = DittoMatcher()
+        source = list(small_datasets["DBAC"].pairs)
+        augmented = matcher._augmented(source, rng)
+        originals = {p.pair_id: p.label for p in source}
+        for pair in augmented:
+            assert pair.label == originals[pair.pair_id.rsplit("+", 1)[0]]
+
+    def test_summarize_flag(self, tiny_config, small_datasets):
+        matcher = DittoMatcher(summarize=False)
+        matcher.fit([small_datasets["BEER"]], tiny_config, seed=0)
+        assert matcher._summarizer is None

@@ -1,0 +1,47 @@
+"""Tests for the StringSim baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import f1_score
+from repro.matchers import StringSimMatcher
+
+from ..conftest import make_pair
+
+
+class TestStringSim:
+    def test_identical_tuples_match(self):
+        pair = make_pair(("sony mdr", "99"), ("sony mdr", "99"), 1)
+        assert StringSimMatcher().predict([pair])[0] == 1
+
+    def test_disjoint_tuples_no_match(self):
+        pair = make_pair(("aaaa", "1111"), ("zzzz", "9999"), 0)
+        assert StringSimMatcher().predict([pair])[0] == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            StringSimMatcher(threshold=1.5)
+
+    def test_similarity_exposed(self):
+        pair = make_pair(("abc",), ("abd",), 0)
+        assert 0.0 < StringSimMatcher().similarity(pair) < 1.0
+
+    def test_no_fit_required(self, abt_dataset):
+        predictions = StringSimMatcher().predict(abt_dataset.pairs)
+        assert len(predictions) == len(abt_dataset)
+
+    def test_serialization_seed_changes_predictions(self, abt_dataset):
+        matcher = StringSimMatcher()
+        runs = {
+            tuple(matcher.predict(abt_dataset.pairs, serialization_seed=s))
+            for s in range(4)
+        }
+        assert len(runs) > 1  # column order sensitivity (paper's std > 0)
+
+    def test_weak_on_free_text_benchmark(self, abt_dataset):
+        predictions = StringSimMatcher().predict(abt_dataset.pairs, serialization_seed=0)
+        score = f1_score(abt_dataset.labels(), predictions)
+        assert score < 60.0  # StringSim must stay a weak baseline on ABT

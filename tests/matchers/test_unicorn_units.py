@@ -1,0 +1,80 @@
+"""Unit tests for Unicorn's multi-task machinery (no training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.matchers import UnicornMatcher
+
+
+@pytest.fixture(scope="module")
+def transfer():
+    return [build_dataset(c, scale=0.05, seed=7)[0] for c in ("DBAC", "BEER")]
+
+
+class TestAttributeTask:
+    def test_sample_count_and_labels(self, transfer):
+        rng = np.random.default_rng(0)
+        texts, labels = UnicornMatcher._attribute_task(transfer, 40, rng)
+        assert len(texts) == 40
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_texts_are_single_attribute_pairs(self, transfer):
+        rng = np.random.default_rng(0)
+        texts, _labels = UnicornMatcher._attribute_task(transfer, 10, rng)
+        for text in texts:
+            assert "<sep>" in text
+            assert text.startswith("val ")
+
+    def test_positive_samples_share_entity_attribute(self, transfer):
+        """Positives pair the same attribute of a matching record pair."""
+        rng = np.random.default_rng(1)
+        texts, labels = UnicornMatcher._attribute_task(transfer, 60, rng)
+        positives = [t for t, label in zip(texts, labels) if label == 1]
+        assert positives
+        # A positive's two sides come from one match: values overlap often.
+        from repro.text.similarity import jaccard
+
+        left_right = [t.split("<sep>") for t in positives]
+        sims = [jaccard(a, b) for a, b in left_right]
+        assert np.mean(sims) > 0.25
+
+    def test_empty_transfer_is_graceful(self):
+        rng = np.random.default_rng(0)
+        texts, labels = UnicornMatcher._attribute_task([], 10, rng)
+        assert texts == []
+        assert labels.size == 0
+
+
+class TestSchemaTask:
+    def test_sample_shape_and_labels(self, transfer):
+        rng = np.random.default_rng(0)
+        texts, labels = UnicornMatcher._schema_task(transfer, 30, rng)
+        assert len(texts) == 30
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_positive_samples_same_column_values(self, transfer):
+        """Positives draw both sides from one column -> homogeneous kinds."""
+        rng = np.random.default_rng(3)
+        texts, labels = UnicornMatcher._schema_task(transfer, 60, rng)
+        assert (labels == 1).sum() > 5
+        assert all("<sep>" in t and " ; " in t for t in texts)
+
+    def test_empty_transfer_is_graceful(self):
+        rng = np.random.default_rng(0)
+        texts, labels = UnicornMatcher._schema_task([], 10, rng)
+        assert texts == []
+        assert labels.size == 0
+
+
+class TestConfiguration:
+    def test_single_expert_rejected_at_fit(self, transfer, tiny_config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            UnicornMatcher(n_experts=1).fit(transfer, tiny_config, seed=0)
+
+    def test_multi_task_flag(self):
+        assert UnicornMatcher(multi_task=False).multi_task is False

@@ -1,0 +1,45 @@
+"""Tests for the nominal model cards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.cards import MODEL_CARDS, OPEN_WEIGHT_CARDS, ModelFamily, get_card
+
+
+class TestCards:
+    def test_twelve_models(self):
+        assert len(MODEL_CARDS) == 12
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [("bert", 110), ("gpt2", 124), ("deberta", 143), ("t5", 220),
+         ("llama3.2-1b", 1_300), ("llama2-13b", 13_000), ("mixtral-8x7b", 56_000),
+         ("beluga2", 70_000), ("solar", 70_000), ("gpt-4o-mini", 8_000),
+         ("gpt-3.5-turbo", 175_000), ("gpt-4", 1_760_000)],
+    )
+    def test_paper_parameter_counts(self, name, params):
+        assert get_card(name).params_millions == params
+
+    def test_table5_memory_footprints(self):
+        assert get_card("bert").fp16_gb == 0.21
+        assert get_card("beluga2").fp16_gb == 128.64
+
+    def test_mixtral_active_params(self):
+        card = get_card("mixtral-8x7b")
+        assert card.family is ModelFamily.MOE_DECODER
+        assert card.active_params_millions == 13_000
+
+    def test_api_models_not_open_weight(self):
+        assert not get_card("gpt-4").is_open_weight
+        assert get_card("bert").is_open_weight
+
+    def test_open_weight_order_matches_table5(self):
+        assert OPEN_WEIGHT_CARDS[0] == "bert"
+        assert OPEN_WEIGHT_CARDS[-1] == "solar"
+        assert len(OPEN_WEIGHT_CARDS) == 9
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_card("gpt-5")

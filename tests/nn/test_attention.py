@@ -1,0 +1,80 @@
+"""Tests for multi-head attention: masks, shapes, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import MultiHeadAttention
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestShapes:
+    def test_self_attention_shape(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_cross_attention_shape(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        q = Tensor(rng.normal(size=(2, 3, 8)))
+        kv = Tensor(rng.normal(size=(2, 7, 8)))
+        assert attn(q, kv=kv).shape == (2, 3, 8)
+
+    def test_indivisible_heads_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiHeadAttention(7, 2, rng)
+
+
+class TestMasks:
+    def test_causal_mask_blocks_future(self, rng):
+        attn = MultiHeadAttention(8, 2, rng, causal=True)
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).numpy()
+        # Changing the future must not affect earlier positions.
+        perturbed = x.copy()
+        perturbed[0, -1] += 10.0
+        out = attn(Tensor(perturbed)).numpy()
+        np.testing.assert_allclose(base[0, :-1], out[0, :-1], atol=1e-10)
+
+    def test_non_causal_sees_everything(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        base = attn(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[0, -1] += 10.0
+        out = attn(Tensor(perturbed)).numpy()
+        assert not np.allclose(base[0, 0], out[0, 0])
+
+    def test_padding_mask_hides_keys(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[False, False, True, True]])
+        base = attn(Tensor(x), key_padding_mask=mask).numpy()
+        perturbed = x.copy()
+        perturbed[0, 3] += 100.0  # padded key changes
+        out = attn(Tensor(perturbed), key_padding_mask=mask).numpy()
+        # Non-pad query outputs unaffected by padded keys.
+        np.testing.assert_allclose(base[0, :2], out[0, :2], atol=1e-10)
+
+    def test_bad_mask_shape_raises(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        with pytest.raises(ConfigurationError):
+            attn(x, key_padding_mask=np.zeros((2, 5), dtype=bool))
+
+
+class TestGradients:
+    def test_gradients_flow_to_all_projections(self, rng):
+        attn = MultiHeadAttention(8, 2, rng)
+        out = attn(Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True))
+        out.sum().backward()
+        for _name, p in attn.named_parameters():
+            assert p.grad is not None
+            assert np.abs(p.grad).sum() > 0

@@ -1,0 +1,144 @@
+"""Tests for softmax/log-softmax/cross-entropy/GELU/dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from .test_tensor import check_gradient
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(3, 5))))
+        np.testing.assert_allclose(out.numpy().sum(axis=-1), np.ones(3))
+
+    def test_shift_invariance(self):
+        x = RNG.normal(size=(2, 4))
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_extreme_values_stable(self):
+        out = F.softmax(Tensor(np.array([[1e9, 0.0], [-1e9, 0.0]])))
+        assert np.isfinite(out.numpy()).all()
+
+    def test_gradient(self):
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda x: (F.softmax(x) * w).sum(), RNG.normal(size=(3, 4)))
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = RNG.normal(size=(2, 5))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).numpy(),
+            np.log(F.softmax(Tensor(x)).numpy()),
+            atol=1e-12,
+        )
+
+    def test_gradient(self):
+        w = Tensor(RNG.normal(size=(2, 4)))
+        check_gradient(lambda x: (F.log_softmax(x) * w).sum(), RNG.normal(size=(2, 4)))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_log_n(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda x: F.cross_entropy(x, targets), RNG.normal(size=(3, 4)))
+
+    def test_ignore_index(self):
+        logits_data = RNG.normal(size=(3, 4))
+        full = F.cross_entropy(Tensor(logits_data[:2]), np.array([1, 2]))
+        masked = F.cross_entropy(Tensor(logits_data), np.array([1, 2, -1]), ignore_index=-1)
+        assert masked.item() == pytest.approx(full.item())
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(GradientError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([-1, -1]), ignore_index=-1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(GradientError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_3d_logits(self):
+        logits = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        loss = F.cross_entropy(logits, RNG.integers(0, 4, size=(2, 3)))
+        loss.backward()
+        assert logits.grad.shape == (2, 3, 4)
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        z = np.array([0.5, -1.0])
+        y = np.array([1.0, 0.0])
+        probs = 1 / (1 + np.exp(-z))
+        expected = -np.mean(y * np.log(probs) + (1 - y) * np.log(1 - probs))
+        loss = F.binary_cross_entropy_with_logits(Tensor(z), y)
+        assert loss.item() == pytest.approx(expected)
+
+    def test_gradient(self):
+        y = np.array([1.0, 0.0, 1.0])
+        check_gradient(
+            lambda x: F.binary_cross_entropy_with_logits(x, y), RNG.normal(size=(3,))
+        )
+
+    def test_extreme_logits_stable(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+
+
+class TestGelu:
+    def test_known_points(self):
+        out = F.gelu(Tensor(np.array([0.0]))).item()
+        assert out == pytest.approx(0.0)
+        assert F.gelu(Tensor(np.array([10.0]))).item() == pytest.approx(10.0, abs=1e-3)
+
+    def test_gradient(self):
+        check_gradient(lambda x: F.gelu(x).sum(), RNG.normal(size=(5,)))
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert F.sigmoid(Tensor(np.array([0.0]))).item() == pytest.approx(0.5)
+
+    def test_gradient(self):
+        check_gradient(lambda x: F.sigmoid(x).sum(), RNG.normal(size=(5,)))
+
+
+class TestDropout:
+    def test_identity_when_eval(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        x = Tensor(np.ones(4))
+        assert F.dropout(x, 0.0, np.random.default_rng(0), training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        assert out.numpy().mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_p_one_raises(self):
+        with pytest.raises(GradientError):
+            F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0), training=True)

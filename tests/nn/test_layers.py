@@ -1,0 +1,156 @@
+"""Tests for the module system and basic layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_batched_input(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((2, 6, 4))))
+        assert out.shape == (2, 6, 3)
+
+    def test_parameters_registered(self, rng):
+        layer = Linear(4, 3, rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng)
+        with pytest.raises(ConfigurationError):
+            emb(np.array([10]))
+        with pytest.raises(ConfigurationError):
+            emb(np.array([-1]))
+
+    def test_duplicate_ids_accumulate_gradient(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([1, 1, 2])).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(4, 8))))
+        np.testing.assert_allclose(out.numpy().mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.numpy().std(axis=-1), 1.0, atol=1e-2)
+
+    def test_constant_input_stable(self):
+        ln = LayerNorm(4)
+        out = ln(Tensor(np.full((2, 4), 7.0)))
+        assert np.isfinite(out.numpy()).all()
+
+
+class TestDropoutLayer:
+    def test_train_eval_toggle(self, rng):
+        layer = Dropout(0.5, rng)
+        x = Tensor(np.ones((100, 100)))
+        train_out = layer(x)
+        layer.eval()
+        eval_out = layer(x)
+        assert (train_out.numpy() == 0).any()
+        assert not (eval_out.numpy() == 0).any()
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.5, rng)
+
+
+class _Composite(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.a = Linear(4, 4, rng)
+        self.blocks = [Linear(4, 4, rng), Linear(4, 2, rng)]
+        self.standalone = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        x = self.a(x)
+        for b in self.blocks:
+            x = b(x)
+        return x + 0.0 * self.standalone.sum()
+
+
+class TestModule:
+    def test_named_parameters_cover_lists(self, rng):
+        model = _Composite(rng)
+        names = {name for name, _p in model.named_parameters()}
+        assert "a.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "standalone" in names
+
+    def test_n_parameters(self, rng):
+        model = Linear(4, 3, rng)
+        assert model.n_parameters() == 4 * 3 + 3
+
+    def test_parameters_deduplicated(self, rng):
+        model = _Composite(rng)
+        shared = model.blocks[0]
+        model.extra = shared  # same module reachable twice
+        params = model.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_zero_grad(self, rng):
+        model = Linear(2, 2, rng)
+        out = model(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = _Composite(rng)
+        b = _Composite(np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.a.weight.data, b.a.weight.data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        a = Linear(2, 2, rng)
+        with pytest.raises(ConfigurationError):
+            a.load_state_dict({"weight": np.zeros((2, 2))})  # missing bias
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        a = Linear(2, 2, rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ConfigurationError):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng), Dropout(0.2, rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        model = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        assert model(Tensor(np.ones((3, 4)))).shape == (3, 2)

@@ -1,0 +1,130 @@
+"""Tests for optimisers, gradient clipping and the LR schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import SGD, Adam, AdamW, LinearWarmupSchedule, clip_grad_norm
+from repro.nn.layers import Parameter
+
+
+def quadratic_step(optimizer, param):
+    """One gradient step on f(w) = ||w||^2 / 2 (gradient = w)."""
+    param.grad = param.data.copy()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        w = Parameter(np.array([10.0, -10.0]))
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, w)
+        assert np.abs(w.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.array([10.0]))
+        w_momentum = Parameter(np.array([10.0]))
+        plain, momentum = SGD([w_plain], lr=0.01), SGD([w_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(plain, w_plain)
+            quadratic_step(momentum, w_momentum)
+        assert abs(w_momentum.data[0]) < abs(w_plain.data[0])
+
+    def test_skips_none_grads(self):
+        w = Parameter(np.ones(2))
+        SGD([w], lr=0.1).step()
+        np.testing.assert_allclose(w.data, np.ones(2))
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        w = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, w)
+        assert np.abs(w.data).max() < 1e-2
+
+    def test_bias_correction_first_step(self):
+        w = Parameter(np.array([1.0]))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([1.0])
+        opt.step()
+        # After bias correction the first step is ~lr regardless of scale.
+        assert w.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_adamw_decays_weights(self):
+        w_adam = Parameter(np.array([1.0]))
+        w_adamw = Parameter(np.array([1.0]))
+        adam, adamw = Adam([w_adam], lr=0.01), AdamW([w_adamw], lr=0.01, weight_decay=0.5)
+        for opt, w in ((adam, w_adam), (adamw, w_adamw)):
+            w.grad = np.array([0.001])
+            opt.step()
+        assert w_adamw.data[0] < w_adam.data[0]
+
+
+class TestValidation:
+    def test_empty_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        pre_norm = clip_grad_norm([w], max_norm=1.0)
+        assert pre_norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients(self):
+        w = Parameter(np.zeros(2))
+        w.grad = np.array([0.1, 0.1])
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.1, 0.1])
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        w = Parameter(np.ones(1))
+        opt = SGD([w], lr=1.0)
+        schedule = LinearWarmupSchedule(opt, warmup_steps=2, total_steps=10)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))  # monotone decay
+
+    def test_invalid_steps_raise(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ConfigurationError):
+            LinearWarmupSchedule(opt, warmup_steps=5, total_steps=3)
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path):
+        from repro.nn import Linear, load_checkpoint, save_checkpoint
+
+        rng = np.random.default_rng(0)
+        a, b = Linear(3, 2, rng), Linear(3, 2, np.random.default_rng(9))
+        path = tmp_path / "model.npz"
+        save_checkpoint(a, path)
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+    def test_empty_module_raises(self, tmp_path):
+        from repro.nn import Module, save_checkpoint
+        from repro.errors import ConfigurationError
+
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ConfigurationError):
+            save_checkpoint(Empty(), tmp_path / "empty.npz")

@@ -1,0 +1,30 @@
+"""Tests for checkpointing full surrogate models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import TransformerEncoder, load_checkpoint, save_checkpoint
+
+
+class TestModelCheckpoints:
+    def test_encoder_roundtrip_preserves_outputs(self, tmp_path):
+        rng = np.random.default_rng(0)
+        a = TransformerEncoder(50, 16, 1, 2, 32, 8, rng, dropout=0.0)
+        b = TransformerEncoder(50, 16, 1, 2, 32, 8, np.random.default_rng(9), dropout=0.0)
+        ids = rng.integers(0, 50, size=(2, 8))
+        assert not np.allclose(a(ids).numpy(), b(ids).numpy())
+        path = tmp_path / "enc.npz"
+        save_checkpoint(a, path)
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(a(ids).numpy(), b(ids).numpy(), atol=1e-12)
+
+    def test_checkpoint_is_plain_npz(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = TransformerEncoder(50, 16, 1, 2, 32, 8, rng)
+        path = tmp_path / "enc.npz"
+        save_checkpoint(model, path)
+        with np.load(path) as archive:
+            names = set(archive.files)
+        assert any(name.startswith("stem.tokens") for name in names)
+        assert any(name.startswith("blocks.0.attn") for name in names)

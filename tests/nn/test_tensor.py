@@ -1,0 +1,206 @@
+"""Autograd engine tests: numerical gradient checks and op semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import GradientError
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+
+
+def numeric_gradient(f, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x0)
+    flat = x0.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(Tensor(x0)).item()
+        flat[i] = orig - eps
+        down = f(Tensor(x0)).item()
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(f, x0: np.ndarray, tol: float = 1e-6) -> None:
+    x = Tensor(x0.copy(), requires_grad=True)
+    f(x).backward()
+    expected = numeric_gradient(f, x0.copy())
+    np.testing.assert_allclose(x.grad, expected, atol=tol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: ((x * 3.0 + 1.0) * x).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_div(self):
+        check_gradient(lambda x: ((x - 0.5) / 2.0).sum(), RNG.normal(size=(4,)))
+
+    def test_pow(self):
+        check_gradient(lambda x: (x ** 3).sum(), RNG.normal(size=(5,)))
+
+    def test_matmul_2d(self):
+        w = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda x: (x @ w).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_batched(self):
+        w = Tensor(RNG.normal(size=(2, 5, 3)))
+        check_gradient(lambda x: (x @ w).sum(), RNG.normal(size=(2, 4, 5)))
+
+    def test_broadcast_add(self):
+        b = Tensor(RNG.normal(size=(4,)))
+        check_gradient(lambda x: (x + b).sum(), RNG.normal(size=(3, 4)))
+
+    def test_broadcast_grad_to_bias(self):
+        bias_data = RNG.normal(size=(4,))
+
+        def f(b: Tensor) -> Tensor:
+            return (Tensor(np.ones((3, 4))) * 2.0 + b).sum()
+
+        check_gradient(f, bias_data)
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) * x).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean(), RNG.normal(size=(3, 4)))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: (x.exp() + (x * x + 1.0).log()).sum(),
+                       RNG.normal(size=(6,)))
+
+    def test_tanh_relu(self):
+        # Offset away from the ReLU kink for a stable numeric gradient.
+        check_gradient(lambda x: (x.tanh() + (x + 5.0).relu()).sum(),
+                       RNG.normal(size=(6,)))
+
+    def test_reshape_transpose(self):
+        check_gradient(
+            lambda x: (x.reshape(2, 6).transpose(1, 0) * 2.0).sum(),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_swapaxes(self):
+        check_gradient(lambda x: (x.swapaxes(0, 1) * x.swapaxes(0, 1)).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_getitem_slice(self):
+        check_gradient(lambda x: (x[1:, :2] * 3.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda x: x[idx].sum(), RNG.normal(size=(3, 4)))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False], [False, True]])
+        check_gradient(lambda x: x.masked_fill(mask, 0.0).sum(), RNG.normal(size=(2, 2)))
+
+    def test_concat(self):
+        def f(x: Tensor) -> Tensor:
+            return (concat([x, x * 2.0], axis=1)).sum()
+
+        check_gradient(f, RNG.normal(size=(2, 3)))
+
+    def test_stack(self):
+        def f(x: Tensor) -> Tensor:
+            return (stack([x, x * 3.0], axis=0)).sum()
+
+        check_gradient(f, RNG.normal(size=(2, 3)))
+
+    def test_reused_node_accumulates(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x  # x used twice
+        y.backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 1.0)
+
+
+class TestBackwardSemantics:
+    def test_backward_non_scalar_raises(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_raises(self):
+        x = Tensor(np.ones(2))
+        with pytest.raises(GradientError):
+            x.backward()
+
+    def test_explicit_seed_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_no_grad_context(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_wrapping_tensor_raises(self):
+        with pytest.raises(GradientError):
+            Tensor(Tensor(np.ones(2)))
+
+
+class TestConstructors:
+    def test_zeros_ones(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).numpy().sum() == 4.0
+
+    def test_item_and_size(self):
+        t = Tensor(np.array(3.5))
+        assert t.item() == 3.5
+        assert t.size == 1
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=1, max_dims=2, max_side=4),
+        elements=st.floats(-3, 3),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_sum_matches_numpy(arr):
+    assert Tensor(arr).sum().item() == pytest.approx(arr.sum(), abs=1e-9)
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(-3, 3),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_double_backward_chain_linear(arr):
+    """Gradient of sum(a*x) wrt x is a, for random a."""
+    a = Tensor(arr)
+    x = Tensor(np.ones_like(arr), requires_grad=True)
+    (a * x).sum().backward()
+    np.testing.assert_allclose(x.grad, arr)

@@ -1,0 +1,20 @@
+"""Tests for the ablation drivers (fast pieces only)."""
+
+from __future__ import annotations
+
+from repro.study.ablations import blocking_ablation
+
+
+class TestBlockingAblation:
+    def test_tradeoff_rows(self):
+        result = blocking_ablation(code="DBAC", dataset_scale=0.05)
+        assert len(result.rows) == 4
+        counts = [int(r["candidates"]) for r in result.rows]
+        assert counts == sorted(counts, reverse=True)
+        completeness = [float(r["pair completeness"]) for r in result.rows]
+        assert completeness[0] >= completeness[-1]
+
+    def test_render(self):
+        result = blocking_ablation(code="BEER", dataset_scale=0.1)
+        text = result.render()
+        assert "min_shared" in text and "reduction" in text

@@ -1,0 +1,31 @@
+"""Tests for the RAG extension driver (rendering; the run is benched)."""
+
+from __future__ import annotations
+
+from repro.eval.loo import SeedScore, StudyResult, TargetResult
+from repro.study.extensions import RagResult
+
+
+def _study(name: str, f1: float) -> StudyResult:
+    result = StudyResult(matcher_name=name, params_millions=0)
+    target = TargetResult(dataset="ABT")
+    target.scores = [SeedScore(0, f1, f1, f1)]
+    result.per_dataset["ABT"] = target
+    return result
+
+
+class TestRagResult:
+    def test_render_contains_all_strategies(self):
+        result = RagResult(
+            model="MatchGPT[GPT-3.5-Turbo]",
+            results={
+                "none": _study("none", 66.0),
+                "random-selected": _study("random", 64.0),
+                "retrieved": _study("retrieved", 70.0),
+            },
+            prompt_tokens={"none": 1000, "random-selected": 4000, "retrieved": 4100},
+        )
+        text = result.render()
+        assert "retrieved" in text and "random-selected" in text
+        assert "4,100" in text
+        assert "70.0" in text

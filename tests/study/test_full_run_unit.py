@@ -1,0 +1,33 @@
+"""Unit tests for the full_run CLI plumbing (the heavy path is benched)."""
+
+from __future__ import annotations
+
+from repro.study import full_run
+
+
+class TestArgumentHandling:
+    def test_codes_parsing_empty_means_all(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_run_study(config, out_path, codes=None):
+            captured["config"] = config
+            captured["codes"] = codes
+            return {}
+
+        monkeypatch.setattr(full_run, "run_study", fake_run_study)
+        full_run.main(["--profile", "smoke", "--out", str(tmp_path / "r.json")])
+        assert captured["codes"] is None
+        assert captured["config"].name == "smoke"
+
+    def test_codes_parsing_subset(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_run_study(config, out_path, codes=None):
+            captured["codes"] = codes
+            return {}
+
+        monkeypatch.setattr(full_run, "run_study", fake_run_study)
+        full_run.main(
+            ["--profile", "smoke", "--codes", "ABT,BEER", "--out", str(tmp_path / "r.json")]
+        )
+        assert captured["codes"] == ("ABT", "BEER")

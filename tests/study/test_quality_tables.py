@@ -1,0 +1,106 @@
+"""Tests for the Table-3/Table-4 drivers and findings, at smoke scale.
+
+These run the *simulated* matcher subset plus the parameter-free
+baselines — the trained matchers are covered by their own tests and the
+benchmark harness (they dominate wall-clock cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StudyConfig, SurrogateScale
+from repro.llm.prompts import DemonstrationStrategy
+from repro.study import findings as findings_driver
+from repro.study import table3, table4
+from repro.study.paper_targets import TABLE3_F1
+
+
+@pytest.fixture(scope="module")
+def config() -> StudyConfig:
+    return StudyConfig(
+        name="test", seeds=(0, 1), test_fraction=0.5, train_pair_budget=100,
+        epochs=1, dataset_scale=0.05,
+        surrogate=SurrogateScale(d_model=16, n_layers=1, n_heads=2, d_ff=32,
+                                 max_len=32, vocab_size=1024),
+    )
+
+
+_SIMULATED = (
+    "StringSim",
+    "Jellyfish",
+    "MatchGPT[Mixtral-8x7B]",
+    "MatchGPT[GPT-3.5-Turbo]",
+    "MatchGPT[GPT-4]",
+)
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return table3.run(config, matcher_names=_SIMULATED)
+
+
+class TestTable3Driver:
+    def test_all_matchers_and_targets(self, result):
+        assert len(result.results) == len(_SIMULATED)
+        for study in result.results:
+            assert len(study.per_dataset) == 11
+
+    def test_jellyfish_seen_bracketed(self, result):
+        jellyfish = next(r for r in result.results if r.matcher_name == "Jellyfish")
+        assert jellyfish.per_dataset["DBAC"].seen_in_training
+        rendered = result.render()
+        assert "(" in rendered
+
+    def test_gpt4_tracks_paper_envelope(self, result):
+        gpt4 = next(r for r in result.results if r.matcher_name == "MatchGPT[GPT-4]")
+        paper_mean = sum(TABLE3_F1["MatchGPT[GPT-4]"].values()) / 11
+        assert abs(gpt4.mean_f1 - paper_mean) < 10.0
+
+    def test_ordering_gpt4_over_gpt35_over_stringsim(self, result):
+        means = {r.matcher_name: r.mean_f1 for r in result.results}
+        assert means["MatchGPT[GPT-4]"] > means["MatchGPT[GPT-3.5-Turbo]"]
+        assert means["MatchGPT[GPT-3.5-Turbo]"] > means["StringSim"]
+
+    def test_quality_and_per_dataset_tables(self, result):
+        quality = result.quality_table()
+        per_dataset = result.per_dataset_table()
+        assert set(quality) == set(_SIMULATED)
+        assert set(per_dataset["StringSim"]) == set(result.results[0].per_dataset)
+
+
+class TestTable4Driver:
+    @pytest.fixture(scope="class")
+    def t4(self, config):
+        return table4.run(config, models=("gpt-3.5-turbo",), codes=("ABT", "DBAC", "BEER"))
+
+    def test_three_strategies(self, t4):
+        assert len(t4.results) == 3
+        strategies = {key[1] for key in t4.results}
+        assert strategies == {s.value for s in table4.TABLE4_STRATEGIES}
+
+    def test_hand_picked_hurts_gpt35(self, t4):
+        means = t4.mean_by_strategy("gpt-3.5-turbo")
+        assert means[DemonstrationStrategy.HAND_PICKED.value] < means[
+            DemonstrationStrategy.NONE.value
+        ]
+
+    def test_render(self, t4):
+        assert "hand-picked" in t4.render()
+
+
+class TestFindingsDriver:
+    def test_on_paper_numbers(self):
+        result = findings_driver.run(dict(TABLE3_F1))
+        assert not result.any_rejection          # Finding 5
+        assert result.mean_abs_rho() < 0.35       # Finding 6
+        rendered = result.render()
+        assert "Finding 5" in rendered and "Finding 6" in rendered
+
+    def test_requires_reference(self):
+        import pytest as _pytest
+
+        from repro.errors import ReproError
+
+        with _pytest.raises(ReproError):
+            findings_driver.run({"Ditto": TABLE3_F1["Ditto"]})

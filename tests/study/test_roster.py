@@ -1,0 +1,55 @@
+"""Tests for the matcher roster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_dataset
+from repro.errors import ReproError
+from repro.matchers import StringSimMatcher, ZeroERMatcher
+from repro.study.roster import ROSTER_ORDER, build_roster
+
+
+@pytest.fixture(scope="module")
+def world():
+    _ds, world = build_dataset("ABT", scale=0.05, seed=7)
+    return world
+
+
+class TestRoster:
+    def test_fourteen_variants(self):
+        assert len(ROSTER_ORDER) == 14
+
+    def test_full_roster_builds(self, world):
+        entries = build_roster(world)
+        assert [e.name for e in entries] == list(ROSTER_ORDER)
+
+    def test_factories_produce_fresh_matchers(self, world):
+        entry = next(e for e in build_roster(world) if e.name == "StringSim")
+        a, b = entry.factory("ABT"), entry.factory("ABT")
+        assert isinstance(a, StringSimMatcher)
+        assert a is not b
+
+    def test_zeroer_gets_target_kinds(self, world):
+        entry = next(e for e in build_roster(world) if e.name == "ZeroER")
+        matcher = entry.factory("FOZA")
+        assert isinstance(matcher, ZeroERMatcher)
+        assert len(matcher.attribute_kinds) == 6
+
+    def test_jellyfish_marks_seen_datasets(self, world):
+        entry = next(e for e in build_roster(world) if e.name == "Jellyfish")
+        assert len(entry.seen_datasets) == 6
+
+    def test_params_match_paper(self, world):
+        params = {e.name: e.params_millions for e in build_roster(world)}
+        assert params["MatchGPT[GPT-4]"] == 1_760_000
+        assert params["AnyMatch[LLaMA3.2]"] == 1_300
+        assert params["StringSim"] == 0.0
+
+    def test_subset_selection(self, world):
+        entries = build_roster(world, names=("StringSim", "ZeroER"))
+        assert len(entries) == 2
+
+    def test_unknown_name_raises(self, world):
+        with pytest.raises(ReproError):
+            build_roster(world, names=("NotAMatcher",))

@@ -1,0 +1,95 @@
+"""Tests for the static/simulated table drivers (1, 2, 5, 6, figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.study import figures, table1, table2, table5, table6
+from repro.study.paper_targets import TABLE3_F1, TABLE5_THROUGHPUT, TABLE6_COST
+
+
+class TestTable1:
+    def test_generated_counts_scale(self):
+        config = StudyConfig(name="t", seeds=(0,), dataset_scale=0.05)
+        result = table1.run(config)
+        assert len(result.rows) == 11
+        abt = next(r for r in result.rows if r["code"] == "ABT")
+        assert abt["#pos"] == 1028
+        assert abt["#pos(gen)"] == round(1028 * 0.05)
+
+    def test_render_contains_domains(self):
+        config = StudyConfig(name="t", seeds=(0,), dataset_scale=0.05)
+        text = table1.run(config).render()
+        assert "web product" in text and "citation" in text
+
+
+class TestTable2:
+    def test_taxonomy_rows(self):
+        result = table2.run()
+        assert len(result.rows) == 7
+        text = result.render()
+        assert "Model-agnostic" in text and "Parameter-free" in text
+
+
+class TestTable5:
+    def test_rows_in_paper_order(self):
+        result = table5.run()
+        assert [r.model for r in result.results][:2] == ["bert", "gpt2"]
+
+    def test_throughput_matches_paper(self):
+        table = table5.run().throughput_table()
+        for name, row in TABLE5_THROUGHPUT.items():
+            assert abs(table[name] - row["tokens_per_s"]) / row["tokens_per_s"] < 0.02
+
+    def test_render(self):
+        text = table5.run().render()
+        assert "tokens/s" in text and "Jellyfish" in text
+
+
+class TestTable6:
+    def test_sorted_descending(self):
+        result = table6.run()
+        costs = [r.dollars_per_1k_tokens for r in result.results]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_extremes_match_paper(self):
+        table = table6.run().cost_table()
+        assert table["MatchGPT[GPT-4]"] == pytest.approx(0.015)
+        assert table["Ditto"] == pytest.approx(
+            TABLE6_COST["Ditto[Bert]"]["cost"], rel=0.05
+        )
+
+    def test_render(self):
+        text = table6.run().render()
+        assert "p4d.24xlarge" in text and "OpenAI Batch API" in text
+
+
+class TestFigures:
+    @pytest.fixture
+    def quality(self):
+        return {name: sum(row.values()) / len(row) for name, row in TABLE3_F1.items()}
+
+    def test_figure3_excludes_jellyfish(self, quality):
+        result = figures.figure3(quality, table6.run())
+        assert "Jellyfish" not in {p.matcher for p in result.points}
+
+    def test_figure3_anymatch_llama_on_front(self, quality):
+        """The paper's headline trade-off claim, on the paper's numbers."""
+        result = figures.figure3(quality, table6.run())
+        front = {p.matcher for p in result.front()}
+        assert "AnyMatch[LLaMA3.2]" in front
+
+    def test_figure4_covers_all_matchers(self, quality):
+        result = figures.figure4(quality)
+        assert len(result.points) == len(quality)
+        rendered = result.render()
+        assert "1,760,000" in rendered  # GPT-4's parameter count
+
+    def test_figure4_small_model_parity(self, quality):
+        """Fine-tuned small models reach prompted-LLM quality (Figure 4)."""
+        points = {p.matcher: p for p in figures.figure4(quality).points}
+        llama = points["AnyMatch[LLaMA3.2]"]
+        gpt4 = points["MatchGPT[GPT-4]"]
+        assert llama.mean_f1 >= gpt4.mean_f1 - 0.5
+        assert llama.params_millions < gpt4.params_millions / 1_000

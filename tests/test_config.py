@@ -1,0 +1,66 @@
+"""Tests for study configuration and scale profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PROFILES, StudyConfig, SurrogateScale, get_profile
+from repro.errors import ConfigurationError
+
+
+class TestSurrogateScale:
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SurrogateScale(d_model=50, n_heads=4)
+
+    def test_positive_dims_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SurrogateScale(d_model=0, n_heads=1)
+
+
+class TestStudyConfig:
+    def test_defaults_valid(self):
+        config = StudyConfig()
+        assert config.test_cap == 1_250  # the MatchGPT down-sampling rule
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seeds": ()},
+            {"test_fraction": 0.0},
+            {"test_fraction": 1.5},
+            {"dataset_scale": 0.0},
+            {"test_cap": 0},
+            {"train_pair_budget": -1},
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(**kwargs)
+
+    def test_with_seeds(self):
+        config = StudyConfig().with_seeds((7, 8))
+        assert config.seeds == (7, 8)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            StudyConfig().epochs = 99  # type: ignore[misc]
+
+
+class TestProfiles:
+    def test_expected_profiles(self):
+        assert set(PROFILES) == {"smoke", "bench", "default", "full"}
+
+    def test_scales_ordered(self):
+        smoke, default, full = (get_profile(n) for n in ("smoke", "default", "full"))
+        assert smoke.dataset_scale < default.dataset_scale < full.dataset_scale
+        assert smoke.train_pair_budget < default.train_pair_budget < full.train_pair_budget
+
+    def test_full_uses_paper_seeds(self):
+        assert get_profile("full").seeds == (0, 1, 2, 3, 4)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("turbo")

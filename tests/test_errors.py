@@ -1,0 +1,38 @@
+"""The exception hierarchy contract: everything under ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.DatasetError,
+        errors.SchemaMismatchError,
+        errors.SerializationError,
+        errors.MatcherError,
+        errors.NotFittedError,
+        errors.LLMError,
+        errors.PromptError,
+        errors.BudgetExceededError,
+        errors.CostModelError,
+        errors.GradientError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_specialisations():
+    assert issubclass(errors.NotFittedError, errors.MatcherError)
+    assert issubclass(errors.BudgetExceededError, errors.LLMError)
+    assert issubclass(errors.SchemaMismatchError, errors.DatasetError)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.PromptError("bad prompt")

@@ -1,0 +1,37 @@
+"""The package's public API surface stays importable and documented."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        ["data", "matchers", "llm", "eval", "analysis", "cost", "nn", "models",
+         "text", "study", "config", "errors"],
+    )
+    def test_subpackages_importable(self, module_name):
+        __import__(f"repro.{module_name}")
+
+    def test_public_items_documented(self):
+        """Every public callable/class in the top-level API has a docstring."""
+        for name in repro.__all__:
+            item = getattr(repro, name)
+            if callable(item):
+                assert item.__doc__, f"{name} lacks a docstring"
+
+    def test_study_modules_importable(self):
+        from repro import study
+
+        for module_name in study.__all__:
+            __import__(f"repro.study.{module_name}")

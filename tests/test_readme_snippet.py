@@ -1,0 +1,19 @@
+"""The README quickstart snippet must actually run."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_quickstart_snippet_executes(capsys):
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+    assert blocks, "README lost its quickstart code block"
+    snippet = blocks[0]
+    exec(compile(snippet, "README.md", "exec"), {})  # noqa: S102 - our own docs
+    out = capsys.readouterr().out
+    assert "StringSim F1:" in out
+    assert "MatchGPT[GPT-4] F1:" in out

@@ -1,0 +1,144 @@
+"""Unit and property tests for the string-similarity library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import similarity as sim
+
+ALL_SIMILARITIES = [
+    sim.ratcliff_obershelp,
+    sim.levenshtein_similarity,
+    sim.jaro,
+    sim.jaro_winkler,
+    sim.jaccard,
+    sim.overlap_coefficient,
+    sim.dice,
+    sim.monge_elkan,
+    sim.cosine_tokens,
+    sim.prefix_similarity,
+]
+
+texts = st.text(alphabet=st.characters(codec="ascii"), max_size=30)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert sim.tokenize_words("Sony MDR-V150!") == ["sony", "mdr", "v150"]
+
+    def test_empty(self):
+        assert sim.tokenize_words("") == []
+
+    def test_numbers_kept(self):
+        assert sim.tokenize_words("price 99.99") == ["price", "99", "99"]
+
+
+class TestRatcliffObershelp:
+    def test_identical(self):
+        assert sim.ratcliff_obershelp("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert sim.ratcliff_obershelp("aaa", "zzz") == 0.0
+
+    def test_both_empty(self):
+        assert sim.ratcliff_obershelp("", "") == 1.0
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("kitten", "sitting", 3), ("", "abc", 3), ("abc", "", 3), ("abc", "abc", 0),
+         ("flaw", "lawn", 2)],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert sim.levenshtein_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert sim.levenshtein_distance("abcd", "badc") == sim.levenshtein_distance("badc", "abcd")
+
+    @given(texts, texts)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b):
+        # d(a, b) <= d(a, "") + d("", b) = len(a) + len(b)
+        assert sim.levenshtein_distance(a, b) <= len(a) + len(b)
+
+    @given(texts, texts)
+    @settings(max_examples=60)
+    def test_distance_bounds(self, a, b):
+        d = sim.levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b), 0) or (not a and not b and d == 0)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert sim.jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert sim.jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_prefix_bonus(self):
+        assert sim.jaro_winkler("prefixed", "prefixes") >= sim.jaro("prefixed", "prefixes")
+
+    def test_empty_side(self):
+        assert sim.jaro("", "abc") == 0.0
+
+
+class TestSetSimilarities:
+    def test_jaccard_known(self):
+        assert sim.jaccard("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_overlap_subset(self):
+        # One token set contained in the other -> overlap coefficient 1.
+        assert sim.overlap_coefficient("a b", "a b c d") == 1.0
+
+    def test_dice_known(self):
+        assert sim.dice("a b", "b c") == pytest.approx(0.5)
+
+    def test_monge_elkan_asymmetric(self):
+        # Every token of the short side matches; the reverse need not.
+        assert sim.monge_elkan("sony", "sony camera bundle") == pytest.approx(1.0)
+
+
+class TestNumericSimilarity:
+    def test_equal_numbers(self):
+        assert sim.numeric_similarity("$99.99", "99.99 usd") == 1.0
+
+    def test_no_number(self):
+        assert sim.numeric_similarity("cheap", "99") == 0.0
+
+    def test_relative_decay(self):
+        assert sim.numeric_similarity("100", "50") == pytest.approx(0.5)
+
+    def test_negative_numbers(self):
+        assert sim.numeric_similarity("-5", "-5") == 1.0
+
+
+@pytest.mark.parametrize("func", ALL_SIMILARITIES)
+class TestCommonProperties:
+    def test_identity(self, func):
+        assert func("entity matching", "entity matching") == pytest.approx(1.0)
+
+    def test_range_on_samples(self, func):
+        for a, b in [("sony mdr", "sony wh"), ("", "x"), ("a", ""), ("ab cd", "cd ab")]:
+            value = func(a, b)
+            assert 0.0 <= value <= 1.0, (func.__name__, a, b, value)
+
+
+@pytest.mark.parametrize(
+    "func",
+    [sim.jaccard, sim.overlap_coefficient, sim.dice, sim.cosine_tokens,
+     sim.ratcliff_obershelp],
+)
+@given(a=texts, b=texts)
+@settings(max_examples=40)
+def test_similarity_in_unit_interval(func, a, b):
+    assert 0.0 <= func(a, b) <= 1.0
+
+
+@pytest.mark.parametrize("func", [sim.jaccard, sim.dice, sim.cosine_tokens])
+@given(a=texts, b=texts)
+@settings(max_examples=40)
+def test_token_set_symmetry(func, a, b):
+    assert func(a, b) == pytest.approx(func(b, a))

@@ -1,0 +1,40 @@
+"""Reference-value tests pinning the similarity functions to the literature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text import similarity as sim
+
+
+class TestLiteratureValues:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("dixon", "dicksonx", 0.7667),
+            ("jellyfish", "smellyfish", 0.8963),
+        ],
+    )
+    def test_jaro_reference(self, a, b, expected):
+        assert sim.jaro(a, b) == pytest.approx(expected, abs=1e-3)
+
+    def test_jaro_winkler_reference(self):
+        assert sim.jaro_winkler("dixon", "dicksonx") == pytest.approx(0.8133, abs=1e-3)
+
+    def test_levenshtein_saturday_sunday(self):
+        assert sim.levenshtein_distance("saturday", "sunday") == 3
+
+    def test_ratcliff_matches_difflib_docs(self):
+        # The classic difflib example.
+        value = sim.ratcliff_obershelp("abcd", "bcde")
+        assert value == pytest.approx(0.75)
+
+
+class TestOrderingSanity:
+    def test_near_duplicates_outscore_strangers(self):
+        near = ("sony mdr-7506 headphones", "sony mdr7506 headphone")
+        far = ("sony mdr-7506 headphones", "whirlpool dishwasher wdt750")
+        for func in (sim.ratcliff_obershelp, sim.levenshtein_similarity,
+                     sim.jaro_winkler, sim.jaccard, sim.monge_elkan,
+                     sim.cosine_tokens, sim.dice):
+            assert func(*near) > func(*far), func.__name__

@@ -1,0 +1,73 @@
+"""Tests for the TF-IDF model and Ditto-style summariser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tfidf import TfIdfModel, TfIdfSummarizer
+
+
+@pytest.fixture(scope="module")
+def model() -> TfIdfModel:
+    docs = [
+        "sony camera with lens",
+        "sony headphones with cable",
+        "canon camera body only",
+        "rare collectible item",
+    ]
+    return TfIdfModel().fit(docs)
+
+
+class TestTfIdfModel:
+    def test_is_fitted(self, model):
+        assert model.is_fitted
+        assert not TfIdfModel().is_fitted
+
+    def test_rare_tokens_get_higher_idf(self, model):
+        assert model.idf("collectible") > model.idf("sony")
+
+    def test_unseen_token_gets_max_idf(self, model):
+        assert model.idf("neverseen") >= model.idf("collectible")
+
+    def test_vector_normalised(self, model):
+        vec = model.vector("sony camera")
+        norm = sum(w * w for w in vec.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_vector_of_empty_text(self, model):
+        assert model.vector("") == {}
+
+    def test_cosine_identity(self, model):
+        assert model.cosine("sony camera", "sony camera") == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self, model):
+        assert model.cosine("sony", "canon") == 0.0
+
+    def test_cosine_empty_pair(self, model):
+        assert model.cosine("", "") == 1.0
+        assert model.cosine("", "sony") == 0.0
+
+
+class TestSummarizer:
+    def test_short_text_unchanged(self, model):
+        summarizer = TfIdfSummarizer(model, max_tokens=10)
+        assert summarizer.summarize("sony camera") == "sony camera"
+
+    def test_keeps_high_idf_tokens(self, model):
+        summarizer = TfIdfSummarizer(model, max_tokens=2)
+        summary = summarizer.summarize("sony with rare collectible")
+        assert "rare" in summary and "collectible" in summary
+        assert "with" not in summary
+
+    def test_preserves_token_order(self, model):
+        summarizer = TfIdfSummarizer(model, max_tokens=3)
+        summary = summarizer.summarize("collectible item sony camera body")
+        tokens = summary.split()
+        original = "collectible item sony camera body".split()
+        positions = [original.index(t) for t in tokens]
+        assert positions == sorted(positions)
+
+    def test_respects_budget(self, model):
+        summarizer = TfIdfSummarizer(model, max_tokens=4)
+        summary = summarizer.summarize("a b c d e f g h i j collectible rare")
+        assert len(summary.split()) == 4

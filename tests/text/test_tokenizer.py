@@ -1,0 +1,73 @@
+"""Tests for the word tokenizer and hashed-fallback vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.text.tokenizer import SPECIALS, Vocabulary, WordTokenizer
+
+
+@pytest.fixture(scope="module")
+def vocab() -> Vocabulary:
+    corpus = ["sony camera black", "sony lens kit", "canon camera"] * 5
+    return Vocabulary.build(corpus, size=600, n_hash_buckets=64)
+
+
+class TestWordTokenizer:
+    def test_basic(self):
+        assert WordTokenizer().tokenize("Sony MDR-7506") == ["sony", "mdr", "-", "7506"]
+
+    def test_empty(self):
+        assert WordTokenizer().tokenize("") == []
+
+    def test_unicode_symbols_split(self):
+        tokens = WordTokenizer().tokenize("a$b")
+        assert tokens == ["a", "$", "b"]
+
+
+class TestVocabulary:
+    def test_specials_occupy_first_slots(self, vocab):
+        for i, special in enumerate(SPECIALS):
+            assert vocab.id_of(special) == i
+
+    def test_known_token_stable(self, vocab):
+        assert vocab.id_of("sony") == vocab.id_of("sony")
+        assert "sony" in vocab
+
+    def test_oov_goes_to_hash_bucket(self, vocab):
+        oov_id = vocab.id_of("zzzunseen")
+        assert oov_id >= vocab.size - vocab.n_hash_buckets
+        assert "zzzunseen" not in vocab
+
+    def test_oov_deterministic(self, vocab):
+        assert vocab.id_of("qqq123") == vocab.id_of("qqq123")
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            Vocabulary(["a"], size=10, n_hash_buckets=64)
+
+    def test_encode_shape_and_padding(self, vocab):
+        ids = vocab.encode("sony camera", max_len=8)
+        assert len(ids) == 8
+        assert ids[0] == vocab.cls_id
+        assert ids[-1] == vocab.pad_id
+
+    def test_encode_truncates(self, vocab):
+        ids = vocab.encode("sony camera black lens kit canon", max_len=4)
+        assert len(ids) == 4
+        assert vocab.pad_id not in ids
+
+    def test_is_common_tracks_frequency(self):
+        corpus = ["the the the the rare"]
+        built = Vocabulary.build(corpus, size=400, n_hash_buckets=64)
+        assert built.is_common("the")
+
+    @given(st.text(alphabet=st.characters(codec="ascii", categories=["L", "N"]), min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_all_ids_in_range(self, token):
+        corpus = ["fixed corpus words"]
+        built = Vocabulary.build(corpus, size=400, n_hash_buckets=64)
+        assert 0 <= built.id_of(token.lower()) < built.size
