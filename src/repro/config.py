@@ -77,6 +77,12 @@ class StudyConfig:
     #: Scale factor applied to every dataset's generated pair counts
     #: (1.0 reproduces the Table-1 sizes exactly).
     dataset_scale: float = 1.0
+    #: Worker-pool size for the study grid (overridable by the
+    #: ``REPRO_WORKERS`` environment variable; see :mod:`repro.runtime`).
+    workers: int = 1
+    #: Executor backend: ``auto`` | ``serial`` | ``thread`` | ``process``
+    #: (``auto`` picks ``thread`` when ``workers > 1``).
+    executor_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -91,10 +97,20 @@ class StudyConfig:
             raise ConfigurationError("epochs and batch_size must be positive")
         if self.learning_rate <= 0:
             raise ConfigurationError("learning_rate must be positive")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.executor_backend not in ("auto", "serial", "thread", "process"):
+            raise ConfigurationError(
+                f"unknown executor_backend {self.executor_backend!r}"
+            )
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "StudyConfig":
         """Return a copy of this config with a different seed set."""
         return replace(self, seeds=seeds)
+
+    def with_workers(self, workers: int, backend: str = "auto") -> "StudyConfig":
+        """Return a copy of this config with a worker-pool setting."""
+        return replace(self, workers=workers, executor_backend=backend)
 
 
 #: Named scale profiles (see module docstring).

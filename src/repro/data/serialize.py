@@ -10,6 +10,7 @@ implemented here as a seeded permutation shared by both records of a pair.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 import numpy as np
 
@@ -33,10 +34,14 @@ PAIR_SEPARATOR = " [SEP] "
 VALUE_MARKER = "val"
 
 
+@lru_cache(maxsize=None)
 def column_order(n_attributes: int, seed: int | None) -> tuple[int, ...]:
     """The seeded attribute permutation used for serialisation.
 
     ``seed=None`` keeps the natural order (used by deterministic baselines).
+    Memoised: the study grid serialises every candidate pair once per
+    (matcher, seed), and constructing a fresh numpy ``Generator`` per call
+    dominates the cost of the permutation itself.
     """
     if n_attributes <= 0:
         raise SerializationError("n_attributes must be positive")
@@ -46,8 +51,26 @@ def column_order(n_attributes: int, seed: int | None) -> tuple[int, ...]:
     return tuple(int(i) for i in rng.permutation(n_attributes))
 
 
+@lru_cache(maxsize=None)
+def _is_permutation(order: tuple[int, ...]) -> bool:
+    return sorted(order) == list(range(len(order)))
+
+
+@lru_cache(maxsize=131072)
+def _serialize_values(values: tuple[str, ...], order: tuple[int, ...]) -> str:
+    parts = []
+    for idx in order:
+        value = " ".join(values[idx].split())
+        parts.append(f"{VALUE_MARKER} {value}" if value else f"{VALUE_MARKER} ")
+    return " ".join(parts).strip()
+
+
 def serialize_record(record: Record, order: tuple[int, ...] | None = None) -> str:
     """Serialise one record to the anonymous ``val ...`` format.
+
+    The normalised text is memoised on ``(values, order)`` — the grid
+    serialises each record once per prompted model, and the whitespace
+    normalisation was the hot path of fully-cached study passes.
 
     >>> from repro.data.record import Record
     >>> r = Record("r1", ("sony mdr", "99.99"), "e1")
@@ -55,13 +78,9 @@ def serialize_record(record: Record, order: tuple[int, ...] | None = None) -> st
     'val sony mdr val 99.99'
     """
     order = order or tuple(range(record.n_attributes))
-    if sorted(order) != list(range(record.n_attributes)):
+    if len(order) != record.n_attributes or not _is_permutation(order):
         raise SerializationError(f"order {order} is not a permutation for {record.record_id}")
-    parts = []
-    for idx in order:
-        value = " ".join(record.values[idx].split())
-        parts.append(f"{VALUE_MARKER} {value}" if value else f"{VALUE_MARKER} ")
-    return " ".join(parts).strip()
+    return _serialize_values(record.values, order)
 
 
 _VALUE_SPLIT_RE = re.compile(rf"(?:^|\s){VALUE_MARKER}(?:\s|$)")

@@ -97,13 +97,22 @@ class LeaveOneOutRunner:
         missing = [c for c in self.codes if c not in datasets]
         if missing:
             raise ReproError(f"datasets missing for codes: {missing}")
+        self._test_sets: dict[str, EMDataset] = {}
 
     def test_set(self, code: str) -> EMDataset:
-        """The capped, seed-0 test subsample — identical for all baselines."""
+        """The capped, seed-0 test subsample — identical for all baselines.
+
+        Memoized per target code: every matcher evaluated through this
+        runner receives the *same object*, not merely an equal resample.
+        """
+        cached = self._test_sets.get(code)
+        if cached is not None:
+            return cached
         capped = self.datasets[code].subsample(self.config.test_cap, seed=0)
         if self.config.test_fraction < 1.0:
             n = max(8, int(len(capped) * self.config.test_fraction))
             capped = capped.subsample(n, seed=0)
+        self._test_sets[code] = capped
         return capped
 
     def transfer_sets(self, code: str) -> list[EMDataset]:
@@ -138,11 +147,28 @@ class LeaveOneOutRunner:
         matcher_name: str,
         params_millions: float = 0.0,
         seen_datasets: frozenset[str] = frozenset(),
+        executor: "StudyExecutor | None" = None,
     ) -> StudyResult:
-        """Evaluate one matcher over every leave-one-out target."""
+        """Evaluate one matcher over every leave-one-out target.
+
+        Targets are independent, so an ``executor`` (see
+        :mod:`repro.runtime.executor`) may fan them out; results merge in
+        target order, so parallel runs match serial runs exactly.  This
+        path closes over ``self`` and therefore supports the ``serial``
+        and ``thread`` backends; the picklable ``process`` path is
+        :func:`repro.runtime.grid.run_cell`.
+        """
         result = StudyResult(matcher_name=matcher_name, params_millions=params_millions)
-        for code in self.codes:
-            result.per_dataset[code] = self.run_target(
+
+        def one_target(code: str) -> TargetResult:
+            return self.run_target(
                 matcher_factory, code, seen_in_training=code in seen_datasets
             )
+
+        if executor is None:
+            targets = [one_target(code) for code in self.codes]
+        else:
+            targets = executor.map_tasks(one_target, list(self.codes))
+        for code, target in zip(self.codes, targets):
+            result.per_dataset[code] = target
         return result

@@ -6,6 +6,12 @@ rate.  :class:`BatchJob` reproduces that interaction shape over any
 :class:`~repro.llm.client.LLMClient`: submit many prompts, process, read
 results and an aggregate usage/cost report — with per-request error
 capture so one malformed prompt cannot void a million-pair job.
+
+``process(workers=N)`` fans contiguous request chunks across a
+:class:`~repro.runtime.executor.StudyExecutor` worker pool.  Completions
+run in the workers; metering happens afterwards in the parent, in
+submission order, so budgets trip on exactly the same request as a
+serial run and the collected results are identical.
 """
 
 from __future__ import annotations
@@ -31,6 +37,19 @@ class BatchResult:
         return self.response is not None
 
 
+def _complete_chunk(
+    client: LLMClient, requests: list[tuple[int, LLMRequest]]
+) -> list[tuple[int, LLMResponse | None, str | None]]:
+    """Run one chunk of requests, capturing per-request failures."""
+    outcomes: list[tuple[int, LLMResponse | None, str | None]] = []
+    for index, request in requests:
+        try:
+            outcomes.append((index, client.complete(request), None))
+        except LLMError as error:
+            outcomes.append((index, None, str(error)))
+    return outcomes
+
+
 @dataclass
 class BatchJob:
     """A submit-then-collect batch over an LLM client."""
@@ -52,43 +71,113 @@ class BatchJob:
         for prompt in prompts:
             self.submit(prompt)
 
-    def process(self) -> "BatchJob":
-        """Run every queued request, capturing per-request failures."""
+    def process(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        executor: "object | None" = None,
+    ) -> "BatchJob":
+        """Run every queued request, capturing per-request failures.
+
+        With ``workers > 1`` (or an explicit ``executor``), requests are
+        split into contiguous chunks and fanned across the pool; results
+        are merged back in submission order and metered in that order,
+        so the outcome is identical to a serial run.
+        """
         if self._processed:
             raise LLMError("batch already processed")
         if not self._requests:
             raise LLMError("batch contains no requests")
-        for index, request in enumerate(self._requests):
-            try:
-                response = self.client.complete(request)
-                self.meter.record(response)
-                self._results.append(BatchResult(index, response, None))
-            except LLMError as error:
-                self._results.append(BatchResult(index, None, str(error)))
+
+        if workers == 1 and executor is None:
+            for index, request in enumerate(self._requests):
+                try:
+                    response = self.client.complete(request)
+                    self.meter.record(response)
+                    self._results.append(BatchResult(index, response, None))
+                except LLMError as error:
+                    self._results.append(BatchResult(index, None, str(error)))
+        else:
+            self._process_chunked(workers, chunk_size, executor)
         self._processed = True
         return self
 
+    def _process_chunked(
+        self, workers: int, chunk_size: int | None, executor: "object | None"
+    ) -> None:
+        # Imported here: repro.llm must stay importable without the
+        # runtime package (which imports back into this layer).
+        from ..runtime.chunks import chunk_indices, default_chunk_size
+        from ..runtime.executor import StudyExecutor, make_executor
+
+        owns_executor = executor is None
+        if executor is None:
+            executor = make_executor(workers=workers, backend="thread")
+        if not isinstance(executor, StudyExecutor):
+            raise LLMError(f"executor must be a StudyExecutor, got {type(executor)!r}")
+        size = chunk_size or default_chunk_size(len(self._requests), executor.workers)
+        chunks = [
+            [(index, self._requests[index]) for index in indices]
+            for indices in chunk_indices(len(self._requests), size)
+        ]
+        # functools.partial over a module-level function stays picklable,
+        # so chunks can also ship to a process-backed executor (the
+        # client must then be picklable too).
+        from functools import partial
+
+        try:
+            outcomes = executor.map_tasks(partial(_complete_chunk, self.client), chunks)
+        finally:
+            if owns_executor:
+                executor.close()
+        # Chunks come back in submission order; metering replays in that
+        # order so budget enforcement matches the serial path exactly.
+        for index, response, error in (o for chunk in outcomes for o in chunk):
+            if response is not None:
+                try:
+                    self.meter.record(response)
+                except LLMError as meter_error:
+                    self._results.append(BatchResult(index, None, str(meter_error)))
+                    continue
+            self._results.append(BatchResult(index, response, error))
+
     # -- collection ---------------------------------------------------------
+
+    def _require_processed(self) -> None:
+        if not self._processed:
+            raise LLMError("process() the batch before reading results")
 
     @property
     def results(self) -> list[BatchResult]:
-        if not self._processed:
-            raise LLMError("process() the batch before reading results")
+        self._require_processed()
         return list(self._results)
 
     @property
     def n_failed(self) -> int:
-        return sum(1 for r in self.results if not r.succeeded)
+        self._require_processed()
+        # Iterate the internal list directly: the `results` property
+        # copies, which turned these aggregations quadratic on big jobs.
+        return sum(1 for r in self._results if not r.succeeded)
 
     def texts(self) -> list[str | None]:
         """Completion texts in submission order (None where failed)."""
-        return [r.response.text if r.succeeded else None for r in self.results]
+        self._require_processed()
+        return [r.response.text if r.succeeded else None for r in self._results]
 
     def report(self) -> str:
-        """One-line job summary: sizes, tokens, dollars."""
-        ok = len(self._results) - self.n_failed
-        return (
+        """One-line job summary: sizes, tokens, dollars — and cache savings."""
+        ok = sum(1 for r in self._results if r.succeeded)
+        line = (
             f"batch[{self.client.model_name}]: {ok}/{len(self._results)} ok, "
             f"{self.meter.prompt_tokens:,} prompt tokens, "
             f"${self.meter.dollars_spent:.4f}"
         )
+        # Duck-typed so this layer does not import repro.runtime: a
+        # CachedClient exposes its cache's hit/miss/savings counters.
+        cache = getattr(self.client, "cache", None)
+        if cache is not None and hasattr(cache, "hits"):
+            line += (
+                f", cache {cache.hits}/{cache.hits + cache.misses} hits"
+                f" (${cache.saved_dollars:.4f} saved)"
+            )
+        return line

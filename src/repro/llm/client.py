@@ -61,6 +61,12 @@ class LLMClient:
 
     #: Model identifier reported in responses.
     model_name: str = "unknown"
+    #: Extra key material for the content-addressed completion cache
+    #: (:mod:`repro.runtime.cache`).  Backends whose responses depend on
+    #: state beyond ``(model_name, prompt)`` — e.g. the simulated
+    #: service's decision seed — must encode that state here so cached
+    #: responses are provably interchangeable with recomputed ones.
+    cache_salt: str = ""
 
     def complete(self, request: LLMRequest) -> LLMResponse:
         raise NotImplementedError

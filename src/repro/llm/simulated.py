@@ -63,6 +63,9 @@ class SimulatedLLM(LLMClient):
         self.world = world
         self.seed = seed
         self.model_name = profile.name
+        # Decisions are deterministic per (model, prompt, seed, strategy);
+        # the seed must therefore participate in completion-cache keys.
+        self.cache_salt = str(seed)
         self.n_fallback_decisions = 0
 
     # -- public API ----------------------------------------------------------

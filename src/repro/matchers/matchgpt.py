@@ -8,6 +8,8 @@ token usage so the cost analysis can price a full run.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..config import StudyConfig
@@ -27,6 +29,19 @@ from .base import Matcher
 from .encoding import pair_text
 
 __all__ = ["MatchGPTMatcher"]
+
+
+@lru_cache(maxsize=65536)
+def _zero_shot_prompt(pair: RecordPair, serialization_seed: int | None) -> str:
+    """The demonstration-free prompt for one pair.
+
+    A pure function of the (frozen, hashable) pair and the serialisation
+    seed — and identical for every model — so it is memoised module-wide.
+    The study grid prompts each candidate pair once per model, and without
+    the memo prompt construction dominates cache-hit passes.
+    """
+    left, right = pair_text(pair, serialization_seed)
+    return build_match_prompt(left, right, ())
 
 
 class MatchGPTMatcher(Matcher):
@@ -83,6 +98,8 @@ class MatchGPTMatcher(Matcher):
 
     def prompt_for(self, pair: RecordPair, serialization_seed: int | None = None) -> str:
         """The exact prompt sent for one candidate pair (useful for debugging)."""
+        if self.demo_strategy is DemonstrationStrategy.NONE:
+            return _zero_shot_prompt(pair, serialization_seed)
         left, right = pair_text(pair, serialization_seed)
         return build_match_prompt(left, right, self._demos_for(pair, left, right))
 

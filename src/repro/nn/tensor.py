@@ -12,6 +12,7 @@ Python recursion limit.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -20,25 +21,27 @@ from ..errors import GradientError
 
 __all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+#: Grad mode is *thread-local*: the study runtime trains independent grid
+#: cells on worker threads, and a process-wide flag would let one cell's
+#: ``no_grad()`` evaluation silently disable graph construction inside
+#: another cell's training step.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager disabling graph construction (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -72,7 +75,7 @@ class Tensor:
             raise GradientError("cannot wrap a Tensor in a Tensor")
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and is_grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
 
@@ -122,7 +125,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
@@ -357,7 +360,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 slicer[axis] = slice(lo, hi)
                 t._accumulate(grad[tuple(slicer)])
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     if not requires:
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)
@@ -375,7 +378,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(np.squeeze(part, axis=axis))
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     if not requires:
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)

@@ -1,0 +1,67 @@
+"""Parallel study runtime: executors, task grid, completion cache, stats.
+
+The paper's experiment grid (14 matchers x 11 leave-one-out targets x 5
+seeds, Tables 3-4) is embarrassingly parallel: every (matcher, target)
+cell fits and predicts independently.  This package supplies the
+scheduler the study drivers dispatch through:
+
+:mod:`repro.runtime.executor`
+    ``StudyExecutor`` and its serial / thread-pool / process-pool
+    implementations behind one ``map_tasks()`` interface with
+    submission-order result merging, so parallel output is byte-identical
+    to serial output.
+:mod:`repro.runtime.grid`
+    Decomposition of the Table 3/4 grids into independent
+    :class:`~repro.runtime.grid.GridCell` tasks and the picklable
+    ``run_cell`` worker.
+:mod:`repro.runtime.cache`
+    A content-addressed completion cache keyed on
+    ``sha256(model || salt || strategy || prompt)`` wrapped around any
+    :class:`~repro.llm.client.LLMClient` — repeated prompts (Table 4's
+    ``none`` strategy re-runs Table 3's MatchGPT cells verbatim) are
+    answered from memory and their simulated dollar cost counted as
+    saved.
+:mod:`repro.runtime.stats`
+    Per-phase wall-clock, task counts, cache hit rate and the
+    parallel-speedup estimate recorded into ``full_study.json``.
+:mod:`repro.runtime.chunks`
+    Deterministic chunk partitioning shared by the batch layer.
+
+``repro.runtime.grid`` is intentionally *not* imported here: it pulls in
+the study roster (and with it the matcher stack), which would create an
+import cycle through :mod:`repro.llm`.  Import it explicitly via
+``from repro.runtime import grid``.
+"""
+
+from __future__ import annotations
+
+from .cache import CachedClient, CompletionCache, active_cache, completion_key
+from .chunks import chunk_indices
+from .executor import (
+    EXECUTOR_BACKENDS,
+    ProcessStudyExecutor,
+    SerialExecutor,
+    StudyExecutor,
+    ThreadStudyExecutor,
+    make_executor,
+    resolve_backend,
+    resolve_workers,
+)
+from .stats import RuntimeStats
+
+__all__ = [
+    "CachedClient",
+    "CompletionCache",
+    "EXECUTOR_BACKENDS",
+    "ProcessStudyExecutor",
+    "RuntimeStats",
+    "SerialExecutor",
+    "StudyExecutor",
+    "ThreadStudyExecutor",
+    "active_cache",
+    "chunk_indices",
+    "completion_key",
+    "make_executor",
+    "resolve_backend",
+    "resolve_workers",
+]

@@ -1,0 +1,276 @@
+"""Content-addressed completion cache over any LLM client.
+
+The study grid re-issues identical prompts constantly: Table 4's ``none``
+strategy re-runs exactly the prompts Table 3 sent for the same GPT
+models, and low-arity schemas make distinct serialisation seeds collide
+on the same column order.  Against a real Batch API every one of those
+repeats is billed again; here they are answered from a cache keyed on
+
+``sha256(model || cache_salt || demo_strategy || prompt)``
+
+so the response is provably a function of everything that can influence
+it (the simulated client's decision seed travels in ``cache_salt``; the
+demonstration-strategy tag modulates the calibrated error envelope even
+for byte-identical prompts).
+
+The cache tracks hits, misses, the prompt tokens a hit avoided
+re-submitting, and the simulated dollars saved at the model's published
+batch price — surfaced in :meth:`repro.llm.batching.BatchJob.report` and
+in the ``runtime`` block of ``full_study.json``.
+
+A process-wide *active* cache can be installed with :func:`activate`
+(or implicitly via ``REPRO_CACHE=1`` / ``REPRO_CACHE_PATH``); the study
+factories wrap their clients through :func:`wrap_client`, which is a
+no-op when no cache is active, so default behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..errors import CostModelError, LLMError
+from ..llm.client import LLMClient, LLMRequest, LLMResponse
+from ..llm.pricing import api_price_per_1k
+
+__all__ = [
+    "completion_key",
+    "CompletionCache",
+    "CachedClient",
+    "activate",
+    "deactivate",
+    "active_cache",
+    "cache_enabled_from_env",
+    "ensure_active_cache",
+    "wrap_client",
+]
+
+#: Environment switches: ``REPRO_CACHE=1`` activates a process-wide cache;
+#: ``REPRO_CACHE_PATH`` additionally persists it as JSON-lines.
+CACHE_ENV = "REPRO_CACHE"
+CACHE_PATH_ENV = "REPRO_CACHE_PATH"
+
+_SEPARATOR = b"\x00"
+
+
+def completion_key(
+    model: str, prompt: str, salt: str = "", strategy: str = ""
+) -> str:
+    """The content address of one completion (hex sha256)."""
+    digest = hashlib.sha256()
+    for part in (model, salt, strategy, prompt):
+        digest.update(part.encode("utf-8"))
+        digest.update(_SEPARATOR)
+    return digest.hexdigest()
+
+
+class CompletionCache:
+    """In-memory completion store with optional JSON-lines persistence."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[str, LLMResponse] = {}
+        self.hits = 0
+        self.misses = 0
+        self.saved_prompt_tokens = 0
+        self.saved_dollars = 0.0
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> LLMResponse | None:
+        """Look up a completion, counting the hit or miss."""
+        response = self._entries.get(key)
+        if response is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self.saved_prompt_tokens += response.prompt_tokens
+        return response
+
+    def store(self, key: str, response: LLMResponse) -> None:
+        self._entries[key] = response
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- accounting ----------------------------------------------------------
+
+    def credit_saved_dollars(self, prompt_tokens: int, price_per_1k: float) -> None:
+        self.saved_dollars += prompt_tokens / 1_000 * price_per_1k
+
+    def counters(self) -> dict[str, float]:
+        """The running totals (the shape stored in ``full_study.json``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "saved_prompt_tokens": self.saved_prompt_tokens,
+            "saved_dollars": round(self.saved_dollars, 6),
+        }
+
+    def delta_since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Counter movement since a :meth:`counters` snapshot.
+
+        Grid workers report this per cell so a parent process can
+        aggregate cache activity that happened in pool workers it cannot
+        observe directly.
+        """
+        current = self.counters()
+        return {
+            key: round(current[key] - snapshot.get(key, 0), 6)
+            for key in ("hits", "misses", "saved_prompt_tokens", "saved_dollars")
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries from a JSON-lines file; returns how many loaded."""
+        loaded = 0
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                response = LLMResponse(
+                    text=row["text"],
+                    model=row["model"],
+                    prompt_tokens=int(row["prompt_tokens"]),
+                    completion_tokens=int(row["completion_tokens"]),
+                )
+                self._entries[row["key"]] = response
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                raise LLMError(f"corrupt cache line in {path}: {error}") from None
+            loaded += 1
+        return loaded
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write all entries as JSON-lines (one completion per line)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise LLMError("no cache path configured; pass one to save()")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(
+                {
+                    "key": key,
+                    "text": response.text,
+                    "model": response.model,
+                    "prompt_tokens": response.prompt_tokens,
+                    "completion_tokens": response.completion_tokens,
+                }
+            )
+            for key, response in self._entries.items()
+        ]
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+
+class CachedClient(LLMClient):
+    """Wrap a client so repeated prompts are served from the cache.
+
+    The wrapped client's responses are deterministic functions of the key
+    material (model, salt, strategy tag, prompt), so a cached response is
+    byte-identical to a recomputed one — study results do not change when
+    the cache is enabled.
+    """
+
+    def __init__(self, inner: LLMClient, cache: CompletionCache) -> None:
+        self.inner = inner
+        self.cache = cache
+        self.model_name = inner.model_name
+        self.cache_salt = getattr(inner, "cache_salt", "")
+        # (model, salt, strategy) are fixed per client/matcher, so their
+        # sha256 prefix is hashed once and copied per request.  The digest
+        # is byte-identical to :func:`completion_key`.
+        self._key_prefixes: dict[str, "hashlib._Hash"] = {}
+        try:
+            self._price_per_1k = api_price_per_1k(
+                inner.model_name
+            ).dollars_per_1k_input_tokens
+        except CostModelError:
+            self._price_per_1k = 0.0
+
+    def _key_for(self, strategy: str, prompt: str) -> str:
+        prefix = self._key_prefixes.get(strategy)
+        if prefix is None:
+            prefix = hashlib.sha256()
+            for part in (self.model_name, self.cache_salt, strategy):
+                prefix.update(part.encode("utf-8"))
+                prefix.update(_SEPARATOR)
+            self._key_prefixes[strategy] = prefix
+        digest = prefix.copy()
+        digest.update(prompt.encode("utf-8"))
+        digest.update(_SEPARATOR)
+        return digest.hexdigest()
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        key = self._key_for(
+            request.metadata.get("demo_strategy", ""), request.prompt
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.cache.credit_saved_dollars(cached.prompt_tokens, self._price_per_1k)
+            return cached
+        response = self.inner.complete(request)
+        self.cache.store(key, response)
+        return response
+
+
+# -- process-wide active cache ----------------------------------------------
+
+_active: CompletionCache | None = None
+
+
+def activate(cache: CompletionCache) -> CompletionCache:
+    """Install ``cache`` as this process's active completion cache."""
+    global _active
+    _active = cache
+    return cache
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active_cache() -> CompletionCache | None:
+    return _active
+
+
+def cache_enabled_from_env() -> bool:
+    value = os.environ.get(CACHE_ENV, "").strip().lower()
+    if value in {"1", "true", "on", "yes"}:
+        return True
+    return bool(os.environ.get(CACHE_PATH_ENV, "").strip())
+
+
+def ensure_active_cache() -> CompletionCache:
+    """Return the active cache, creating one (honouring env vars) if absent."""
+    if _active is not None:
+        return _active
+    path = os.environ.get(CACHE_PATH_ENV, "").strip() or None
+    return activate(CompletionCache(path=path))
+
+
+def wrap_client(client: LLMClient) -> LLMClient:
+    """Wrap ``client`` with the active cache; identity when none is active.
+
+    The environment switch is honoured lazily so worker processes forked
+    by the process executor pick the cache up without explicit plumbing.
+    """
+    if _active is None and cache_enabled_from_env():
+        ensure_active_cache()
+    if _active is None:
+        return client
+    return CachedClient(client, _active)

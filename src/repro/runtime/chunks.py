@@ -1,0 +1,38 @@
+"""Deterministic chunk partitioning for fan-out over an executor.
+
+Chunking keeps per-task dispatch overhead (future creation, pickling for
+the process backend) amortised over many requests while preserving
+submission order: concatenating the chunks in order reproduces the
+original sequence exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["chunk_indices", "default_chunk_size"]
+
+
+def default_chunk_size(n_items: int, workers: int, per_worker: int = 4) -> int:
+    """A chunk size giving each worker ~``per_worker`` chunks to balance load."""
+    if n_items <= 0:
+        return 1
+    return max(1, math.ceil(n_items / max(1, workers * per_worker)))
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> list[range]:
+    """Split ``range(n_items)`` into contiguous ranges of ``chunk_size``.
+
+    >>> [list(r) for r in chunk_indices(5, 2)]
+    [[0, 1], [2, 3], [4]]
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    return [
+        range(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]

@@ -1,0 +1,208 @@
+"""Worker-pool executors behind one ``map_tasks()`` interface.
+
+Every study driver dispatches its independent tasks through a
+:class:`StudyExecutor`.  Three implementations are provided:
+
+``serial``
+    Runs tasks inline — the reference behaviour every parallel backend
+    must reproduce bit-for-bit.
+``thread``
+    A :class:`concurrent.futures.ThreadPoolExecutor` pool.  Tasks share
+    the process, so the in-memory completion cache and the memoized
+    dataset bundles are shared too; best when tasks release the GIL or
+    hit the cache.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor` pool (``fork``
+    context where available).  Tasks must be module-level picklable
+    callables — the grid's :func:`repro.runtime.grid.run_cell` is; ad-hoc
+    closures are not.
+
+Results are always merged in *submission order*: ``map_tasks`` returns
+``[fn(t) for t in tasks]`` regardless of completion order, so a parallel
+study run produces byte-identical JSON to a serial one.
+
+Backend and worker count resolve from, in priority order: explicit
+arguments, the ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment
+variables, the :class:`~repro.config.StudyConfig` fields, and finally
+``(1, serial)``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from ..config import StudyConfig
+from ..errors import ConfigurationError
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "StudyExecutor",
+    "SerialExecutor",
+    "ThreadStudyExecutor",
+    "ProcessStudyExecutor",
+    "resolve_workers",
+    "resolve_backend",
+    "make_executor",
+]
+
+#: Recognised executor backend names.
+EXECUTOR_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+#: Environment variables consulted by :func:`make_executor`.
+WORKERS_ENV = "REPRO_WORKERS"
+BACKEND_ENV = "REPRO_EXECUTOR"
+
+
+class StudyExecutor:
+    """Maps a callable over tasks, returning results in submission order."""
+
+    backend: str = "serial"
+    workers: int = 1
+
+    def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (no-op for the serial executor)."""
+
+    def __enter__(self) -> "StudyExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(backend={self.backend!r}, workers={self.workers})"
+
+
+class SerialExecutor(StudyExecutor):
+    """The reference executor: tasks run inline, one at a time."""
+
+    def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        return [fn(task) for task in tasks]
+
+
+class _PoolExecutor(StudyExecutor):
+    """Shared submit/gather logic over a lazily created futures pool.
+
+    The pool persists for the executor's lifetime so repeated
+    ``map_tasks`` calls (one per Table-3 matcher row, say) reuse warm
+    workers — a process worker keeps its memoized dataset bundle and its
+    completion cache across calls.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: _FuturesExecutor | None = None
+
+    def _make_pool(self) -> _FuturesExecutor:
+        raise NotImplementedError
+
+    def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._pool.submit(fn, task) for task in tasks]
+        # Gathering in submission order (not completion order) is what
+        # makes parallel output byte-identical to serial output.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadStudyExecutor(_PoolExecutor):
+    backend = "thread"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-study"
+        )
+
+
+class ProcessStudyExecutor(_PoolExecutor):
+    backend = "process"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+
+
+def resolve_workers(
+    workers: int | None = None, config: StudyConfig | None = None
+) -> int:
+    """Worker count: explicit arg > ``REPRO_WORKERS`` > config > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer"
+                ) from None
+    if workers is None and config is not None:
+        workers = config.workers
+    workers = 1 if workers is None else workers
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_backend(
+    backend: str | None = None,
+    config: StudyConfig | None = None,
+    workers: int = 1,
+) -> str:
+    """Backend: explicit arg > ``REPRO_EXECUTOR`` > config > auto.
+
+    ``auto`` (the config default) picks ``thread`` when more than one
+    worker is requested and ``serial`` otherwise.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or None
+    if backend is None and config is not None and config.executor_backend != "auto":
+        backend = config.executor_backend
+    if backend is None or backend == "auto":
+        backend = "thread" if workers > 1 else "serial"
+    if backend not in EXECUTOR_BACKENDS:
+        known = ", ".join(EXECUTOR_BACKENDS)
+        raise ConfigurationError(
+            f"unknown executor backend {backend!r}; choose one of: {known}"
+        )
+    return backend
+
+
+def make_executor(
+    workers: int | None = None,
+    backend: str | None = None,
+    config: StudyConfig | None = None,
+) -> StudyExecutor:
+    """Build the executor selected by arguments, environment and config.
+
+    >>> make_executor(workers=1).backend
+    'serial'
+    >>> make_executor(workers=3, backend="thread").workers
+    3
+    """
+    workers = resolve_workers(workers, config)
+    backend = resolve_backend(backend, config, workers=workers)
+    if workers == 1 or backend == "serial":
+        # A one-worker pool only adds dispatch overhead; serial is the
+        # identical-output fast path.
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadStudyExecutor(workers)
+    return ProcessStudyExecutor(workers)

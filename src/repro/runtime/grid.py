@@ -1,0 +1,190 @@
+"""The study grid as independent, picklable tasks.
+
+Tables 3 and 4 are grids of independent cells: one ``(matcher, target)``
+pair fits on the transfer datasets and predicts on the held-out target
+for every seed, never touching another cell's state.  This module
+decomposes the grids into :class:`GridCell` specs and provides the
+module-level :func:`run_cell` worker the process-pool executor can
+pickle.
+
+A worker reconstructs its inputs deterministically: the synthetic dataset
+bundle is a pure function of ``(scale, seed)`` and is memoized
+*per process*, so a warm pool worker builds it once and reuses it for
+every cell it is handed.  Because every source of randomness is seeded
+per cell, dispatching cells through any executor backend yields
+bit-identical results to the serial nested loops it replaces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import StudyConfig
+from ..data.generators import build_all_datasets
+from ..eval.loo import LeaveOneOutRunner, StudyResult, TargetResult
+from ..errors import ReproError
+from .cache import active_cache, ensure_active_cache
+from .executor import StudyExecutor
+from .stats import RuntimeStats
+
+__all__ = ["GridCell", "CellResult", "dataset_bundle", "run_cell", "run_cells"]
+
+#: Per-process memo of ``build_all_datasets`` outputs keyed on
+#: ``(scale, seed)`` — the generators are deterministic, so every process
+#: that builds the same key holds identical data.
+_DATASET_MEMO: dict[tuple[float, int], tuple] = {}
+
+
+def dataset_bundle(scale: float, seed: int) -> tuple:
+    """The memoized ``(datasets, world)`` bundle for one generator key."""
+    key = (float(scale), int(seed))
+    if key not in _DATASET_MEMO:
+        _DATASET_MEMO[key] = build_all_datasets(scale=scale, seed=seed)
+    return _DATASET_MEMO[key]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One independent ``(matcher, target)`` unit of study work."""
+
+    #: ``table3`` cells name a roster entry; ``table4`` cells name a
+    #: ``(model, strategy)`` combination.
+    kind: str
+    matcher_name: str
+    target_code: str
+    config: StudyConfig
+    #: The full leave-one-out code roster (defines the transfer sets).
+    codes: tuple[str, ...]
+    dataset_seed: int = 7
+    llm_seed: int = 0
+    seen_in_training: bool = False
+    #: Table-4 only: the LLM profile and demonstration strategy.
+    model: str = ""
+    strategy: str = ""
+    #: Activate the process-local completion cache before running.
+    use_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("table3", "table4"):
+            raise ReproError(f"unknown grid cell kind {self.kind!r}")
+        if self.kind == "table4" and not (self.model and self.strategy):
+            raise ReproError("table4 cells need a model and a strategy")
+        if self.target_code not in self.codes:
+            raise ReproError(
+                f"target {self.target_code!r} not in cell codes {self.codes}"
+            )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One evaluated cell plus its worker-side accounting."""
+
+    matcher_name: str
+    target_code: str
+    result: TargetResult
+    seconds: float
+    cache_delta: dict[str, float] = field(default_factory=dict)
+
+
+def _factory_for(cell: GridCell, world):
+    """Rebuild the matcher factory for one cell (inside the worker)."""
+    if cell.kind == "table3":
+        from ..study.roster import build_roster
+
+        entry = build_roster(
+            world, names=(cell.matcher_name,), llm_seed=cell.llm_seed
+        )[0]
+        return entry.factory
+
+    from ..llm.profiles import get_profile as get_llm_profile
+    from ..llm.prompts import DemonstrationStrategy
+    from ..llm.simulated import SimulatedLLM
+    from ..matchers import MatchGPTMatcher
+    from .cache import wrap_client
+
+    profile = get_llm_profile(cell.model)
+    strategy = DemonstrationStrategy(cell.strategy)
+
+    def factory(code: str):
+        client = wrap_client(SimulatedLLM(profile, world, seed=cell.llm_seed))
+        return MatchGPTMatcher(
+            client,
+            demo_strategy=strategy,
+            display_name=f"{profile.display_name} ({strategy.value})",
+            params_millions=profile.params_millions,
+        )
+
+    return factory
+
+
+def run_cell(cell: GridCell) -> CellResult:
+    """Evaluate one grid cell; safe to run in any executor backend."""
+    started = time.perf_counter()
+    if cell.use_cache:
+        ensure_active_cache()
+    cache = active_cache()
+    snapshot = cache.counters() if cache is not None else {}
+
+    datasets, world = dataset_bundle(cell.config.dataset_scale, cell.dataset_seed)
+    datasets = {code: datasets[code] for code in cell.codes}
+    runner = LeaveOneOutRunner(datasets, cell.config, codes=cell.codes)
+    result = runner.run_target(
+        _factory_for(cell, world),
+        cell.target_code,
+        seen_in_training=cell.seen_in_training,
+    )
+    return CellResult(
+        matcher_name=cell.matcher_name,
+        target_code=cell.target_code,
+        result=result,
+        seconds=time.perf_counter() - started,
+        cache_delta=cache.delta_since(snapshot) if cache is not None else {},
+    )
+
+
+def run_cells(
+    cells: list[GridCell],
+    executor: StudyExecutor,
+    stats: RuntimeStats | None = None,
+    phase: str = "grid",
+) -> list[CellResult]:
+    """Dispatch cells through the executor, in submission order."""
+    if stats is None:
+        return executor.map_tasks(run_cell, cells)
+    cache = active_cache()
+    snapshot = cache.counters() if cache is not None else {}
+    with stats.phase(phase):
+        results = executor.map_tasks(run_cell, cells)
+    stats.record_tasks(phase, len(results), sum(r.seconds for r in results))
+    if cache is not None and executor.backend != "process":
+        # Serial and thread cells share this process's cache, so per-cell
+        # deltas overlap under concurrency (each cell's window counts its
+        # neighbours' activity); one whole-phase delta is exact.
+        stats.merge_cache(cache.delta_since(snapshot))
+    else:
+        # Process workers hold their own forked caches and run their
+        # cells sequentially, so per-cell deltas partition exactly.
+        for cell_result in results:
+            stats.merge_cache(cell_result.cache_delta)
+    return results
+
+
+def collect_rows(
+    cells: list[GridCell],
+    results: list[CellResult],
+    params_by_matcher: dict[str, float],
+) -> list[StudyResult]:
+    """Assemble per-cell results into Table-3-style rows, preserving the
+    cells' submission order (matcher-major, then target)."""
+    rows: dict[str, StudyResult] = {}
+    for cell, cell_result in zip(cells, results):
+        row = rows.get(cell.matcher_name)
+        if row is None:
+            row = StudyResult(
+                matcher_name=cell.matcher_name,
+                params_millions=params_by_matcher.get(cell.matcher_name, 0.0),
+            )
+            rows[cell.matcher_name] = row
+        row.per_dataset[cell.target_code] = cell_result.result
+    return list(rows.values())

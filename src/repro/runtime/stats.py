@@ -1,0 +1,133 @@
+"""Runtime accounting for a study run.
+
+:class:`RuntimeStats` records, per named phase, the wall-clock spent, how
+many grid tasks ran, and the *sum of per-task seconds* as measured inside
+the workers.  On a parallel run the ratio ``task_seconds / wall_seconds``
+is the realised speedup over an ideal serial execution of the same tasks
+— the number the benchmark harness tracks across PRs.  Cache counters are
+merged in from the per-cell deltas the grid workers return (a parent
+process cannot observe a pool worker's in-memory cache directly).
+
+The aggregate lands in the ``runtime`` block of ``full_study.json`` and
+is printed as the run footer; it never touches any table or figure value.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RuntimeStats"]
+
+
+class RuntimeStats:
+    """Per-phase wall-clock, task counts and cache totals for one run."""
+
+    def __init__(self, workers: int = 1, backend: str = "serial") -> None:
+        self.workers = workers
+        self.backend = backend
+        self.phase_seconds: dict[str, float] = {}
+        self.phase_tasks: dict[str, int] = {}
+        self.phase_task_seconds: dict[str, float] = {}
+        self.cache_counters: dict[str, float] = {
+            "hits": 0,
+            "misses": 0,
+            "saved_prompt_tokens": 0,
+            "saved_dollars": 0.0,
+        }
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock under ``name`` (re-enterable)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def record_tasks(self, phase: str, n_tasks: int, task_seconds: float) -> None:
+        """Account ``n_tasks`` worker tasks totalling ``task_seconds``."""
+        self.phase_tasks[phase] = self.phase_tasks.get(phase, 0) + n_tasks
+        self.phase_task_seconds[phase] = (
+            self.phase_task_seconds.get(phase, 0.0) + task_seconds
+        )
+
+    def merge_cache(self, delta: dict[str, float]) -> None:
+        """Fold one worker-reported cache counter delta into the totals."""
+        for key in self.cache_counters:
+            self.cache_counters[key] += delta.get(key, 0)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(self.phase_tasks.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_counters["hits"] + self.cache_counters["misses"]
+        return self.cache_counters["hits"] / total if total else 0.0
+
+    def speedup_vs_serial(self, phase: str) -> float | None:
+        """Realised speedup of ``phase``: serial task time over wall time.
+
+        ``None`` when the phase ran no timed tasks (e.g. the static
+        Tables 5-6 phase).
+        """
+        wall = self.phase_seconds.get(phase, 0.0)
+        tasks = self.phase_task_seconds.get(phase, 0.0)
+        if wall <= 0.0 or tasks <= 0.0:
+            return None
+        return tasks / wall
+
+    def as_dict(self) -> dict:
+        """The ``runtime`` block written into ``full_study.json``."""
+        phases = {}
+        for name, wall in self.phase_seconds.items():
+            entry: dict = {"wall_seconds": round(wall, 3)}
+            if name in self.phase_tasks:
+                entry["tasks"] = self.phase_tasks[name]
+                entry["task_seconds"] = round(self.phase_task_seconds[name], 3)
+                speedup = self.speedup_vs_serial(name)
+                if speedup is not None:
+                    entry["speedup_vs_serial"] = round(speedup, 3)
+            phases[name] = entry
+        cache = dict(self.cache_counters)
+        cache["saved_dollars"] = round(cache["saved_dollars"], 6)
+        cache["hit_rate"] = round(self.cache_hit_rate, 4)
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "phases": phases,
+            "cache": cache,
+            "total_wall_seconds": round(self.total_wall_seconds, 3),
+        }
+
+    def footer(self) -> str:
+        """One-paragraph run summary printed after a study completes."""
+        lines = [
+            f"[runtime] backend={self.backend} workers={self.workers} "
+            f"tasks={self.n_tasks} wall={self.total_wall_seconds:.1f}s"
+        ]
+        for name, wall in self.phase_seconds.items():
+            part = f"[runtime]   {name}: {wall:.1f}s"
+            speedup = self.speedup_vs_serial(name)
+            if speedup is not None:
+                part += f" ({self.phase_tasks.get(name, 0)} tasks, {speedup:.2f}x vs serial)"
+            lines.append(part)
+        hits = self.cache_counters["hits"]
+        misses = self.cache_counters["misses"]
+        if hits or misses:
+            lines.append(
+                f"[runtime]   cache: {hits:.0f} hits / {misses:.0f} misses "
+                f"({self.cache_hit_rate:.0%}), "
+                f"${self.cache_counters['saved_dollars']:.4f} saved"
+            )
+        return "\n".join(lines)

@@ -5,8 +5,14 @@ regenerates every table and figure at the requested scale profile and
 writes one JSON document (consumed by EXPERIMENTS.md and the benchmark
 harness for paper-vs-measured comparisons).
 
-On a single CPU core the ``default`` profile takes roughly an hour; the
-``smoke`` profile a few minutes.
+On a single CPU core the ``default`` profile takes roughly an hour
+serially; ``--workers N`` (or ``REPRO_WORKERS=N``) fans the independent
+``(matcher, target)`` grid cells across a worker pool, and ``--cache``
+answers repeated prompts (Table 4's ``none`` strategy re-runs Table 3's
+MatchGPT cells verbatim) from the content-addressed completion cache.
+Parallel and cached runs produce bit-identical table values; the run's
+wall-clock, task and cache accounting lands in the document's
+``runtime`` block.
 """
 
 from __future__ import annotations
@@ -18,85 +24,138 @@ import time
 from pathlib import Path
 
 from ..config import StudyConfig, get_profile
+from ..runtime.cache import (
+    CompletionCache,
+    activate,
+    active_cache,
+    cache_enabled_from_env,
+)
+from ..runtime.executor import make_executor, resolve_backend, resolve_workers
+from ..runtime.stats import RuntimeStats
 from . import figures, findings, table3, table4, table5, table6
 
 
-def run_study(config: StudyConfig, out_path: Path, codes: tuple[str, ...] | None = None) -> dict:
+def run_study(
+    config: StudyConfig,
+    out_path: Path,
+    codes: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+    cache_path: str | None = None,
+) -> dict:
     """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON."""
     started = time.time()
+    n_workers = resolve_workers(workers, config)
+    backend_name = resolve_backend(backend, config, workers=n_workers)
+    if use_cache is None:
+        use_cache = cache_enabled_from_env()
+    if use_cache and active_cache() is None:
+        activate(CompletionCache(path=cache_path))
+    stats = RuntimeStats(workers=n_workers, backend=backend_name)
+    executor = make_executor(workers=n_workers, backend=backend_name, config=config)
+
     document: dict = {"profile": config.name, "codes": list(codes or ())}
 
-    # Table 3 runs one matcher at a time so partial results are saved
-    # incrementally (a single-core run takes tens of minutes).
-    from .roster import ROSTER_ORDER
-    from .table3 import Table3Result
-
-    results = []
-    for name in ROSTER_ORDER:
-        print(f"[full_run] Table 3: {name} ...", flush=True)
-        started_row = time.time()
-        partial = table3.run(config, matcher_names=(name,), codes=codes)
-        results.extend(partial.results)
-        t3 = Table3Result(results, config.name, codes=tuple(codes or ()))
-        document["table3"] = {
-            "per_dataset": t3.per_dataset_table(),
-            "std": {
-                r.matcher_name: {c: t.std_f1 for c, t in r.per_dataset.items()}
-                for r in t3.results
-            },
-            "mean": t3.quality_table(),
-            "rendered": t3.render(),
-        }
+    def checkpoint() -> None:
+        document["runtime"] = stats.as_dict()
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(document, indent=2))
-        print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
-              f"({time.time() - started_row:.0f}s)", flush=True)
-    print(t3.render(), flush=True)
 
-    print("[full_run] Table 4 ...", flush=True)
-    t4 = table4.run(config, codes=codes)
-    document["table4"] = {
-        "per_dataset": {
-            f"{model}|{strategy}": {c: t.mean_f1 for c, t in res.per_dataset.items()}
-            for (model, strategy), res in t4.results.items()
-        },
-        "mean": {
-            f"{model}|{strategy}": res.mean_f1
-            for (model, strategy), res in t4.results.items()
-        },
-        "rendered": t4.render(),
-    }
-    print(t4.render(), flush=True)
-
-    print("[full_run] Tables 5-6, figures, findings ...", flush=True)
-    t5 = table5.run()
-    t6 = table6.run()
-    document["table5"] = t5.throughput_table()
-    document["table6"] = t6.cost_table()
-    fig3 = figures.figure3(t3.quality_table(), t6)
-    fig4 = figures.figure4(t3.quality_table())
-    document["figure3"] = [
-        {"matcher": p.matcher, "f1": p.mean_f1, "cost": p.dollars_per_1k_tokens}
-        for p in fig3.points
-    ]
-    document["figure3_front"] = [p.matcher for p in fig3.front()]
-    document["figure4"] = [
-        {"matcher": p.matcher, "f1": p.mean_f1, "params": p.params_millions}
-        for p in fig4.points
-    ]
     try:
-        analysis = findings.run(t3.per_dataset_table())
-        document["findings"] = {
-            "any_rejection": analysis.any_rejection,
-            "mean_abs_rho": analysis.mean_abs_rho(),
-            "rendered": analysis.render(),
+        # Table 3 dispatches one matcher row at a time so partial results
+        # are checkpointed incrementally (a single-core run takes tens of
+        # minutes); within a row, the row's target cells fan out across
+        # the worker pool.
+        from .roster import ROSTER_ORDER
+        from .table3 import Table3Result
+
+        results = []
+        for name in ROSTER_ORDER:
+            print(f"[full_run] Table 3: {name} ...", flush=True)
+            started_row = time.time()
+            partial = table3.run(
+                config,
+                matcher_names=(name,),
+                codes=codes,
+                executor=executor,
+                stats=stats,
+                use_cache=use_cache,
+            )
+            results.extend(partial.results)
+            t3 = Table3Result(results, config.name, codes=tuple(codes or ()))
+            document["table3"] = {
+                "per_dataset": t3.per_dataset_table(),
+                "std": {
+                    r.matcher_name: {c: t.std_f1 for c, t in r.per_dataset.items()}
+                    for r in t3.results
+                },
+                "mean": t3.quality_table(),
+                "rendered": t3.render(),
+            }
+            checkpoint()
+            print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
+                  f"({time.time() - started_row:.0f}s)", flush=True)
+        print(t3.render(), flush=True)
+
+        print("[full_run] Table 4 ...", flush=True)
+        t4 = table4.run(
+            config, codes=codes, executor=executor, stats=stats, use_cache=use_cache
+        )
+        document["table4"] = {
+            "per_dataset": {
+                f"{model}|{strategy}": {c: t.mean_f1 for c, t in res.per_dataset.items()}
+                for (model, strategy), res in t4.results.items()
+            },
+            "mean": {
+                f"{model}|{strategy}": res.mean_f1
+                for (model, strategy), res in t4.results.items()
+            },
+            "rendered": t4.render(),
         }
-    except Exception as error:  # pragma: no cover - needs the full roster
-        document["findings"] = {"error": str(error)}
+        print(t4.render(), flush=True)
+
+        print("[full_run] Tables 5-6, figures, findings ...", flush=True)
+        with stats.phase("static"):
+            t5 = table5.run()
+            t6 = table6.run()
+            document["table5"] = t5.throughput_table()
+            document["table6"] = t6.cost_table()
+            fig3 = figures.figure3(t3.quality_table(), t6)
+            fig4 = figures.figure4(t3.quality_table())
+            document["figure3"] = [
+                {"matcher": p.matcher, "f1": p.mean_f1, "cost": p.dollars_per_1k_tokens}
+                for p in fig3.points
+            ]
+            document["figure3_front"] = [p.matcher for p in fig3.front()]
+            document["figure4"] = [
+                {"matcher": p.matcher, "f1": p.mean_f1, "params": p.params_millions}
+                for p in fig4.points
+            ]
+            try:
+                analysis = findings.run(t3.per_dataset_table())
+                document["findings"] = {
+                    "any_rejection": analysis.any_rejection,
+                    "mean_abs_rho": analysis.mean_abs_rho(),
+                    "rendered": analysis.render(),
+                }
+            except Exception as error:  # pragma: no cover - needs the full roster
+                document["findings"] = {"error": str(error)}
+    finally:
+        executor.close()
+        # Persist even on a crashed run: the cache is content-addressed,
+        # so a partial file is still valid and warms the retry.
+        cache = active_cache()
+        if use_cache and cache is not None:
+            target = cache_path or cache.path
+            if target is not None:
+                saved_to = cache.save(target)
+                print(f"[runtime] completion cache ({len(cache)} entries) -> {saved_to}",
+                      flush=True)
 
     document["wall_clock_seconds"] = round(time.time() - started, 1)
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(document, indent=2))
+    checkpoint()
+    print(stats.footer(), flush=True)
     print(f"[full_run] done in {document['wall_clock_seconds']}s -> {out_path}", flush=True)
     return document
 
@@ -108,9 +167,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--codes", default="", help="comma-separated target subset (default: all 11)"
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size (default: REPRO_WORKERS env var, else serial)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=("serial", "thread", "process"),
+        help="executor backend (default: REPRO_EXECUTOR env var, else auto)",
+    )
+    parser.add_argument(
+        "--cache", dest="use_cache", action="store_true", default=None,
+        help="answer repeated prompts from the completion cache",
+    )
+    parser.add_argument(
+        "--no-cache", dest="use_cache", action="store_false",
+        help="disable the completion cache even if REPRO_CACHE is set",
+    )
+    parser.add_argument(
+        "--cache-path", default=None,
+        help="persist the completion cache as JSON-lines at this path",
+    )
     args = parser.parse_args(argv)
     codes = tuple(c for c in args.codes.split(",") if c) or None
-    run_study(get_profile(args.profile), Path(args.out), codes=codes)
+    run_study(
+        get_profile(args.profile),
+        Path(args.out),
+        codes=codes,
+        workers=args.workers,
+        backend=args.backend,
+        use_cache=args.use_cache,
+        cache_path=args.cache_path,
+    )
     return 0
 
 

@@ -21,6 +21,7 @@ from ..matchers import (
     UnicornMatcher,
     ZeroERMatcher,
 )
+from ..runtime.cache import wrap_client
 
 __all__ = ["RosterEntry", "ROSTER_ORDER", "build_roster"]
 
@@ -109,7 +110,9 @@ def build_roster(
             )
         elif name == "Jellyfish":
             def jellyfish_factory(code: str) -> Matcher:
-                client = SimulatedLLM(get_llm_profile("jellyfish-13b"), world, seed=llm_seed)
+                client = wrap_client(
+                    SimulatedLLM(get_llm_profile("jellyfish-13b"), world, seed=llm_seed)
+                )
                 return JellyfishMatcher(client)
 
             entries.append(
@@ -120,7 +123,7 @@ def build_roster(
             profile = get_llm_profile(model)
 
             def matchgpt_factory(code: str, profile=profile) -> Matcher:
-                client = SimulatedLLM(profile, world, seed=llm_seed)
+                client = wrap_client(SimulatedLLM(profile, world, seed=llm_seed))
                 return MatchGPTMatcher(
                     client,
                     demo_strategy=demo_strategy,

@@ -5,9 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import StudyConfig, get_profile
-from ..data.generators import build_all_datasets
 from ..eval.loo import LeaveOneOutRunner, StudyResult
 from ..eval.reporting import format_table3
+from ..runtime import grid
+from ..runtime.cache import cache_enabled_from_env
+from ..runtime.executor import StudyExecutor, make_executor
+from ..runtime.stats import RuntimeStats
 from .roster import ROSTER_ORDER, build_roster
 
 __all__ = ["Table3Result", "run"]
@@ -38,26 +41,55 @@ def run(
     matcher_names: tuple[str, ...] | None = None,
     codes: tuple[str, ...] | None = None,
     dataset_seed: int = 7,
+    executor: StudyExecutor | None = None,
+    stats: RuntimeStats | None = None,
+    use_cache: bool | None = None,
 ) -> Table3Result:
     """Run the leave-one-dataset-out study for the requested matchers.
 
     ``matcher_names`` defaults to all 14 variants; restrict it to keep a
     run short (the trained matchers dominate the wall-clock cost).
+
+    The grid of ``(matcher, target)`` cells is dispatched through
+    ``executor`` (default: whatever ``REPRO_WORKERS`` / the config
+    select; serial when unset).  Cells are independent and fully seeded,
+    so every backend returns bit-identical results.
     """
     config = config or get_profile("default")
     matcher_names = matcher_names or ROSTER_ORDER
-    datasets, world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    if use_cache is None:
+        use_cache = cache_enabled_from_env()
+    owns_executor = executor is None
+    executor = executor or make_executor(config=config)
+
+    datasets, world = grid.dataset_bundle(config.dataset_scale, dataset_seed)
     if codes:
         datasets = {c: datasets[c] for c in codes}
-    runner = LeaveOneOutRunner(datasets, config, codes=codes)
-    results = []
-    for entry in build_roster(world, names=tuple(matcher_names)):
-        results.append(
-            runner.run(
-                entry.factory,
-                matcher_name=entry.name,
-                params_millions=entry.params_millions,
-                seen_datasets=entry.seen_datasets,
-            )
+    # The runner is only consulted for the ordered code roster here; the
+    # actual evaluation happens inside the grid cells.
+    loop_codes = LeaveOneOutRunner(datasets, config, codes=codes).codes
+
+    entries = build_roster(world, names=tuple(matcher_names))
+    cells = [
+        grid.GridCell(
+            kind="table3",
+            matcher_name=entry.name,
+            target_code=code,
+            config=config,
+            codes=loop_codes,
+            dataset_seed=dataset_seed,
+            seen_in_training=code in entry.seen_datasets,
+            use_cache=use_cache,
         )
+        for entry in entries
+        for code in loop_codes
+    ]
+    try:
+        cell_results = grid.run_cells(cells, executor, stats=stats, phase="table3")
+    finally:
+        if owns_executor:
+            executor.close()
+    results = grid.collect_rows(
+        cells, cell_results, {entry.name: entry.params_millions for entry in entries}
+    )
     return Table3Result(results, config.name, codes=tuple(codes or ()))

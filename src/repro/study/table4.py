@@ -5,13 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import StudyConfig, get_profile
-from ..data.generators import build_all_datasets
 from ..eval.loo import LeaveOneOutRunner, StudyResult
 from ..eval.reporting import format_table3
 from ..llm.profiles import get_profile as get_llm_profile
 from ..llm.prompts import DemonstrationStrategy
-from ..llm.simulated import SimulatedLLM
-from ..matchers import MatchGPTMatcher
+from ..runtime import grid
+from ..runtime.cache import cache_enabled_from_env
+from ..runtime.executor import StudyExecutor, make_executor
+from ..runtime.stats import RuntimeStats
 
 __all__ = ["Table4Result", "run", "TABLE4_MODELS", "TABLE4_STRATEGIES"]
 
@@ -52,29 +53,64 @@ def run(
     codes: tuple[str, ...] | None = None,
     dataset_seed: int = 7,
     llm_seed: int = 0,
+    executor: StudyExecutor | None = None,
+    stats: RuntimeStats | None = None,
+    use_cache: bool | None = None,
+    strategies: tuple[DemonstrationStrategy, ...] = TABLE4_STRATEGIES,
 ) -> Table4Result:
-    """Evaluate each model under the three demonstration strategies."""
+    """Evaluate each model under the three demonstration strategies.
+
+    Like Table 3, the ``(model, strategy, target)`` grid dispatches
+    through the executor.  With the completion cache enabled the ``none``
+    strategy is where hits concentrate: its prompts are byte-identical to
+    the Table-3 MatchGPT prompts for the same model, seed and targets.
+    """
     config = config or get_profile("default")
-    datasets, world = build_all_datasets(scale=config.dataset_scale, seed=dataset_seed)
+    if use_cache is None:
+        use_cache = cache_enabled_from_env()
+    owns_executor = executor is None
+    executor = executor or make_executor(config=config)
+
+    datasets, _world = grid.dataset_bundle(config.dataset_scale, dataset_seed)
     if codes:
         datasets = {c: datasets[c] for c in codes}
-    runner = LeaveOneOutRunner(datasets, config, codes=codes)
-    results: dict[tuple[str, str], StudyResult] = {}
+    loop_codes = LeaveOneOutRunner(datasets, config, codes=codes).codes
+
+    cells = []
     for model in models:
         profile = get_llm_profile(model)
-        for strategy in TABLE4_STRATEGIES:
-            def factory(code: str, profile=profile, strategy=strategy):
-                client = SimulatedLLM(profile, world, seed=llm_seed)
-                return MatchGPTMatcher(
-                    client,
-                    demo_strategy=strategy,
-                    display_name=f"{profile.display_name} ({strategy.value})",
-                    params_millions=profile.params_millions,
+        for strategy in strategies:
+            for code in loop_codes:
+                cells.append(
+                    grid.GridCell(
+                        kind="table4",
+                        matcher_name=f"{profile.display_name} ({strategy.value})",
+                        target_code=code,
+                        config=config,
+                        codes=loop_codes,
+                        dataset_seed=dataset_seed,
+                        llm_seed=llm_seed,
+                        model=model,
+                        strategy=strategy.value,
+                        use_cache=use_cache,
+                    )
                 )
+    try:
+        cell_results = grid.run_cells(cells, executor, stats=stats, phase="table4")
+    finally:
+        if owns_executor:
+            executor.close()
 
-            results[(model, strategy.value)] = runner.run(
-                factory,
-                matcher_name=f"{profile.display_name} ({strategy.value})",
+    results: dict[tuple[str, str], StudyResult] = {}
+    for cell, cell_result in zip(cells, cell_results):
+        key = (cell.model, cell.strategy)
+        row = results.get(key)
+        if row is None:
+            profile = get_llm_profile(cell.model)
+            row = StudyResult(
+                matcher_name=cell.matcher_name,
                 params_millions=profile.params_millions,
             )
+            results[key] = row
+        row.per_dataset[cell.target_code] = cell_result.result
     return Table4Result(results)

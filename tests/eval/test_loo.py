@@ -46,6 +46,22 @@ class TestProtocol:
         b = runner.test_set("ABT")
         assert [p.pair_id for p in a] == [p.pair_id for p in b]
 
+    def test_test_set_memoized_per_code(self, runner):
+        # Not merely an equal resample: all baselines share one object.
+        assert runner.test_set("ABT") is runner.test_set("ABT")
+        assert runner.test_set("ABT") is not runner.test_set("BEER")
+
+    def test_run_with_executor_matches_serial(self, runner):
+        from repro.runtime.executor import ThreadStudyExecutor
+
+        serial = runner.run(lambda code: StringSimMatcher(), "StringSim")
+        with ThreadStudyExecutor(2) as executor:
+            threaded = runner.run(
+                lambda code: StringSimMatcher(), "StringSim", executor=executor
+            )
+        assert list(threaded.per_dataset) == list(serial.per_dataset)
+        assert threaded.dataset_means() == serial.dataset_means()
+
     def test_test_cap_applied(self, small_datasets, tiny_config):
         from dataclasses import replace
 

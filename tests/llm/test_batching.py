@@ -7,6 +7,7 @@ import pytest
 from repro.errors import LLMError, PromptError
 from repro.llm.batching import BatchJob
 from repro.llm.client import EchoClient, LLMClient, LLMRequest, LLMResponse, UsageMeter
+from repro.runtime.executor import ProcessStudyExecutor, ThreadStudyExecutor
 
 
 class _PickyClient(LLMClient):
@@ -69,3 +70,73 @@ class TestBatchJob:
         job.submit("x")
         with pytest.raises(LLMError):
             _ = job.results
+
+
+class TestChunkedProcessing:
+    def test_chunked_matches_serial(self):
+        prompts = [f"prompt {i}" if i % 3 else f"a bad one {i}" for i in range(23)]
+        serial = BatchJob(_PickyClient())
+        serial.submit_many(prompts)
+        serial.process()
+
+        chunked = BatchJob(_PickyClient())
+        chunked.submit_many(prompts)
+        chunked.process(workers=3, chunk_size=4)
+        assert chunked.texts() == serial.texts()
+        assert chunked.n_failed == serial.n_failed
+
+    def test_chunked_error_capture_preserves_indices(self):
+        job = BatchJob(_PickyClient())
+        job.submit_many(["good", "a bad one", "good", "bad again", "good"])
+        job.process(workers=2, chunk_size=2)
+        failed = [r.index for r in job.results if not r.succeeded]
+        assert failed == [1, 3]
+        assert all(job.results[i].index == i for i in range(5))
+
+    def test_chunked_metering_matches_serial(self):
+        serial_meter = UsageMeter(price_per_1k_tokens=1.0)
+        serial = BatchJob(_PickyClient(), meter=serial_meter)
+        serial.submit_many(["good", "bad", "good"])
+        serial.process()
+
+        chunked_meter = UsageMeter(price_per_1k_tokens=1.0)
+        chunked = BatchJob(_PickyClient(), meter=chunked_meter)
+        chunked.submit_many(["good", "bad", "good"])
+        chunked.process(workers=2, chunk_size=1)
+        assert chunked_meter.n_requests == serial_meter.n_requests
+        assert chunked_meter.prompt_tokens == serial_meter.prompt_tokens
+
+    def test_explicit_executor_reused_not_closed(self):
+        with ThreadStudyExecutor(2) as executor:
+            job = BatchJob(EchoClient("No"))
+            job.submit_many(["p1", "p2", "p3"])
+            job.process(executor=executor)
+            assert job.texts() == ["No", "No", "No"]
+            # The caller's pool must survive for further use.
+            assert executor.map_tasks(len, [[1, 2]]) == [2]
+
+    def test_process_backend_with_picklable_client(self):
+        job = BatchJob(EchoClient("No"))
+        job.submit_many([f"p{i}" for i in range(6)])
+        with ProcessStudyExecutor(2) as executor:
+            job.process(executor=executor)
+        assert job.texts() == ["No"] * 6
+
+    def test_budget_trips_on_same_request_as_serial(self):
+        def run(**process_kwargs):
+            meter = UsageMeter(price_per_1k_tokens=1.0, token_budget=14)
+            job = BatchJob(EchoClient("No"), meter=meter)
+            job.submit_many(["one two", "three four", "five six"])
+            job.process(**process_kwargs)
+            return job.texts(), [r.error for r in job.results]
+
+        serial_texts, serial_errors = run()
+        chunked_texts, chunked_errors = run(workers=2, chunk_size=1)
+        assert chunked_texts == serial_texts
+        assert chunked_errors == serial_errors
+
+    def test_invalid_executor_rejected(self):
+        job = BatchJob(EchoClient("No"))
+        job.submit("x")
+        with pytest.raises(LLMError):
+            job.process(executor=object())

@@ -155,6 +155,37 @@ class TestBackwardSemantics:
         assert is_grad_enabled()
         assert not y.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # Regression: a process-wide flag let one grid cell's ``no_grad()``
+        # evaluation disable graph construction inside another cell's
+        # training step, crashing ``loss.backward()`` under thread pools.
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+        seen: dict[str, bool] = {}
+
+        def evaluator():
+            with no_grad():
+                inside.set()
+                release.wait(timeout=10)
+
+        def trainer():
+            inside.wait(timeout=10)
+            seen["enabled"] = is_grad_enabled()
+            x = Tensor(np.ones(2), requires_grad=True)
+            loss = (x * 3).sum()
+            loss.backward()
+            seen["grad_ok"] = x.grad is not None
+            release.set()
+
+        threads = [threading.Thread(target=evaluator), threading.Thread(target=trainer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert seen == {"enabled": True, "grad_ok": True}
+
     def test_detach(self):
         x = Tensor(np.ones(2), requires_grad=True)
         assert not x.detach().requires_grad

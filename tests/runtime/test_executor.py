@@ -1,0 +1,108 @@
+"""Tests for the worker-pool executors and their resolution rules."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.errors import ConfigurationError
+from repro.runtime.executor import (
+    ProcessStudyExecutor,
+    SerialExecutor,
+    ThreadStudyExecutor,
+    make_executor,
+    resolve_backend,
+    resolve_workers,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestMapTasks:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadStudyExecutor(3), ProcessStudyExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_submission_order_preserved(self, executor):
+        with executor:
+            assert executor.map_tasks(_square, list(range(17))) == [
+                i * i for i in range(17)
+            ]
+
+    def test_pool_reused_across_calls(self):
+        with ThreadStudyExecutor(2) as executor:
+            executor.map_tasks(_square, [1, 2])
+            pool = executor._pool
+            executor.map_tasks(_square, [3, 4])
+            assert executor._pool is pool
+
+    def test_worker_exception_propagates(self):
+        def boom(_x):
+            raise ValueError("task failed")
+
+        with ThreadStudyExecutor(2) as executor:
+            with pytest.raises(ValueError, match="task failed"):
+                executor.map_tasks(boom, [1])
+
+    def test_invalid_worker_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThreadStudyExecutor(0)
+
+
+class TestResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None, StudyConfig(workers=2)) == 5
+
+    def test_config_beats_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None, StudyConfig(workers=2)) == 2
+        assert resolve_workers(None, None) == 1
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+    def test_backend_auto_depends_on_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert resolve_backend(None, workers=1) == "serial"
+        assert resolve_backend(None, workers=4) == "thread"
+
+    def test_backend_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert resolve_backend(None, workers=4) == "process"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("gpu")
+
+
+class TestMakeExecutor:
+    def test_single_worker_collapses_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert isinstance(make_executor(workers=1, backend="thread"), SerialExecutor)
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_env_selects_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        executor = make_executor()
+        assert isinstance(executor, ThreadStudyExecutor)
+        assert executor.workers == 3
+
+    def test_config_selects_pool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        config = StudyConfig(workers=2, executor_backend="process")
+        assert isinstance(make_executor(config=config), ProcessStudyExecutor)

@@ -1,0 +1,197 @@
+"""Parallel output must be bit-identical to serial output.
+
+This is the load-bearing guarantee of the runtime subsystem: the study
+grid may fan out across threads or processes, and the completion cache
+may answer repeated prompts from memory, but every float in the study
+JSON stays exactly the same.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import StudyConfig, SurrogateScale
+from repro.errors import ReproError
+from repro.runtime import grid
+from repro.runtime.cache import CompletionCache, activate, deactivate
+from repro.runtime.executor import (
+    ProcessStudyExecutor,
+    SerialExecutor,
+    ThreadStudyExecutor,
+)
+from repro.study import table3, table4
+
+#: Deliberately tiny: one untrained baseline plus one prompted model over
+#: two targets keeps each backend's run to a few seconds.
+_CONFIG = StudyConfig(
+    name="parity",
+    seeds=(0, 1),
+    test_fraction=0.2,
+    train_pair_budget=120,
+    epochs=2,
+    dataset_scale=0.05,
+    surrogate=SurrogateScale(
+        d_model=16, n_layers=1, n_heads=2, d_ff=32, max_len=32, vocab_size=1024
+    ),
+)
+_MATCHERS = ("StringSim", "MatchGPT[GPT-4o-Mini]")
+_CODES = ("ABT", "BEER")
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    deactivate()
+    yield
+    deactivate()
+
+
+def _table3_json(executor, use_cache: bool = False) -> str:
+    """A full_run-style serialisation of the Table-3 block."""
+    result = table3.run(
+        _CONFIG, _MATCHERS, codes=_CODES, executor=executor, use_cache=use_cache
+    )
+    return json.dumps(
+        {
+            "per_dataset": result.per_dataset_table(),
+            "std": {
+                r.matcher_name: {c: t.std_f1 for c, t in r.per_dataset.items()}
+                for r in result.results
+            },
+            "mean": result.quality_table(),
+            "rendered": result.render(),
+        },
+        sort_keys=True,
+    )
+
+
+class TestExecutorParity:
+    def test_thread_and_process_match_serial(self):
+        serial = _table3_json(SerialExecutor())
+        with ThreadStudyExecutor(2) as executor:
+            threaded = _table3_json(executor)
+        with ProcessStudyExecutor(2) as executor:
+            processed = _table3_json(executor)
+        assert threaded == serial
+        assert processed == serial
+
+    def test_cache_does_not_change_results(self):
+        serial = _table3_json(SerialExecutor())
+        activate(CompletionCache())
+        cached = _table3_json(SerialExecutor(), use_cache=True)
+        assert cached == serial
+
+    def test_trained_matcher_thread_parity(self):
+        """Training on worker threads must not perturb results.
+
+        Regression for the process-wide autograd grad-mode flag: one
+        cell's ``no_grad()`` evaluation raced another cell's training
+        step, so threaded runs of *trained* matchers crashed while the
+        prompted-only parity cases passed.
+        """
+        def run(executor):
+            result = table3.run(
+                _CONFIG, ("Ditto",), codes=_CODES, executor=executor
+            )
+            return json.dumps(result.per_dataset_table(), sort_keys=True)
+
+        serial = run(SerialExecutor())
+        with ThreadStudyExecutor(2) as executor:
+            threaded = run(executor)
+        assert threaded == serial
+
+    def test_row_order_follows_request_order(self):
+        result = table3.run(
+            _CONFIG, _MATCHERS, codes=_CODES, executor=SerialExecutor()
+        )
+        assert [r.matcher_name for r in result.results] == list(_MATCHERS)
+        for row in result.results:
+            assert tuple(row.per_dataset) == _CODES
+
+
+class TestTable4CacheReuse:
+    def test_none_strategy_reuses_table3_prompts(self):
+        """Table 4's ``none`` strategy re-sends Table 3's MatchGPT prompts
+        verbatim — with the cache active they must all hit."""
+        cache = activate(CompletionCache())
+        table3.run(
+            _CONFIG,
+            ("MatchGPT[GPT-4o-Mini]",),
+            codes=_CODES,
+            executor=SerialExecutor(),
+            use_cache=True,
+        )
+        misses_before = cache.misses
+        assert misses_before > 0
+        assert cache.hits == 0
+
+        plain = table4.run(_CONFIG, models=("gpt-4o-mini",), codes=_CODES)
+        deactivate()
+        activate(cache)
+        cached = table4.run(
+            _CONFIG, models=("gpt-4o-mini",), codes=_CODES, use_cache=True
+        )
+        assert cache.hits >= misses_before  # every Table-3 prompt hit
+        for key, row in plain.results.items():
+            assert cached.results[key].dataset_means() == row.dataset_means()
+
+
+class TestCacheAccounting:
+    def test_threaded_stats_match_cache_counters(self):
+        """Regression: concurrent cells share one cache, so summing
+        per-cell counter deltas overlaps windows and overcounted the
+        footer by the worker count."""
+        from repro.runtime.stats import RuntimeStats
+
+        cache = activate(CompletionCache())
+        stats = RuntimeStats(workers=4, backend="thread")
+        with ThreadStudyExecutor(4) as executor:
+            table3.run(
+                _CONFIG,
+                ("MatchGPT[GPT-4o-Mini]",),
+                codes=_CODES,
+                executor=executor,
+                stats=stats,
+                use_cache=True,
+            )
+        reported = stats.as_dict()["cache"]
+        assert reported["hits"] == cache.hits
+        assert reported["misses"] == cache.misses
+
+
+class TestGridCells:
+    def test_cell_validation(self):
+        with pytest.raises(ReproError):
+            grid.GridCell(
+                kind="table5", matcher_name="x", target_code="ABT",
+                config=_CONFIG, codes=("ABT",),
+            )
+        with pytest.raises(ReproError):
+            grid.GridCell(
+                kind="table4", matcher_name="x", target_code="ABT",
+                config=_CONFIG, codes=("ABT",),
+            )
+        with pytest.raises(ReproError):
+            grid.GridCell(
+                kind="table3", matcher_name="x", target_code="WDC",
+                config=_CONFIG, codes=("ABT",),
+            )
+
+    def test_run_cell_reports_timing(self):
+        cell = grid.GridCell(
+            kind="table3",
+            matcher_name="StringSim",
+            target_code="ABT",
+            config=_CONFIG,
+            codes=_CODES,
+        )
+        result = grid.run_cell(cell)
+        assert result.matcher_name == "StringSim"
+        assert result.target_code == "ABT"
+        assert result.seconds > 0
+        assert result.result.scores
+
+    def test_dataset_bundle_memoized(self):
+        first = grid.dataset_bundle(0.05, 7)
+        assert grid.dataset_bundle(0.05, 7) is first

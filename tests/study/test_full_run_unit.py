@@ -9,20 +9,24 @@ class TestArgumentHandling:
     def test_codes_parsing_empty_means_all(self, monkeypatch, tmp_path):
         captured = {}
 
-        def fake_run_study(config, out_path, codes=None):
+        def fake_run_study(config, out_path, codes=None, **runtime_kwargs):
             captured["config"] = config
             captured["codes"] = codes
+            captured["runtime_kwargs"] = runtime_kwargs
             return {}
 
         monkeypatch.setattr(full_run, "run_study", fake_run_study)
         full_run.main(["--profile", "smoke", "--out", str(tmp_path / "r.json")])
         assert captured["codes"] is None
         assert captured["config"].name == "smoke"
+        # Runtime knobs default to unset so env/config resolution applies.
+        assert captured["runtime_kwargs"]["workers"] is None
+        assert captured["runtime_kwargs"]["use_cache"] is None
 
     def test_codes_parsing_subset(self, monkeypatch, tmp_path):
         captured = {}
 
-        def fake_run_study(config, out_path, codes=None):
+        def fake_run_study(config, out_path, codes=None, **runtime_kwargs):
             captured["codes"] = codes
             return {}
 
