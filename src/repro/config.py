@@ -83,8 +83,17 @@ class StudyConfig:
     #: Executor backend: ``auto`` | ``serial`` | ``thread`` | ``process``
     #: (``auto`` picks ``thread`` when ``workers > 1``).
     executor_backend: str = "auto"
+    #: Whole-cell re-run budget after a retryable failure (on top of the
+    #: per-request retries the active :class:`repro.reliability.RetryPolicy`
+    #: performs; overridable by ``REPRO_CELL_RETRIES``).
+    cell_retries: int = 1
+    #: Abort the study on the first failed grid cell instead of recording
+    #: a :class:`repro.runtime.grid.CellFailure` (overridable by
+    #: ``REPRO_FAIL_FAST`` and ``--fail-fast``).
+    fail_fast: bool = False
 
     def __post_init__(self) -> None:
+        """Validate every knob combination (see individual messages)."""
         if not self.seeds:
             raise ConfigurationError("at least one seed is required")
         if not 0.0 < self.test_fraction <= 1.0:
@@ -103,6 +112,8 @@ class StudyConfig:
             raise ConfigurationError(
                 f"unknown executor_backend {self.executor_backend!r}"
             )
+        if self.cell_retries < 0:
+            raise ConfigurationError("cell_retries must be >= 0")
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "StudyConfig":
         """Return a copy of this config with a different seed set."""
@@ -111,6 +122,16 @@ class StudyConfig:
     def with_workers(self, workers: int, backend: str = "auto") -> "StudyConfig":
         """Return a copy of this config with a worker-pool setting."""
         return replace(self, workers=workers, executor_backend=backend)
+
+    def with_reliability(
+        self, cell_retries: int | None = None, fail_fast: bool | None = None
+    ) -> "StudyConfig":
+        """Return a copy with different cell-failure handling knobs."""
+        return replace(
+            self,
+            cell_retries=self.cell_retries if cell_retries is None else cell_retries,
+            fail_fast=self.fail_fast if fail_fast is None else fail_fast,
+        )
 
 
 #: Named scale profiles (see module docstring).

@@ -48,6 +48,62 @@ class BudgetExceededError(LLMError):
     """A usage meter exceeded its configured token or dollar budget."""
 
 
+class TransientLLMError(LLMError):
+    """A request failed for a reason that may succeed on retry.
+
+    The canonical *retryable* error: network blips, 5xx responses and
+    overloaded backends map here.  :class:`repro.reliability.RetryPolicy`
+    classifies subclasses of this type as safe to re-issue because the
+    request never produced a (possibly billed) completion.
+    """
+
+
+class RateLimitError(TransientLLMError):
+    """The backend rejected the request for exceeding its rate limit.
+
+    Carries an optional ``retry_after_s`` hint; the retry layer waits at
+    least that long before the next attempt.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class MalformedCompletionError(LLMError):
+    """A completion arrived but failed response validation.
+
+    Raised by the retry layer's validator when a completion cannot be
+    parsed as a yes/no match answer.  Classified retryable: sampling the
+    model again is exactly the production remedy for garbled output.
+    """
+
+
+class DeadlineExceededError(LLMError):
+    """A request's per-call deadline expired before an attempt succeeded.
+
+    Not retryable — the caller's time budget is spent.  The triggering
+    attempt's error (if any) is chained as ``__cause__``.
+    """
+
+
+class RetryExhaustedError(LLMError):
+    """Every attempt allowed by the retry policy failed.
+
+    The final attempt's error is chained as ``__cause__`` so callers can
+    inspect the underlying failure class.
+    """
+
+
+class CellExecutionError(ReproError):
+    """A study grid cell failed and the run is configured to fail fast.
+
+    Raised by :func:`repro.runtime.grid.run_cells` when ``fail_fast`` is
+    set; otherwise failed cells degrade gracefully into
+    :class:`repro.runtime.grid.CellFailure` records.
+    """
+
+
 class CostModelError(ReproError):
     """The throughput or deployment cost model received invalid input."""
 

@@ -34,6 +34,7 @@ class BatchResult:
 
     @property
     def succeeded(self) -> bool:
+        """Whether this request produced a completion."""
         return self.response is not None
 
 
@@ -68,6 +69,7 @@ class BatchJob:
         return len(self._requests) - 1
 
     def submit_many(self, prompts: list[str]) -> None:
+        """Queue one request per prompt, in order."""
         for prompt in prompts:
             self.submit(prompt)
 
@@ -76,6 +78,7 @@ class BatchJob:
         workers: int = 1,
         chunk_size: int | None = None,
         executor: "object | None" = None,
+        retry_policy: "object | None" = None,
     ) -> "BatchJob":
         """Run every queued request, capturing per-request failures.
 
@@ -83,27 +86,45 @@ class BatchJob:
         split into contiguous chunks and fanned across the pool; results
         are merged back in submission order and metered in that order,
         so the outcome is identical to a serial run.
+
+        ``retry_policy`` (a :class:`repro.reliability.RetryPolicy`)
+        wraps the client for this processing pass so transient failures
+        are retried with backoff before an error is recorded; without
+        one, a request's first failure is final — the Batch-API shape,
+        where the job report is the retry signal.
         """
         if self._processed:
             raise LLMError("batch already processed")
         if not self._requests:
             raise LLMError("batch contains no requests")
 
+        client = self.client
+        if retry_policy is not None:
+            # Imported here: repro.llm stays importable without the
+            # reliability package (which imports back into this layer).
+            from ..reliability.retry import RetryingClient
+
+            client = RetryingClient(self.client, retry_policy)  # type: ignore[arg-type]
+
         if workers == 1 and executor is None:
             for index, request in enumerate(self._requests):
                 try:
-                    response = self.client.complete(request)
+                    response = client.complete(request)
                     self.meter.record(response)
                     self._results.append(BatchResult(index, response, None))
                 except LLMError as error:
                     self._results.append(BatchResult(index, None, str(error)))
         else:
-            self._process_chunked(workers, chunk_size, executor)
+            self._process_chunked(client, workers, chunk_size, executor)
         self._processed = True
         return self
 
     def _process_chunked(
-        self, workers: int, chunk_size: int | None, executor: "object | None"
+        self,
+        client: LLMClient,
+        workers: int,
+        chunk_size: int | None,
+        executor: "object | None",
     ) -> None:
         # Imported here: repro.llm must stay importable without the
         # runtime package (which imports back into this layer).
@@ -126,7 +147,7 @@ class BatchJob:
         from functools import partial
 
         try:
-            outcomes = executor.map_tasks(partial(_complete_chunk, self.client), chunks)
+            outcomes = executor.map_tasks(partial(_complete_chunk, client), chunks)
         finally:
             if owns_executor:
                 executor.close()
@@ -149,11 +170,13 @@ class BatchJob:
 
     @property
     def results(self) -> list[BatchResult]:
+        """Per-request outcomes in submission order (copies the list)."""
         self._require_processed()
         return list(self._results)
 
     @property
     def n_failed(self) -> int:
+        """How many requests failed (inspect ``results`` for details)."""
         self._require_processed()
         # Iterate the internal list directly: the `results` property
         # copies, which turned these aggregations quadratic on big jobs.

@@ -34,12 +34,19 @@ class LLMRequest:
     #: Experiment bookkeeping (e.g. the demonstration strategy label).
     #: Metadata never carries labels or entity identities.
     metadata: dict[str, str] = field(default_factory=dict)
+    #: Per-request deadline in seconds, enforced cooperatively by
+    #: :class:`repro.reliability.RetryingClient` (``None`` defers to the
+    #: retry policy's ``default_timeout_s``, if any).
+    timeout_s: float | None = None
 
     def __post_init__(self) -> None:
+        """Reject empty prompts and non-positive budgets/deadlines."""
         if not self.prompt:
             raise LLMError("empty prompt")
         if self.max_tokens <= 0:
             raise LLMError("max_tokens must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise LLMError("timeout_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,7 @@ class LLMResponse:
 
     @property
     def total_tokens(self) -> int:
+        """Prompt plus completion tokens."""
         return self.prompt_tokens + self.completion_tokens
 
 
@@ -69,6 +77,12 @@ class LLMClient:
     cache_salt: str = ""
 
     def complete(self, request: LLMRequest) -> LLMResponse:
+        """Answer one request (implemented by every backend).
+
+        Failures raise :class:`~repro.errors.LLMError` subclasses; the
+        transient subset (see :mod:`repro.reliability.policy`) is safe
+        to retry because no completion was produced.
+        """
         raise NotImplementedError
 
 
@@ -86,6 +100,7 @@ class UsageMeter:
         token_budget: int | None = None,
         dollar_budget: float | None = None,
     ) -> None:
+        """Set the input-token price and optional token/dollar budgets."""
         if price_per_1k_tokens < 0:
             raise LLMError("price must be non-negative")
         self.price_per_1k_tokens = price_per_1k_tokens
@@ -97,10 +112,12 @@ class UsageMeter:
 
     @property
     def total_tokens(self) -> int:
+        """Prompt plus completion tokens."""
         return self.prompt_tokens + self.completion_tokens
 
     @property
     def dollars_spent(self) -> float:
+        """Input-token spend so far at the configured price."""
         return self.prompt_tokens / 1_000 * self.price_per_1k_tokens
 
     def record(self, response: LLMResponse) -> None:
@@ -123,11 +140,14 @@ class MeteredClient(LLMClient):
     """Wrap a client so every call is recorded on a meter."""
 
     def __init__(self, inner: LLMClient, meter: UsageMeter) -> None:
+        """Wrap ``inner`` so ``meter`` accounts every completion."""
         self.inner = inner
         self.meter = meter
         self.model_name = inner.model_name
+        self.cache_salt = getattr(inner, "cache_salt", "")
 
     def complete(self, request: LLMRequest) -> LLMResponse:
+        """Complete through the inner client, then meter the response."""
         response = self.inner.complete(request)
         self.meter.record(response)
         return response
@@ -137,10 +157,12 @@ class EchoClient(LLMClient):
     """Deterministic test double: always answers ``fixed_answer``."""
 
     def __init__(self, fixed_answer: str = "No", model_name: str = "echo") -> None:
+        """A client that answers every prompt with ``fixed_answer``."""
         self.fixed_answer = fixed_answer
         self.model_name = model_name
 
     def complete(self, request: LLMRequest) -> LLMResponse:
+        """Return the fixed answer with real token accounting."""
         return LLMResponse(
             text=self.fixed_answer,
             model=self.model_name,

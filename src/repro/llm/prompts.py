@@ -65,6 +65,7 @@ class Demonstration:
     label: int
 
     def render(self) -> str:
+        """The demonstration as prompt text with its gold answer."""
         answer = "Yes" if self.label == 1 else "No"
         return (
             f"Entity 1: '{self.left_text}'\n"
@@ -193,6 +194,7 @@ class DemonstrationRetriever:
     _MAX_CANDIDATES = 200
 
     def __init__(self, transfer_datasets: list[EMDataset], n_demos: int = 3) -> None:
+        """Index the transfer pairs to retrieve ``n_demos`` per query."""
         if not transfer_datasets:
             raise PromptError("retrieval needs at least one transfer dataset")
         self.n_demos = n_demos

@@ -59,6 +59,7 @@ class SimulatedLLM(LLMClient):
     """Deterministic, calibrated stand-in for a hosted LLM."""
 
     def __init__(self, profile: LLMProfile, world: EntityWorld, seed: int = 0) -> None:
+        """Simulate ``profile`` grounded in ``world``; decisions use ``seed``."""
         self.profile = profile
         self.world = world
         self.seed = seed
@@ -71,6 +72,7 @@ class SimulatedLLM(LLMClient):
     # -- public API ----------------------------------------------------------
 
     def complete(self, request: LLMRequest) -> LLMResponse:
+        """Parse the prompt, decide match/non-match, answer Yes or No."""
         parsed = parse_match_prompt(request.prompt)
         strategy = self._strategy(request, n_demos=len(parsed.demonstrations))
         decision = self._decide(

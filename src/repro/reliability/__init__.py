@@ -1,0 +1,71 @@
+"""Fault-tolerant request layer: retries, deadlines, fault injection.
+
+The paper's cost analysis (Section 4.2) assumes every completion request
+succeeds; a production EM service cannot.  This package makes the
+request layer survive — and, crucially, makes failure *testable offline*
+by simulating it the same way :mod:`repro.llm.simulated` simulates the
+hosted models:
+
+:mod:`repro.reliability.policy`
+    :class:`RetryPolicy` — retryable-error classification, exponential
+    backoff with deterministic seeded jitter, per-request deadlines.
+:mod:`repro.reliability.retry`
+    :class:`RetryingClient` — the wrapper that applies a policy around
+    any :class:`~repro.llm.client.LLMClient`, with response validation.
+:mod:`repro.reliability.faults`
+    :class:`FaultInjector` and :class:`FaultPlan` — seeded, reproducible
+    injection of transient errors, rate limits, latency spikes and
+    malformed completions.
+:mod:`repro.reliability.clock`
+    :class:`SystemClock` / :class:`FakeClock` — injectable time so
+    backoff tests assert exact schedules without sleeping.
+:mod:`repro.reliability.wiring`
+    Process-wide activation (``REPRO_RETRY`` / ``REPRO_FAULTS`` env
+    specs) and :func:`harden_client`, the one composition point the
+    study factories funnel every client through.
+:mod:`repro.reliability.counters`
+    Process-global retry/fault counters, aggregated into the ``runtime``
+    block of ``full_study.json``.
+
+Failure semantics — what is retried, how long backoff waits, how the
+completion cache interacts with retries, and the ``CellFailure`` schema
+— are specified in ``docs/FAILURE_SEMANTICS.md``.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, FakeClock, SystemClock
+from .faults import FaultInjector, FaultPlan
+from .policy import DEFAULT_POLICY, RetryPolicy, is_retryable
+from .retry import RetryingClient, validate_yes_no
+from .wiring import (
+    activate_faults,
+    activate_policy,
+    active_faults,
+    active_policy,
+    deactivate_faults,
+    deactivate_policy,
+    harden_client,
+    reliability_enabled,
+)
+
+__all__ = [
+    "Clock",
+    "DEFAULT_POLICY",
+    "FakeClock",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "RetryingClient",
+    "SystemClock",
+    "activate_faults",
+    "activate_policy",
+    "active_faults",
+    "active_policy",
+    "deactivate_faults",
+    "deactivate_policy",
+    "harden_client",
+    "is_retryable",
+    "reliability_enabled",
+    "validate_yes_no",
+]

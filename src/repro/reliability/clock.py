@@ -1,0 +1,69 @@
+"""Time sources for the reliability layer.
+
+Retry backoff and request deadlines must be *testable without sleeping*:
+the backoff-timing tests assert exact delay sequences against a
+:class:`FakeClock` that advances instantly, while production code uses
+:class:`SystemClock` (``time.monotonic`` / ``time.sleep``).  Everything
+in :mod:`repro.reliability` takes an injectable clock so the two are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock:
+    """Interface the retry and fault-injection layers tell time through."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary, monotonically increasing origin."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (or simulate doing so)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock: ``time.monotonic`` and ``time.sleep``."""
+
+    def monotonic(self) -> float:
+        """Seconds from the process's monotonic origin."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Really sleep; negative or zero durations return immediately."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic, sleep-free tests.
+
+    ``sleep`` advances simulated time instantly and records each duration
+    in :attr:`sleeps`, so a test can assert the exact backoff sequence a
+    policy produced without the test suite ever blocking.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        """A fake clock reading ``start`` seconds, with no sleeps yet."""
+        self.now = float(start)
+        #: Every duration passed to :meth:`sleep`, in call order.
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        """The current simulated time."""
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds`` and record the call."""
+        self.sleeps.append(seconds)
+        if seconds > 0:
+            self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward without recording a sleep."""
+        self.now += seconds

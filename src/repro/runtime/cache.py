@@ -70,6 +70,7 @@ class CompletionCache:
     """In-memory completion store with optional JSON-lines persistence."""
 
     def __init__(self, path: str | Path | None = None) -> None:
+        """An empty cache; with ``path``, merge any persisted entries in."""
         self.path = Path(path) if path is not None else None
         self._entries: dict[str, LLMResponse] = {}
         self.hits = 0
@@ -96,16 +97,19 @@ class CompletionCache:
         return response
 
     def store(self, key: str, response: LLMResponse) -> None:
+        """Remember one completion under its content address."""
         self._entries[key] = response
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 before any)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     # -- accounting ----------------------------------------------------------
 
     def credit_saved_dollars(self, prompt_tokens: int, price_per_1k: float) -> None:
+        """Account the dollars one hit avoided re-spending."""
         self.saved_dollars += prompt_tokens / 1_000 * price_per_1k
 
     def counters(self) -> dict[str, float]:
@@ -186,6 +190,7 @@ class CachedClient(LLMClient):
     """
 
     def __init__(self, inner: LLMClient, cache: CompletionCache) -> None:
+        """Serve ``inner``'s completions through ``cache``."""
         self.inner = inner
         self.cache = cache
         self.model_name = inner.model_name
@@ -215,6 +220,7 @@ class CachedClient(LLMClient):
         return digest.hexdigest()
 
     def complete(self, request: LLMRequest) -> LLMResponse:
+        """Answer from the cache, completing (and storing) on a miss."""
         key = self._key_for(
             request.metadata.get("demo_strategy", ""), request.prompt
         )
@@ -240,15 +246,18 @@ def activate(cache: CompletionCache) -> CompletionCache:
 
 
 def deactivate() -> None:
+    """Remove the process-wide active cache."""
     global _active
     _active = None
 
 
 def active_cache() -> CompletionCache | None:
+    """The process-wide active cache, if one is installed."""
     return _active
 
 
 def cache_enabled_from_env() -> bool:
+    """Whether ``REPRO_CACHE`` / ``REPRO_CACHE_PATH`` request caching."""
     value = os.environ.get(CACHE_ENV, "").strip().lower()
     if value in {"1", "true", "on", "yes"}:
         return True

@@ -64,6 +64,7 @@ class StudyExecutor:
     workers: int = 1
 
     def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        """``[fn(t) for t in tasks]``, however the backend schedules it."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -83,6 +84,7 @@ class SerialExecutor(StudyExecutor):
     """The reference executor: tasks run inline, one at a time."""
 
     def map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        """Run every task inline, in order."""
         return [fn(task) for task in tasks]
 
 
@@ -119,6 +121,8 @@ class _PoolExecutor(StudyExecutor):
 
 
 class ThreadStudyExecutor(_PoolExecutor):
+    """Thread-pool backend: shared memory, shared completion cache."""
+
     backend = "thread"
 
     def _make_pool(self) -> _FuturesExecutor:
@@ -128,6 +132,8 @@ class ThreadStudyExecutor(_PoolExecutor):
 
 
 class ProcessStudyExecutor(_PoolExecutor):
+    """Process-pool backend (fork where available): picklable tasks only."""
+
     backend = "process"
 
     def _make_pool(self) -> _FuturesExecutor:

@@ -13,22 +13,46 @@ bundle is a pure function of ``(scale, seed)`` and is memoized
 every cell it is handed.  Because every source of randomness is seeded
 per cell, dispatching cells through any executor backend yields
 bit-identical results to the serial nested loops it replaces.
+
+Cells degrade gracefully: :func:`run_cell_guarded` converts a cell's
+terminal :class:`~repro.errors.ReproError` (after the configured
+whole-cell retries) into a structured :class:`CellFailure` record
+instead of aborting the study, unless fail-fast is requested.  Failure
+semantics are specified in ``docs/FAILURE_SEMANTICS.md``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 
 from ..config import StudyConfig
 from ..data.generators import build_all_datasets
+from ..errors import (
+    CellExecutionError,
+    DeadlineExceededError,
+    ReproError,
+    RetryExhaustedError,
+    TransientLLMError,
+)
 from ..eval.loo import LeaveOneOutRunner, StudyResult, TargetResult
-from ..errors import ReproError
+from ..reliability import counters as reliability_counters
+from ..reliability import wiring
 from .cache import active_cache, ensure_active_cache
 from .executor import StudyExecutor
 from .stats import RuntimeStats
 
-__all__ = ["GridCell", "CellResult", "dataset_bundle", "run_cell", "run_cells"]
+__all__ = [
+    "GridCell",
+    "CellResult",
+    "CellFailure",
+    "dataset_bundle",
+    "run_cell",
+    "run_cell_guarded",
+    "run_cells",
+    "split_failures",
+]
 
 #: Per-process memo of ``build_all_datasets`` outputs keyed on
 #: ``(scale, seed)`` — the generators are deterministic, so every process
@@ -85,6 +109,49 @@ class CellResult:
     result: TargetResult
     seconds: float
     cache_delta: dict[str, float] = field(default_factory=dict)
+    #: Retry/fault counter movement inside this cell (process workers
+    #: report it here because the parent cannot see their globals).
+    reliability_delta: dict[str, float] = field(default_factory=dict)
+    #: How many whole-cell re-runs this result needed (0 = first try).
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One grid cell that failed after exhausting its retry budget.
+
+    The structured record graceful degradation stores in the
+    ``runtime.cell_failures`` block of ``full_study.json`` instead of
+    aborting the run (see ``docs/FAILURE_SEMANTICS.md`` for the schema).
+    """
+
+    matcher_name: str
+    target_code: str
+    #: Class name of the terminal error (e.g. ``RetryExhaustedError``).
+    error_type: str
+    #: The terminal error's message, truncated for the JSON document.
+    message: str
+    #: Whole-cell attempts made, including the first.
+    attempts: int
+    #: Wall-clock spent across all attempts, in seconds.
+    seconds: float
+    #: Whether the terminal error was of a retryable class (a
+    #: non-retryable error fails the cell on its first attempt).
+    retryable: bool = False
+    cache_delta: dict[str, float] = field(default_factory=dict)
+    reliability_delta: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The JSON shape stored in ``full_study.json``."""
+        return {
+            "matcher": self.matcher_name,
+            "target": self.target_code,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 3),
+            "retryable": self.retryable,
+        }
 
 
 def _factory_for(cell: GridCell, world):
@@ -107,7 +174,11 @@ def _factory_for(cell: GridCell, world):
     strategy = DemonstrationStrategy(cell.strategy)
 
     def factory(code: str):
-        client = wrap_client(SimulatedLLM(profile, world, seed=cell.llm_seed))
+        # Composition order matters: faults/retries inside, cache outside
+        # (see repro.reliability.wiring.harden_client).
+        client = wrap_client(
+            wiring.harden_client(SimulatedLLM(profile, world, seed=cell.llm_seed))
+        )
         return MatchGPTMatcher(
             client,
             demo_strategy=strategy,
@@ -125,6 +196,7 @@ def run_cell(cell: GridCell) -> CellResult:
         ensure_active_cache()
     cache = active_cache()
     snapshot = cache.counters() if cache is not None else {}
+    reliability_snapshot = reliability_counters.snapshot()
 
     datasets, world = dataset_bundle(cell.config.dataset_scale, cell.dataset_seed)
     datasets = {code: datasets[code] for code in cell.codes}
@@ -140,7 +212,80 @@ def run_cell(cell: GridCell) -> CellResult:
         result=result,
         seconds=time.perf_counter() - started,
         cache_delta=cache.delta_since(snapshot) if cache is not None else {},
+        reliability_delta=reliability_counters.delta_since(reliability_snapshot),
     )
+
+
+#: Error classes that justify re-running a whole cell: the failure was
+#: environmental (transient backend trouble or an exhausted/expired retry
+#: loop), not a property of the cell itself.
+_CELL_RETRYABLE = (TransientLLMError, RetryExhaustedError, DeadlineExceededError)
+
+
+def run_cell_guarded(cell: GridCell, cell_retries: int = 1) -> "CellResult | CellFailure":
+    """Evaluate one cell, degrading failures into :class:`CellFailure`.
+
+    Library errors (:class:`~repro.errors.ReproError`) are caught; a
+    retryable one re-runs the whole cell up to ``cell_retries`` times
+    before a failure record is returned.  Programming errors
+    (``TypeError`` et al.) still propagate and abort the run — graceful
+    degradation is for environmental failures, not bugs.  Note that
+    under a *deterministic* fault plan a whole-cell re-run replays the
+    same injected faults, so request-level retries (not cell retries)
+    are what absorb injected faults; cell retries exist for the
+    nondeterministic failures of a real backend.
+    """
+    started = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = run_cell(cell)
+            if attempts > 1:
+                result = replace(result, retries=attempts - 1)
+            return result
+        except ReproError as error:
+            retryable = isinstance(error, _CELL_RETRYABLE)
+            if retryable and attempts <= cell_retries:
+                continue
+            return CellFailure(
+                matcher_name=cell.matcher_name,
+                target_code=cell.target_code,
+                error_type=type(error).__name__,
+                message=str(error)[:500],
+                attempts=attempts,
+                seconds=time.perf_counter() - started,
+                retryable=retryable,
+            )
+
+
+def _resolve_cell_retries(explicit: int | None, config: StudyConfig | None) -> int:
+    """Cell retry budget: explicit arg > ``REPRO_CELL_RETRIES`` > config > 1."""
+    if explicit is not None:
+        return explicit
+    from_env = wiring.cell_retries_from_env()
+    if from_env is not None:
+        return from_env
+    return config.cell_retries if config is not None else 1
+
+
+def _resolve_fail_fast(explicit: bool | None, config: StudyConfig | None) -> bool:
+    """Fail-fast switch: explicit arg > ``REPRO_FAIL_FAST`` > config > off."""
+    if explicit is not None:
+        return explicit
+    from_env = wiring.fail_fast_from_env()
+    if from_env is not None:
+        return from_env
+    return config.fail_fast if config is not None else False
+
+
+def split_failures(
+    outcomes: list["CellResult | CellFailure"],
+) -> tuple[list[CellResult], list[CellFailure]]:
+    """Partition mixed cell outcomes into (successes, failures)."""
+    successes = [o for o in outcomes if isinstance(o, CellResult)]
+    failures = [o for o in outcomes if isinstance(o, CellFailure)]
+    return successes, failures
 
 
 def run_cells(
@@ -148,37 +293,93 @@ def run_cells(
     executor: StudyExecutor,
     stats: RuntimeStats | None = None,
     phase: str = "grid",
-) -> list[CellResult]:
-    """Dispatch cells through the executor, in submission order."""
-    if stats is None:
-        return executor.map_tasks(run_cell, cells)
+    cell_retries: int | None = None,
+    fail_fast: bool | None = None,
+) -> list["CellResult | CellFailure"]:
+    """Dispatch cells through the executor, in submission order.
+
+    Failed cells degrade into :class:`CellFailure` entries in the
+    returned list (and into ``stats``) unless ``fail_fast`` resolves
+    true, in which case the first failure raises
+    :class:`~repro.errors.CellExecutionError`.  ``cell_retries`` and
+    ``fail_fast`` default from the environment
+    (``REPRO_CELL_RETRIES`` / ``REPRO_FAIL_FAST``) and then the cells'
+    :class:`~repro.config.StudyConfig`.
+    """
+    config = cells[0].config if cells else None
+    retries = _resolve_cell_retries(cell_retries, config)
+    abort_on_failure = _resolve_fail_fast(fail_fast, config)
+    worker = partial(run_cell_guarded, cell_retries=retries)
+
     cache = active_cache()
-    snapshot = cache.counters() if cache is not None else {}
-    with stats.phase(phase):
-        results = executor.map_tasks(run_cell, cells)
-    stats.record_tasks(phase, len(results), sum(r.seconds for r in results))
-    if cache is not None and executor.backend != "process":
-        # Serial and thread cells share this process's cache, so per-cell
-        # deltas overlap under concurrency (each cell's window counts its
-        # neighbours' activity); one whole-phase delta is exact.
-        stats.merge_cache(cache.delta_since(snapshot))
+    cache_snapshot = cache.counters() if cache is not None else {}
+    reliability_snapshot = reliability_counters.snapshot()
+    if stats is None:
+        outcomes = executor.map_tasks(worker, cells)
     else:
-        # Process workers hold their own forked caches and run their
-        # cells sequentially, so per-cell deltas partition exactly.
-        for cell_result in results:
-            stats.merge_cache(cell_result.cache_delta)
-    return results
+        with stats.phase(phase):
+            outcomes = executor.map_tasks(worker, cells)
+    successes, failures = split_failures(outcomes)
+
+    if stats is not None:
+        stats.record_tasks(phase, len(outcomes), sum(o.seconds for o in outcomes))
+        if cache is not None and executor.backend != "process":
+            # Serial and thread cells share this process's cache, so
+            # per-cell deltas overlap under concurrency (each cell's
+            # window counts its neighbours' activity); one whole-phase
+            # delta is exact.
+            stats.merge_cache(cache.delta_since(cache_snapshot))
+        else:
+            # Process workers hold their own forked caches and run their
+            # cells sequentially, so per-cell deltas partition exactly.
+            for outcome in outcomes:
+                stats.merge_cache(outcome.cache_delta)
+        if executor.backend != "process":
+            # Same aliasing argument as the cache: one whole-phase delta
+            # of this process's reliability counters is exact.
+            stats.merge_reliability(
+                reliability_counters.delta_since(reliability_snapshot)
+            )
+        else:
+            # A failed process cell's counters die with the exception;
+            # successful cells partition exactly.
+            for outcome in outcomes:
+                stats.merge_reliability(outcome.reliability_delta)
+        stats.merge_reliability(
+            {
+                "cell_retries": sum(r.retries for r in successes)
+                + sum(max(f.attempts - 1, 0) for f in failures),
+                "cell_failures": len(failures),
+            }
+        )
+        stats.record_failures(failures)
+
+    if failures and abort_on_failure:
+        first = failures[0]
+        raise CellExecutionError(
+            f"{len(failures)} grid cell(s) failed (fail-fast); first: "
+            f"{first.matcher_name}/{first.target_code} "
+            f"{first.error_type}: {first.message}"
+        )
+    return outcomes
 
 
 def collect_rows(
     cells: list[GridCell],
-    results: list[CellResult],
+    results: list["CellResult | CellFailure"],
     params_by_matcher: dict[str, float],
 ) -> list[StudyResult]:
     """Assemble per-cell results into Table-3-style rows, preserving the
-    cells' submission order (matcher-major, then target)."""
+    cells' submission order (matcher-major, then target).
+
+    :class:`CellFailure` entries are skipped: a degraded run's rows
+    simply lack the failed targets (the failures themselves live in the
+    ``runtime.cell_failures`` block).
+    """
     rows: dict[str, StudyResult] = {}
     for cell, cell_result in zip(cells, results):
+        if isinstance(cell_result, CellFailure):
+            continue
         row = rows.get(cell.matcher_name)
         if row is None:
             row = StudyResult(

@@ -25,6 +25,7 @@ class RuntimeStats:
     """Per-phase wall-clock, task counts and cache totals for one run."""
 
     def __init__(self, workers: int = 1, backend: str = "serial") -> None:
+        """Start the run clock for a study on ``workers`` × ``backend``."""
         self.workers = workers
         self.backend = backend
         self.phase_seconds: dict[str, float] = {}
@@ -36,6 +37,21 @@ class RuntimeStats:
             "saved_prompt_tokens": 0,
             "saved_dollars": 0.0,
         }
+        self.reliability_counters: dict[str, float] = {
+            "attempts": 0,
+            "request_retries": 0,
+            "retry_sleep_seconds": 0.0,
+            "faults_injected": 0,
+            "transient_faults": 0,
+            "rate_limit_faults": 0,
+            "latency_spikes": 0,
+            "malformed_completions": 0,
+            "cell_retries": 0,
+            "cell_failures": 0,
+        }
+        #: Structured :class:`repro.runtime.grid.CellFailure` records
+        #: (as dicts) from every phase, in submission order.
+        self.cell_failures: list[dict] = []
         self._started = time.perf_counter()
 
     @contextmanager
@@ -60,20 +76,40 @@ class RuntimeStats:
         for key in self.cache_counters:
             self.cache_counters[key] += delta.get(key, 0)
 
+    def merge_reliability(self, delta: dict[str, float]) -> None:
+        """Fold one retry/fault counter delta into the totals."""
+        for key in self.reliability_counters:
+            self.reliability_counters[key] += delta.get(key, 0)
+
+    def record_failures(self, failures: list) -> None:
+        """Append structured cell-failure records (dicts or CellFailures)."""
+        for failure in failures:
+            self.cell_failures.append(
+                failure if isinstance(failure, dict) else failure.as_dict()
+            )
+
     # -- derived -------------------------------------------------------------
 
     @property
     def total_wall_seconds(self) -> float:
+        """Wall-clock since this stats object was created."""
         return time.perf_counter() - self._started
 
     @property
     def n_tasks(self) -> int:
+        """Total grid tasks accounted across every phase."""
         return sum(self.phase_tasks.values())
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when none happened)."""
         total = self.cache_counters["hits"] + self.cache_counters["misses"]
         return self.cache_counters["hits"] / total if total else 0.0
+
+    @property
+    def reliability_active(self) -> bool:
+        """Whether any retry, fault or cell-failure activity was recorded."""
+        return any(value for value in self.reliability_counters.values())
 
     def speedup_vs_serial(self, phase: str) -> float | None:
         """Realised speedup of ``phase``: serial task time over wall time.
@@ -102,13 +138,20 @@ class RuntimeStats:
         cache = dict(self.cache_counters)
         cache["saved_dollars"] = round(cache["saved_dollars"], 6)
         cache["hit_rate"] = round(self.cache_hit_rate, 4)
-        return {
+        reliability = {
+            key: round(value, 6) for key, value in self.reliability_counters.items()
+        }
+        block = {
             "workers": self.workers,
             "backend": self.backend,
             "phases": phases,
             "cache": cache,
+            "reliability": reliability,
             "total_wall_seconds": round(self.total_wall_seconds, 3),
         }
+        if self.cell_failures:
+            block["cell_failures"] = list(self.cell_failures)
+        return block
 
     def footer(self) -> str:
         """One-paragraph run summary printed after a study completes."""
@@ -129,5 +172,13 @@ class RuntimeStats:
                 f"[runtime]   cache: {hits:.0f} hits / {misses:.0f} misses "
                 f"({self.cache_hit_rate:.0%}), "
                 f"${self.cache_counters['saved_dollars']:.4f} saved"
+            )
+        if self.reliability_active:
+            r = self.reliability_counters
+            lines.append(
+                f"[runtime]   reliability: {r['request_retries']:.0f} request "
+                f"retries, {r['faults_injected']:.0f} faults injected, "
+                f"{r['cell_retries']:.0f} cell retries, "
+                f"{r['cell_failures']:.0f} cell failures"
             )
         return "\n".join(lines)

@@ -13,17 +13,33 @@ MatchGPT cells verbatim) from the content-addressed completion cache.
 Parallel and cached runs produce bit-identical table values; the run's
 wall-clock, task and cache accounting lands in the document's
 ``runtime`` block.
+
+The run is fault-tolerant: with ``--retries`` (or ``REPRO_RETRY``) every
+LLM request retries transient failures under seeded exponential backoff,
+failed grid cells degrade into structured ``runtime.cell_failures``
+entries instead of aborting (``--fail-fast`` restores the abort), and
+``--faults SPEC`` injects deterministic faults to rehearse all of it
+offline — see ``docs/FAILURE_SEMANTICS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 from ..config import StudyConfig, get_profile
+from ..reliability import FaultPlan, RetryPolicy
+from ..reliability.wiring import (
+    FAIL_FAST_ENV,
+    FAULTS_ENV,
+    RETRY_ENV,
+    activate_faults,
+    activate_policy,
+)
 from ..runtime.cache import (
     CompletionCache,
     activate,
@@ -35,6 +51,28 @@ from ..runtime.stats import RuntimeStats
 from . import figures, findings, table3, table4, table5, table6
 
 
+def _configure_reliability(
+    retries: int | None, faults: str | None, fail_fast: bool | None
+) -> None:
+    """Install the requested reliability configuration process-wide.
+
+    Activation goes through both the in-process globals (serial and
+    thread cells) *and* ``os.environ`` (so fork-context process-pool
+    workers, which honour the env lazily exactly like the completion
+    cache, see an identical configuration).
+    """
+    if faults:
+        plan = activate_faults(FaultPlan.parse(faults))
+        os.environ[FAULTS_ENV] = plan.to_spec()
+    if retries is not None:
+        # ``--retries N`` = N retries after the first attempt; 0 disables
+        # retrying but keeps response validation on.
+        policy = activate_policy(RetryPolicy(max_attempts=retries + 1))
+        os.environ[RETRY_ENV] = policy.to_spec()
+    if fail_fast:
+        os.environ[FAIL_FAST_ENV] = "1"
+
+
 def run_study(
     config: StudyConfig,
     out_path: Path,
@@ -43,11 +81,21 @@ def run_study(
     backend: str | None = None,
     use_cache: bool | None = None,
     cache_path: str | None = None,
+    retries: int | None = None,
+    faults: str | None = None,
+    fail_fast: bool | None = None,
 ) -> dict:
-    """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON."""
+    """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON.
+
+    ``retries``/``faults``/``fail_fast`` configure the reliability layer
+    (see :mod:`repro.reliability`): failed grid cells are retried, then
+    recorded as structured entries under ``runtime.cell_failures`` in the
+    output document instead of aborting the run — unless ``fail_fast``.
+    """
     started = time.time()
     n_workers = resolve_workers(workers, config)
     backend_name = resolve_backend(backend, config, workers=n_workers)
+    _configure_reliability(retries, faults, fail_fast)
     if use_cache is None:
         use_cache = cache_enabled_from_env()
     if use_cache and active_cache() is None:
@@ -94,8 +142,14 @@ def run_study(
                 "rendered": t3.render(),
             }
             checkpoint()
-            print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
-                  f"({time.time() - started_row:.0f}s)", flush=True)
+            if partial.results:
+                print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
+                      f"({time.time() - started_row:.0f}s)", flush=True)
+            else:
+                # Every cell of this row failed; the structured records
+                # are in the document's runtime.cell_failures block.
+                print(f"[full_run]   {name}: all cells FAILED "
+                      f"({time.time() - started_row:.0f}s)", flush=True)
         print(t3.render(), flush=True)
 
         print("[full_run] Table 4 ...", flush=True)
@@ -143,8 +197,17 @@ def run_study(
                 document["findings"] = {"error": str(error)}
     finally:
         executor.close()
-        # Persist even on a crashed run: the cache is content-addressed,
-        # so a partial file is still valid and warms the retry.
+        # Warm-retry persistence: the completion cache is saved in this
+        # ``finally`` so even a *crashed* run leaves its completions on
+        # disk.  That partial JSON-lines file is safe to reuse because
+        # every entry is content-addressed — the key is
+        # sha256(model || salt || strategy || prompt), so a cached
+        # response is valid independently of which run (or how much of
+        # it) produced the file.  A retry run pointed at the same
+        # ``--cache-path`` loads the file at CompletionCache
+        # construction time and answers every already-completed prompt
+        # from memory; only the work past the crash point is recomputed.
+        # ``tests/study/test_warm_cache_retry.py`` pins this behaviour.
         cache = active_cache()
         if use_cache and cache is not None:
             target = cache_path or cache.path
@@ -187,6 +250,21 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-path", default=None,
         help="persist the completion cache as JSON-lines at this path",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="per-request retries after the first attempt (0 disables "
+             "retrying; default: REPRO_RETRY env var, else no retry layer)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject seeded faults, e.g. 'transient=0.2,rate_limit=0.05,"
+             "seed=3' (see repro.reliability.FaultPlan.parse)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true", default=None,
+        help="abort on the first failed grid cell instead of recording a "
+             "structured CellFailure and continuing",
+    )
     args = parser.parse_args(argv)
     codes = tuple(c for c in args.codes.split(",") if c) or None
     run_study(
@@ -197,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         use_cache=args.use_cache,
         cache_path=args.cache_path,
+        retries=args.retries,
+        faults=args.faults,
+        fail_fast=args.fail_fast,
     )
     return 0
 

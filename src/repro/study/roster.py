@@ -21,6 +21,7 @@ from ..matchers import (
     UnicornMatcher,
     ZeroERMatcher,
 )
+from ..reliability.wiring import harden_client
 from ..runtime.cache import wrap_client
 
 __all__ = ["RosterEntry", "ROSTER_ORDER", "build_roster"]
@@ -110,9 +111,9 @@ def build_roster(
             )
         elif name == "Jellyfish":
             def jellyfish_factory(code: str) -> Matcher:
-                client = wrap_client(
+                client = wrap_client(harden_client(
                     SimulatedLLM(get_llm_profile("jellyfish-13b"), world, seed=llm_seed)
-                )
+                ))
                 return JellyfishMatcher(client)
 
             entries.append(
@@ -123,7 +124,7 @@ def build_roster(
             profile = get_llm_profile(model)
 
             def matchgpt_factory(code: str, profile=profile) -> Matcher:
-                client = wrap_client(SimulatedLLM(profile, world, seed=llm_seed))
+                client = wrap_client(harden_client(SimulatedLLM(profile, world, seed=llm_seed)))
                 return MatchGPTMatcher(
                     client,
                     demo_strategy=demo_strategy,

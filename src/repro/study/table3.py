@@ -25,6 +25,9 @@ class Table3Result:
     codes: tuple[str, ...] = field(default_factory=tuple)
 
     def render(self) -> str:
+        if not self.results:
+            # Degraded run: every cell failed (see runtime.cell_failures).
+            return "(no surviving Table-3 rows)"
         return format_table3(self.results, self.codes or None)
 
     def quality_table(self) -> dict[str, float]:

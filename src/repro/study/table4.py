@@ -38,6 +38,9 @@ class Table4Result:
             for strategy in TABLE4_STRATEGIES
             if (model, strategy.value) in self.results
         ]
+        if not ordered:
+            # Degraded run: every cell failed (see runtime.cell_failures).
+            return "(no surviving Table-4 rows)"
         return format_table3(ordered)
 
     def mean_by_strategy(self, model: str) -> dict[str, float]:
@@ -103,6 +106,10 @@ def run(
 
     results: dict[tuple[str, str], StudyResult] = {}
     for cell, cell_result in zip(cells, cell_results):
+        if isinstance(cell_result, grid.CellFailure):
+            # Graceful degradation: the failed target is simply absent
+            # from this row; the failure record lives in the stats.
+            continue
         key = (cell.model, cell.strategy)
         row = results.get(key)
         if row is None:

@@ -1,0 +1,147 @@
+"""FaultInjector: determinism, the bounded adversary, fault shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    MalformedCompletionError,
+    PromptError,
+    RateLimitError,
+    TransientLLMError,
+)
+from repro.llm.client import EchoClient, LLMRequest
+from repro.llm.prompts import parse_answer
+from repro.reliability import (
+    FakeClock,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    RetryingClient,
+    validate_yes_no,
+)
+from repro.reliability.faults import MALFORMED_TEXT
+
+_PROMPTS = [f"Do entries A{i} and B{i} match? ('Yes'/'No')" for i in range(40)]
+
+
+def _outcome(injector: FaultInjector, prompt: str) -> str:
+    """One attempt's outcome tag for determinism comparisons."""
+    try:
+        response = injector.complete(LLMRequest(prompt=prompt))
+    except RateLimitError:
+        return "rate_limit"
+    except TransientLLMError:
+        return "transient"
+    return "malformed" if response.text == MALFORMED_TEXT else "clean"
+
+
+def _plan(**overrides) -> FaultPlan:
+    defaults = dict(transient_rate=0.2, rate_limit_rate=0.1,
+                    malformed_rate=0.1, retry_after_s=0.0, seed=5)
+    defaults.update(overrides)
+    return FaultPlan(**defaults)
+
+
+class TestDeterminism:
+    def test_fault_sequence_is_independent_of_request_order(self):
+        """Per-prompt outcomes depend on (seed, prompt, attempt) only —
+        interleaving requests differently must not move any fault."""
+        forward = FaultInjector(EchoClient(), _plan(), count=False)
+        ordered = {p: [_outcome(forward, p) for _ in range(3)] for p in _PROMPTS}
+
+        shuffled = FaultInjector(EchoClient(), _plan(), count=False)
+        interleaved: dict[str, list[str]] = {p: [] for p in _PROMPTS}
+        for attempt in range(3):  # round-robin instead of depth-first
+            for p in reversed(_PROMPTS):
+                interleaved[p].append(_outcome(shuffled, p))
+        assert interleaved == ordered
+
+    def test_fresh_injector_replays_identically(self):
+        a = FaultInjector(EchoClient(), _plan(), count=False)
+        b = FaultInjector(EchoClient(), _plan(), count=False)
+        for p in _PROMPTS:
+            assert [_outcome(a, p)] * 1 == [_outcome(b, p)]
+
+    def test_seed_changes_the_sequence(self):
+        a = FaultInjector(EchoClient(), _plan(seed=5), count=False)
+        b = FaultInjector(EchoClient(), _plan(seed=6), count=False)
+        assert [_outcome(a, p) for p in _PROMPTS] != [
+            _outcome(b, p) for p in _PROMPTS
+        ]
+
+
+class TestBoundedAdversary:
+    def test_consecutive_errors_capped_then_clean(self):
+        plan = _plan(transient_rate=1.0, rate_limit_rate=0.0,
+                     malformed_rate=0.0, max_consecutive=3)
+        injector = FaultInjector(EchoClient("No"), plan, count=False)
+        request = LLMRequest(prompt=_PROMPTS[0])
+        for _ in range(3):
+            with pytest.raises(TransientLLMError):
+                injector.complete(request)
+        assert injector.complete(request).text == "No"  # the cap kicks in
+        with pytest.raises(TransientLLMError):  # and the run restarts
+            injector.complete(request)
+
+    def test_default_policy_always_outlasts_default_adversary(self):
+        """max_attempts (4) > max_consecutive (3): retries always converge,
+        even at 100% error rate."""
+        plan = _plan(transient_rate=0.8, rate_limit_rate=0.1,
+                     malformed_rate=0.1)
+        client = RetryingClient(
+            FaultInjector(EchoClient("Yes"), plan, count=False),
+            RetryPolicy(base_delay_s=0.0, jitter=0.0),
+            clock=FakeClock(), validate=validate_yes_no, count=False,
+        )
+        for p in _PROMPTS:
+            assert client.complete(LLMRequest(prompt=p)).text == "Yes"
+
+
+class TestFaultShapes:
+    def test_rate_limit_carries_the_hint(self):
+        plan = _plan(transient_rate=0.0, rate_limit_rate=1.0,
+                     malformed_rate=0.0, retry_after_s=0.25)
+        injector = FaultInjector(EchoClient(), plan, count=False)
+        with pytest.raises(RateLimitError) as excinfo:
+            injector.complete(LLMRequest(prompt=_PROMPTS[0]))
+        assert excinfo.value.retry_after_s == 0.25
+
+    def test_malformed_text_fails_yes_no_parsing(self):
+        with pytest.raises(PromptError):
+            parse_answer(MALFORMED_TEXT)
+        plan = _plan(transient_rate=0.0, rate_limit_rate=0.0,
+                     malformed_rate=1.0)
+        injector = FaultInjector(EchoClient("Yes"), plan, count=False)
+        response = injector.complete(LLMRequest(prompt=_PROMPTS[0]))
+        assert response.text == MALFORMED_TEXT
+        with pytest.raises(MalformedCompletionError):
+            validate_yes_no(response)
+
+    def test_latency_spike_sleeps_but_succeeds(self):
+        clock = FakeClock()
+        plan = FaultPlan(latency_rate=1.0, latency_s=0.3, seed=1)
+        injector = FaultInjector(EchoClient("No"), plan, clock=clock,
+                                 count=False)
+        assert injector.complete(LLMRequest(prompt=_PROMPTS[0])).text == "No"
+        assert clock.sleeps == [0.3]
+
+
+class TestPlanSpecs:
+    def test_round_trip(self):
+        plan = FaultPlan(transient_rate=0.2, rate_limit_rate=0.05,
+                         latency_rate=0.1, malformed_rate=0.05,
+                         latency_s=0.02, retry_after_s=0.1, seed=3,
+                         max_consecutive=2)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(transient_rate=0.6, malformed_rate=0.6)  # sums past 1
+        with pytest.raises(ConfigurationError):
+            FaultPlan(transient_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_consecutive=0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("transient=0.2,nonsense=1")

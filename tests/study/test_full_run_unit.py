@@ -35,3 +35,32 @@ class TestArgumentHandling:
             ["--profile", "smoke", "--codes", "ABT,BEER", "--out", str(tmp_path / "r.json")]
         )
         assert captured["codes"] == ("ABT", "BEER")
+
+    def test_reliability_flags_forwarded(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_run_study(config, out_path, codes=None, **runtime_kwargs):
+            captured.update(runtime_kwargs)
+            return {}
+
+        monkeypatch.setattr(full_run, "run_study", fake_run_study)
+        full_run.main([
+            "--profile", "smoke", "--out", str(tmp_path / "r.json"),
+            "--retries", "3", "--faults", "transient=0.2,seed=3", "--fail-fast",
+        ])
+        assert captured["retries"] == 3
+        assert captured["faults"] == "transient=0.2,seed=3"
+        assert captured["fail_fast"] is True
+
+    def test_reliability_flags_default_unset(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_run_study(config, out_path, codes=None, **runtime_kwargs):
+            captured.update(runtime_kwargs)
+            return {}
+
+        monkeypatch.setattr(full_run, "run_study", fake_run_study)
+        full_run.main(["--profile", "smoke", "--out", str(tmp_path / "r.json")])
+        assert captured["retries"] is None
+        assert captured["faults"] is None
+        assert captured["fail_fast"] is None
