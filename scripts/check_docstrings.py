@@ -11,8 +11,8 @@ interpreter and needs no dependencies) and requires a docstring on:
 
 Private names (leading underscore) and dunders other than ``__init__``
 are exempt.  Exit status is non-zero when anything is missing, so CI can
-gate on it; the default targets are the packages the reliability PR
-brought to 100%: ``repro.llm``, ``repro.runtime``, ``repro.reliability``.
+gate on it; the default targets are the packages held at 100%:
+``repro.llm``, ``repro.runtime``, ``repro.reliability``, ``repro.serving``.
 
 Usage::
 
@@ -32,6 +32,7 @@ DEFAULT_TARGETS = (
     "src/repro/llm",
     "src/repro/runtime",
     "src/repro/reliability",
+    "src/repro/serving",
 )
 
 

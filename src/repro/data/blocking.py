@@ -5,18 +5,36 @@ form smaller candidate sets (Section 2.1).  The paper studies matchers
 only, but assumes a blocker upstream; this module provides the standard
 token-overlap blocker so the examples can run an end-to-end pipeline, and
 so the ablation benches can report the recall/reduction trade-off.
+
+The index construction is factored into :class:`InvertedTokenIndex` so it
+is built once per relation and shared: :meth:`TokenBlocker.block` scores
+the full ``left x right`` grid against it, while the online
+:class:`repro.serving.index.CandidateIndex` probes the same structure one
+record at a time — both see identical postings, document frequencies and
+stop-word decisions, which is what the refactoring parity test pins.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from ..errors import DatasetError
 from ..text.similarity import tokenize_words
 from .record import Record
 
-__all__ = ["BlockingResult", "TokenBlocker"]
+__all__ = ["BlockingResult", "InvertedTokenIndex", "TokenBlocker", "record_tokens"]
+
+
+def record_tokens(record: Record) -> tuple[str, ...]:
+    """Deduplicated tokens of one record in first-occurrence order.
+
+    Ordered (unlike a ``set``) so inverted-index postings and candidate
+    discovery order are deterministic regardless of string-hash
+    randomisation.
+    """
+    return tuple(dict.fromkeys(tokenize_words(" ".join(record.values))))
 
 
 @dataclass(frozen=True)
@@ -44,6 +62,78 @@ class BlockingResult:
         return kept / len(true_matches)
 
 
+class InvertedTokenIndex:
+    """Token -> postings over one relation, built once and probed many times.
+
+    Postings hold record *positions* (insertion order), so candidate
+    discovery order is deterministic.  Document frequencies fall out of
+    the postings lengths; :meth:`shared_counts` applies the caller's
+    stop-word threshold at probe time, so one built index serves any
+    ``max_df`` policy without rebuilding.
+    """
+
+    def __init__(self, records: Iterable[Record] = ()) -> None:
+        """Start an index, optionally pre-loading ``records``."""
+        self.records: list[Record] = []
+        self._postings: dict[str, list[int]] = defaultdict(list)
+        self.add_many(records)
+
+    def add(self, record: Record) -> int:
+        """Index one record; returns its position in the relation."""
+        position = len(self.records)
+        self.records.append(record)
+        for token in record_tokens(record):
+            self._postings[token].append(position)
+        return position
+
+    def add_many(self, records: Iterable[Record]) -> int:
+        """Index records in order; returns how many were added."""
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def postings(self, token: str) -> tuple[int, ...]:
+        """Positions of every indexed record containing ``token``."""
+        return tuple(self._postings.get(token, ()))
+
+    def document_frequency(self, token: str) -> int:
+        """How many indexed records contain ``token``."""
+        return len(self._postings.get(token, ()))
+
+    def stop_df(self, max_df: float) -> float:
+        """The document-frequency threshold above which a token is noise.
+
+        A token is a stop word when it appears in more than ``max_df`` of
+        the indexed relation — but never below an absolute floor of 2, so
+        tiny relations keep their discriminative tokens.
+        """
+        return max(2.0, max_df * len(self.records))
+
+    def shared_counts(
+        self, probe_tokens: Iterable[str], stop_df: float
+    ) -> dict[int, int]:
+        """Per-record shared-token counts for one probe's token set.
+
+        Tokens whose document frequency exceeds ``stop_df`` are skipped.
+        Keys appear in first-shared-token discovery order (the postings
+        are insertion-ordered), which downstream rankings rely on for
+        determinism.
+        """
+        counts: dict[int, int] = defaultdict(int)
+        for token in probe_tokens:
+            postings = self._postings.get(token, ())
+            if len(postings) > stop_df:
+                continue
+            for position in postings:
+                counts[position] += 1
+        return counts
+
+
 class TokenBlocker:
     """Inverted-index blocker: candidates share >= ``min_shared`` tokens.
 
@@ -61,43 +151,22 @@ class TokenBlocker:
 
     @staticmethod
     def _unique_tokens(record: Record) -> tuple[str, ...]:
-        """Deduplicated tokens in first-occurrence order.
-
-        Ordered (unlike a ``set``) so the inverted-index postings and the
-        candidate discovery order below are deterministic regardless of
-        string-hash randomisation.
-        """
-        return tuple(dict.fromkeys(tokenize_words(" ".join(record.values))))
+        """Deduplicated tokens in first-occurrence order (see :func:`record_tokens`)."""
+        return record_tokens(record)
 
     def block(self, left: list[Record], right: list[Record]) -> BlockingResult:
         if not left or not right:
             raise DatasetError("both relations must be non-empty")
-        index: dict[str, list[int]] = defaultdict(list)
-        for j, record in enumerate(right):
-            for token in self._unique_tokens(record):
-                index[token].append(j)
-        # Tokenise the left relation once, up front, rather than inside
-        # the scoring loop.
-        left_tokens = [self._unique_tokens(record) for record in left]
-        # A token is a stop word when it appears in more than max_df of the
-        # right relation — but never below an absolute floor, so tiny
-        # relations keep their discriminative tokens.
-        stop_df = max(2.0, self.max_df * len(right))
-        shared_counts: dict[tuple[int, int], int] = defaultdict(int)
-        for i, tokens in enumerate(left_tokens):
-            for token in tokens:
-                postings = index.get(token, ())
-                if len(postings) > stop_df:
-                    continue
-                for j in postings:
-                    shared_counts[(i, j)] += 1
-        # Candidates only need a deterministic order, which the dict's
-        # insertion order (left-major, first-shared-token discovery)
-        # already provides — a comparison sort over every scored pair
-        # dominated blocking time on large relations.
+        index = InvertedTokenIndex(right)
+        stop_df = index.stop_df(self.max_df)
+        # Candidates only need a deterministic order, which left-major
+        # iteration over the insertion-ordered shared counts already
+        # provides — a comparison sort over every scored pair dominated
+        # blocking time on large relations.
         candidates = [
-            (left[i], right[j])
-            for (i, j), count in shared_counts.items()
+            (probe, right[j])
+            for probe in left
+            for j, count in index.shared_counts(record_tokens(probe), stop_df).items()
             if count >= self.min_shared
         ]
         return BlockingResult(candidates, n_total_pairs=len(left) * len(right))

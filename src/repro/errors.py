@@ -104,6 +104,34 @@ class CellExecutionError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """The online serving subsystem (:mod:`repro.serving`) failed.
+
+    Base class for every error raised on the request path of the match
+    service: artifact problems, admission-control rejections, and
+    request-level failures that survived the retry layer.
+    """
+
+
+class ArtifactError(ServingError):
+    """A matcher artifact could not be exported, found, or loaded.
+
+    Raised for missing/corrupt manifests, unsupported matcher kinds, and
+    format-version mismatches — anything that prevents a saved matcher
+    from being reconstructed exactly.
+    """
+
+
+class OverloadedError(ServingError):
+    """The micro-batching scheduler's admission queue is full.
+
+    The structured shed-load signal: rather than queueing unboundedly
+    (and turning overload into unbounded latency), the scheduler rejects
+    the request immediately.  Clients should back off and retry; the
+    HTTP front-end maps this to a 429 response.
+    """
+
+
 class CostModelError(ReproError):
     """The throughput or deployment cost model received invalid input."""
 

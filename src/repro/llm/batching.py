@@ -11,7 +11,9 @@ capture so one malformed prompt cannot void a million-pair job.
 :class:`~repro.runtime.executor.StudyExecutor` worker pool.  Completions
 run in the workers; metering happens afterwards in the parent, in
 submission order, so budgets trip on exactly the same request as a
-serial run and the collected results are identical.
+serial run and the collected results are identical.  ``workers`` must be
+at least 1; an empty job processes successfully to an empty result set
+and a zeroed usage report ("0/0 ok").
 """
 
 from __future__ import annotations
@@ -92,11 +94,19 @@ class BatchJob:
         are retried with backoff before an error is recorded; without
         one, a request's first failure is final — the Batch-API shape,
         where the job report is the retry signal.
+
+        An *empty* batch is a valid (if vacuous) submission: it
+        completes immediately with no results and a zeroed usage
+        report, so callers that filter their request lists do not need
+        an emptiness guard of their own.
         """
         if self._processed:
             raise LLMError("batch already processed")
+        if workers < 1:
+            raise LLMError(f"workers must be >= 1, got {workers}")
         if not self._requests:
-            raise LLMError("batch contains no requests")
+            self._processed = True
+            return self
 
         client = self.client
         if retry_policy is not None:

@@ -80,6 +80,10 @@ class AnyMatchMatcher(Matcher):
         self._model = None
         self._vocab = None
         self._max_len = 0
+        #: The scaled surrogate dimensions the fitted model was built with;
+        #: recorded so :mod:`repro.serving.artifacts` can reconstruct the
+        #: exact architecture before loading the checkpoint weights.
+        self._scale: SurrogateScale | None = None
 
     # -- the data-centric pipeline ------------------------------------------
 
@@ -156,6 +160,7 @@ class AnyMatchMatcher(Matcher):
     def _fit(self, transfer: list[EMDataset], config: StudyConfig, seed: int) -> None:
         rng = np.random.default_rng(seed)
         scale = self._scaled(config.surrogate)
+        self._scale = scale
         self._max_len = scale.max_len
         self._vocab = build_vocabulary(transfer, size=scale.vocab_size)
         yes_id = self._vocab.id_of("yes")

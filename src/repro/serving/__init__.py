@@ -1,0 +1,33 @@
+"""Online serving: artifacts, candidate index, micro-batching, HTTP.
+
+The offline study answers "which matcher transfers best?"; this package
+answers "how do we *serve* the chosen matcher?".  Four layers compose:
+
+* :mod:`~repro.serving.artifacts` — export a fitted matcher to a
+  directory and reload it with byte-identical predictions.
+* :mod:`~repro.serving.index` — an incremental candidate index sharing
+  the offline :class:`~repro.data.blocking.TokenBlocker` semantics.
+* :mod:`~repro.serving.scheduler` — a micro-batcher that coalesces
+  concurrent requests into bounded batches with load shedding.
+* :mod:`~repro.serving.service` / :mod:`~repro.serving.http` — the
+  request façade and its stdlib-only HTTP front-end.
+"""
+
+from .artifacts import export_deployable, load_artifact, save_artifact
+from .index import Candidate, CandidateIndex
+from .scheduler import MicroBatcher, PendingResult
+from .service import LookupMatch, MatchResponse, MatchService, ServingStats
+
+__all__ = [
+    "save_artifact",
+    "load_artifact",
+    "export_deployable",
+    "Candidate",
+    "CandidateIndex",
+    "MicroBatcher",
+    "PendingResult",
+    "MatchService",
+    "MatchResponse",
+    "LookupMatch",
+    "ServingStats",
+]

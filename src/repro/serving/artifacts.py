@@ -1,0 +1,207 @@
+"""Matcher artifact store: export a fitted matcher, reload it exactly.
+
+A *matcher artifact* is a directory holding everything needed to serve a
+matcher without re-running the study: a ``manifest.json`` with the
+matcher kind, its reconstruction parameters and roster metadata, plus —
+for trained matchers — a ``weights.npz`` checkpoint written through
+:mod:`repro.nn.serialization` (no pickled code, ever).
+
+The contract is *byte-identical predictions*: a matcher reloaded from an
+artifact must score any pair set exactly as the exported instance did,
+which the artifact round-trip tests pin across seeds.  Two kinds are
+supported today:
+
+``anymatch``
+    The fitted surrogate model (weights via ``save_checkpoint``), the
+    vocabulary (via :meth:`repro.text.tokenizer.Vocabulary.to_state`) and
+    the scaled architecture dimensions.
+``string_sim``
+    Parameter-free; the manifest carries only the decision threshold.
+
+``python -m repro.study.full_run --export-artifacts DIR`` fits the
+deployment matcher on every benchmark (no leave-one-out holdout — the
+serving scenario trains on all labelled data) and exports here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..config import StudyConfig, SurrogateScale
+from ..errors import ArtifactError
+from ..matchers.anymatch import AnyMatchMatcher
+from ..matchers.base import Matcher
+from ..matchers.string_sim import StringSimMatcher
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..text.tokenizer import Vocabulary
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "MANIFEST_NAME",
+    "WEIGHTS_NAME",
+    "save_artifact",
+    "load_artifact",
+    "export_deployable",
+]
+
+#: Manifest schema version; bumped on any incompatible layout change.
+ARTIFACT_FORMAT = 1
+#: File name of the JSON manifest inside an artifact directory.
+MANIFEST_NAME = "manifest.json"
+#: File name of the checkpoint archive inside an artifact directory.
+WEIGHTS_NAME = "weights.npz"
+
+
+def _roster_block(matcher: Matcher) -> dict:
+    """The roster metadata every manifest carries, kind-independent."""
+    return {
+        "name": matcher.name,
+        "display_name": matcher.display_name,
+        "params_millions": matcher.params_millions,
+        "requires_fit": matcher.requires_fit,
+    }
+
+
+def save_artifact(
+    matcher: Matcher, directory: str | os.PathLike, profile: str = ""
+) -> Path:
+    """Export ``matcher`` as a deployable artifact directory.
+
+    Returns the directory path.  ``profile`` is recorded in the manifest
+    for provenance (which :class:`~repro.config.StudyConfig` produced the
+    fit).  Raises :class:`~repro.errors.ArtifactError` for unfitted or
+    unsupported matchers.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "format_version": ARTIFACT_FORMAT,
+        "profile": profile,
+        "roster": _roster_block(matcher),
+    }
+
+    if isinstance(matcher, AnyMatchMatcher):
+        if matcher._model is None or matcher._vocab is None or matcher._scale is None:
+            raise ArtifactError(
+                f"{matcher.display_name} must be fitted before export"
+            )
+        manifest["kind"] = "anymatch"
+        manifest["anymatch"] = {
+            "base": matcher.base,
+            "max_len": matcher._max_len,
+            "scale": vars(matcher._scale).copy(),
+            "vocabulary": matcher._vocab.to_state(),
+        }
+        save_checkpoint(matcher._model, directory / WEIGHTS_NAME)
+    elif isinstance(matcher, StringSimMatcher):
+        manifest["kind"] = "string_sim"
+        manifest["string_sim"] = {"threshold": matcher.threshold}
+    else:
+        raise ArtifactError(
+            f"no artifact exporter for matcher kind {type(matcher).__name__!r}; "
+            "supported: AnyMatchMatcher, StringSimMatcher"
+        )
+
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return directory
+
+
+def _load_anymatch(manifest: dict, directory: Path) -> AnyMatchMatcher:
+    """Rebuild a fitted AnyMatch matcher from its manifest + checkpoint."""
+    from ..models.decoder import CausalLMClassifier
+    from ..models.seq2seq import Seq2SeqClassifier
+
+    block = manifest["anymatch"]
+    scale = SurrogateScale(**block["scale"])
+    vocab = Vocabulary.from_state(block["vocabulary"])
+    matcher = AnyMatchMatcher(block["base"])
+    yes_id = vocab.id_of("yes")
+    no_id = vocab.id_of("no")
+    # The RNG only seeds the pre-checkpoint initialisation, which the
+    # loaded state dict overwrites entirely.
+    rng = np.random.default_rng(0)
+    if matcher._spec.architecture == "decoder":
+        model = CausalLMClassifier(
+            vocab_size=scale.vocab_size, dim=scale.d_model,
+            n_layers=scale.n_layers, n_heads=scale.n_heads, d_ff=scale.d_ff,
+            max_len=scale.max_len, yes_id=yes_id, no_id=no_id, rng=rng,
+        )
+    else:
+        model = Seq2SeqClassifier(
+            vocab_size=scale.vocab_size, dim=scale.d_model,
+            n_layers=scale.n_layers, n_heads=scale.n_heads, d_ff=scale.d_ff,
+            max_len=scale.max_len, yes_id=yes_id, no_id=no_id,
+            start_id=vocab.cls_id, rng=rng,
+        )
+    weights = directory / WEIGHTS_NAME
+    if not weights.exists():
+        raise ArtifactError(f"artifact {directory} is missing {WEIGHTS_NAME}")
+    load_checkpoint(model, weights)
+    matcher._model = model
+    matcher._vocab = vocab
+    matcher._scale = scale
+    matcher._max_len = int(block["max_len"])
+    matcher._fitted = True
+    return matcher
+
+
+def load_artifact(directory: str | os.PathLike) -> Matcher:
+    """Reconstruct the matcher saved by :func:`save_artifact`.
+
+    The reloaded matcher is ready to ``predict`` and produces predictions
+    byte-identical to the exported instance.  Raises
+    :class:`~repro.errors.ArtifactError` when the directory, manifest, or
+    checkpoint is missing, malformed, or of an unknown kind/version.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ArtifactError(f"no {MANIFEST_NAME} under {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"corrupt manifest {manifest_path}: {error}") from None
+    version = manifest.get("format_version")
+    if version != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"artifact format {version!r} unsupported (expected {ARTIFACT_FORMAT})"
+        )
+    kind = manifest.get("kind")
+    try:
+        if kind == "anymatch":
+            return _load_anymatch(manifest, directory)
+        if kind == "string_sim":
+            return StringSimMatcher(
+                threshold=float(manifest["string_sim"]["threshold"])
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(f"malformed {kind} manifest: {error}") from None
+    raise ArtifactError(f"unknown artifact kind {kind!r}")
+
+
+def export_deployable(
+    config: StudyConfig,
+    directory: str | os.PathLike,
+    base: str = "gpt2",
+    seed: int = 0,
+    dataset_seed: int = 7,
+) -> Path:
+    """Fit the deployment matcher on every benchmark and export it.
+
+    The online-serving scenario has no held-out target: the matcher is
+    fine-tuned on *all* labelled benchmarks (the leave-one-dataset-out
+    restriction is an evaluation protocol, not a deployment one) and
+    exported under ``directory``.  Returns the artifact path.
+    """
+    # Imported lazily: the grid's dataset memo lives in repro.runtime and
+    # serving must stay importable without it.
+    from ..runtime.grid import dataset_bundle
+
+    datasets, _world = dataset_bundle(config.dataset_scale, dataset_seed)
+    matcher = AnyMatchMatcher(base)
+    matcher.fit(list(datasets.values()), config, seed=seed)
+    return save_artifact(matcher, directory, profile=config.name)

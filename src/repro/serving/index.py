@@ -1,0 +1,95 @@
+"""Online candidate generation: an incremental blocking index.
+
+Offline, :class:`~repro.data.blocking.TokenBlocker` scores the full
+``left x right`` grid in one pass.  Online, a single probe record arrives
+and must retrieve its candidates *without* rebuilding the index or
+materialising a cross product — so :class:`CandidateIndex` keeps one
+persistent :class:`~repro.data.blocking.InvertedTokenIndex` over the
+serving corpus, grows it incrementally with :meth:`add_records`, and
+answers :meth:`query` probes against the postings built so far.
+
+Blocking semantics are shared with the offline blocker by construction
+(same tokenisation, postings, document-frequency stop words and
+``min_shared`` threshold): querying each left record against an index of
+the right relation yields exactly ``TokenBlocker.block``'s candidate set,
+which the parity tests pin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..data.blocking import InvertedTokenIndex, record_tokens
+from ..data.record import Record
+from ..errors import DatasetError
+
+__all__ = ["Candidate", "CandidateIndex"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One retrieved candidate: the indexed record and its overlap evidence."""
+
+    record: Record
+    #: Number of non-stop-word tokens shared with the probe.
+    shared_tokens: int
+
+
+class CandidateIndex:
+    """Incrementally indexed serving corpus with per-probe retrieval.
+
+    ``min_shared`` and ``max_df`` carry the offline blocker's semantics:
+    a candidate must share at least ``min_shared`` non-stop-word tokens
+    with the probe, and tokens appearing in more than ``max_df`` of the
+    indexed corpus are ignored as stop words.
+    """
+
+    def __init__(self, min_shared: int = 2, max_df: float = 0.2) -> None:
+        """An empty index under the given blocking thresholds."""
+        if min_shared < 1:
+            raise DatasetError("min_shared must be >= 1")
+        if not 0.0 < max_df <= 1.0:
+            raise DatasetError("max_df must be in (0, 1]")
+        self.min_shared = min_shared
+        self.max_df = max_df
+        self._index = InvertedTokenIndex()
+
+    def add_records(self, records: Iterable[Record]) -> int:
+        """Index new corpus records incrementally; returns how many."""
+        return self._index.add_many(records)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def records(self) -> list[Record]:
+        """The indexed corpus in insertion order (the live list; do not mutate)."""
+        return self._index.records
+
+    def query(self, probe: Record, top_k: int | None = 10) -> list[Candidate]:
+        """Candidates for one probe, best-first.
+
+        Ranked by shared-token count descending, ties broken by corpus
+        insertion order — fully deterministic.  ``top_k=None`` returns
+        every candidate above the ``min_shared`` threshold (the exact
+        offline blocking set for this probe).
+        """
+        if top_k is not None and top_k < 1:
+            raise DatasetError("top_k must be >= 1 (or None for all)")
+        if not len(self._index):
+            raise DatasetError("query against an empty candidate index")
+        stop_df = self._index.stop_df(self.max_df)
+        counts = self._index.shared_counts(record_tokens(probe), stop_df)
+        scored = sorted(
+            (
+                (position, count)
+                for position, count in counts.items()
+                if count >= self.min_shared
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        if top_k is not None:
+            scored = scored[:top_k]
+        records = self._index.records
+        return [Candidate(records[position], count) for position, count in scored]

@@ -1,0 +1,275 @@
+"""Micro-batching scheduler: coalesce concurrent requests into batches.
+
+Per-request dispatch wastes the fixed overhead every
+:meth:`repro.matchers.base.Matcher.predict` call pays (encoding, a
+vectorised forward pass, prompt-batch setup); the paper's throughput
+analysis (Section 4.2) prices exactly this batching effect.
+:class:`MicroBatcher` recovers it online: concurrent ``submit`` calls
+land in a bounded FIFO queue, and a dispatcher forms a batch when either
+``max_batch_size`` items are waiting or ``max_wait_ms`` has elapsed since
+the oldest one arrived.
+
+Two dispatch modes share all queueing and accounting logic:
+
+* **threaded** — :meth:`start` launches a background dispatcher thread;
+  callers block on :meth:`PendingResult.result`.  This is the production
+  mode the HTTP front-end and the load benchmark drive.
+* **inline** — no thread; callers enqueue and then :meth:`drain`
+  processes everything queued in deterministic FIFO batches.  With a
+  :class:`~repro.reliability.clock.FakeClock` this makes scheduler tests
+  sleep-free and byte-reproducible.
+
+Admission control is load *shedding*, not load absorbing: once
+``max_queue`` requests are waiting, further submits raise a structured
+:class:`~repro.errors.OverloadedError` immediately instead of growing
+the queue (and every caller's latency) unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..errors import ConfigurationError, DeadlineExceededError, OverloadedError, ServingError
+from ..reliability.clock import Clock, SystemClock
+
+__all__ = ["PendingResult", "MicroBatcher"]
+
+#: Upper bound on one condition-variable wait so the dispatcher notices
+#: ``stop()`` promptly even when no requests arrive.
+_POLL_S = 0.05
+
+
+class PendingResult:
+    """A slot for one in-flight request's outcome.
+
+    Filled exactly once by the dispatcher — with a value or an error —
+    and read by the submitting caller via :meth:`result`.
+    """
+
+    def __init__(self, submitted_at: float) -> None:
+        """An unfilled slot stamped with its admission time."""
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def fulfil(self, value: Any, completed_at: float) -> None:
+        """Deliver the result and wake the waiting caller."""
+        self._value = value
+        self.completed_at = completed_at
+        self._event.set()
+
+    def fail(self, error: BaseException, completed_at: float) -> None:
+        """Deliver a failure and wake the waiting caller."""
+        self._error = error
+        self.completed_at = completed_at
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the outcome has been delivered."""
+        return self._event.is_set()
+
+    @property
+    def latency_s(self) -> float | None:
+        """Admission-to-completion seconds (``None`` while in flight)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def result(self, timeout_s: float | None = None) -> Any:
+        """Block until the outcome arrives; raise the failure if it is one.
+
+        ``timeout_s`` bounds the wait; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` (the request may
+        still complete later, but this caller's time budget is spent).
+        """
+        if not self._event.wait(timeout_s):
+            raise DeadlineExceededError(
+                f"request not completed within {timeout_s}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into bounded batches for one processor.
+
+    ``process_batch`` receives a list of queued items (FIFO order) and
+    must return one result per item, in order; any exception it raises is
+    delivered to every request in that batch.
+    """
+
+    def __init__(
+        self,
+        process_batch: Callable[[list[Any]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        clock: Clock | None = None,
+    ) -> None:
+        """Configure the batching policy.
+
+        ``max_batch_size`` caps one batch, ``max_wait_ms`` bounds how long
+        the oldest queued request waits for the batch to fill, and
+        ``max_queue`` is the admission-control bound beyond which submits
+        shed load with :class:`~repro.errors.OverloadedError`.
+        """
+        if max_batch_size < 1:
+            raise ConfigurationError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be non-negative")
+        if max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        self.process_batch = process_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.clock = clock or SystemClock()
+        self._queue: deque[tuple[Any, PendingResult]] = deque()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+        self._counters: dict[str, float] = {
+            "submitted": 0,
+            "shed": 0,
+            "batches": 0,
+            "processed": 0,
+            "batch_errors": 0,
+            "occupancy_sum": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        """Launch the background dispatcher thread (threaded mode)."""
+        if self._thread is not None:
+            raise ServingError("micro-batcher already started")
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-microbatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting work, finish queued requests, join the thread."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        # Inline-mode (or post-join) leftovers still deserve answers.
+        self.drain()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, item: Any) -> PendingResult:
+        """Enqueue one request; returns its :class:`PendingResult`.
+
+        Raises :class:`~repro.errors.OverloadedError` when the admission
+        queue is full — the caller is *not* enqueued and should back off.
+        """
+        with self._cond:
+            if len(self._queue) >= self.max_queue:
+                self._counters["shed"] += 1
+                raise OverloadedError(
+                    f"admission queue full ({self.max_queue} requests waiting)"
+                )
+            pending = PendingResult(submitted_at=self.clock.monotonic())
+            self._queue.append((item, pending))
+            self._counters["submitted"] += 1
+            self._cond.notify_all()
+        return pending
+
+    @property
+    def queue_depth(self) -> int:
+        """How many admitted requests are waiting for a batch."""
+        return len(self._queue)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the admission queue is full (the health-check signal)."""
+        return len(self._queue) >= self.max_queue
+
+    def counters(self) -> dict[str, float]:
+        """A snapshot of the scheduler counters (copies the dict)."""
+        return dict(self._counters)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Inline mode: process everything queued now; returns batch count.
+
+        Batches are formed in deterministic FIFO order of at most
+        ``max_batch_size`` items with no waiting — the replayable dispatch
+        the determinism tests (and graceful shutdown) use.
+        """
+        n_batches = 0
+        while True:
+            with self._cond:
+                batch = self._pop_batch()
+            if not batch:
+                return n_batches
+            self._run_batch(batch)
+            n_batches += 1
+
+    def _pop_batch(self) -> list[tuple[Any, PendingResult]]:
+        """Pop up to ``max_batch_size`` queued entries (caller holds the lock)."""
+        batch = []
+        while self._queue and len(batch) < self.max_batch_size:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        """Threaded mode: batch when full or when the oldest waited enough."""
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._cond.wait(_POLL_S)
+                if self._stopped:
+                    return
+                fill_deadline = self.clock.monotonic() + self.max_wait_ms / 1000.0
+                while len(self._queue) < self.max_batch_size and not self._stopped:
+                    remaining = fill_deadline - self.clock.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(min(remaining, _POLL_S))
+                batch = self._pop_batch()
+            if batch:
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: list[tuple[Any, PendingResult]]) -> None:
+        """Process one batch and deliver per-request outcomes."""
+        items = [item for item, _pending in batch]
+        self._counters["batches"] += 1
+        self._counters["occupancy_sum"] += len(batch)
+        try:
+            results = self.process_batch(items)
+            if len(results) != len(items):
+                raise ServingError(
+                    f"process_batch returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except BaseException as error:  # delivered, not swallowed
+            self._counters["batch_errors"] += 1
+            now = self.clock.monotonic()
+            for _item, pending in batch:
+                pending.fail(error, completed_at=now)
+            return
+        now = self.clock.monotonic()
+        for (_item, pending), result in zip(batch, results):
+            pending.fulfil(result, completed_at=now)
+        self._counters["processed"] += len(batch)

@@ -1,0 +1,369 @@
+"""The match service: index -> scheduler -> matcher behind one façade.
+
+:class:`MatchService` is the composition point of the online subsystem.
+A request travels::
+
+    match_pair / lookup
+        -> CandidateIndex.query          (lookup only: candidate generation)
+        -> MicroBatcher.submit           (admission control, coalescing)
+        -> Matcher.predict               (one batched model call)
+        -> MatchResponse                 (label + latency back to the caller)
+
+Reliability reuses the study's machinery: a
+:class:`~repro.reliability.policy.RetryPolicy` re-runs a failed batch
+when its error is retryable (same classification as offline,
+:func:`repro.reliability.policy.is_retryable`, same deterministic seeded
+backoff), per-request deadlines bound the caller's wait, and overload
+sheds with a structured :class:`~repro.errors.OverloadedError` instead
+of hanging.  Every outcome is counted in :class:`ServingStats`, the
+block ``GET /metrics`` dumps.
+
+Determinism: a service that was never :meth:`start`-ed dispatches
+*inline* — submissions are processed in deterministic FIFO batches when
+the caller blocks — so the same request trace over the same matcher
+(fault-injected or not) yields identical responses and identical
+counters, which the serving determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..data.pairs import RecordPair
+from ..data.record import Record
+from ..errors import OverloadedError, ServingError
+from ..matchers.base import Matcher
+from ..reliability.clock import Clock, SystemClock
+from ..reliability.policy import RetryPolicy
+from .index import Candidate, CandidateIndex
+from .scheduler import MicroBatcher
+
+__all__ = ["MatchResponse", "LookupMatch", "ServingStats", "MatchService"]
+
+
+@dataclass(frozen=True)
+class MatchResponse:
+    """The outcome of one pair-matching request."""
+
+    #: Predicted label (1 = the two records describe the same entity).
+    label: int
+    #: Admission-to-completion latency in seconds.
+    latency_s: float
+
+    @property
+    def matched(self) -> bool:
+        """Whether the pair was predicted a match."""
+        return self.label == 1
+
+
+@dataclass(frozen=True)
+class LookupMatch:
+    """One corpus record the matcher confirmed against a probe."""
+
+    record: Record
+    #: Blocking evidence: non-stop-word tokens shared with the probe.
+    shared_tokens: int
+
+
+class ServingStats:
+    """Thread-safe request/latency/batch accounting for one service.
+
+    Counters are plain monotonically increasing totals, so a replayed
+    request trace reproduces them exactly; latency percentiles are
+    computed over a bounded window of the most recent requests.
+    """
+
+    #: How many recent latencies the percentile window keeps.
+    WINDOW = 2048
+
+    def __init__(self) -> None:
+        """All-zero counters and an empty latency window."""
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {
+            "requests": 0,
+            "lookups": 0,
+            "pairs_scored": 0,
+            "matches": 0,
+            "shed": 0,
+            "errors": 0,
+            "batch_retries": 0,
+        }
+        self._latencies: deque[float] = deque(maxlen=self.WINDOW)
+        self._latency_total = 0.0
+        self._latency_count = 0
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to one counter."""
+        with self._lock:
+            self.counters[key] += amount
+
+    def record_latency(self, seconds: float) -> None:
+        """Fold one request latency into the totals and the window."""
+        with self._lock:
+            self._latencies.append(seconds)
+            self._latency_total += seconds
+            self._latency_count += 1
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile of a pre-sorted non-empty list."""
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def latency_summary(self) -> dict[str, float]:
+        """Mean/p50/p95/max over the recent-latency window, in milliseconds."""
+        with self._lock:
+            window = sorted(self._latencies)
+            total, count = self._latency_total, self._latency_count
+        if not window:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+        return {
+            "count": count,
+            "mean_ms": round(1000.0 * total / count, 3),
+            "p50_ms": round(1000.0 * self._percentile(window, 0.50), 3),
+            "p95_ms": round(1000.0 * self._percentile(window, 0.95), 3),
+            "max_ms": round(1000.0 * window[-1], 3),
+        }
+
+    def as_dict(self, scheduler: dict[str, float] | None = None) -> dict:
+        """The ``GET /metrics`` block, optionally merging scheduler counters."""
+        with self._lock:
+            counters = {k: (int(v) if float(v).is_integer() else v)
+                        for k, v in self.counters.items()}
+        block: dict = {"counters": counters, "latency": self.latency_summary()}
+        if scheduler is not None:
+            batches = scheduler.get("batches", 0)
+            occupancy = scheduler.get("occupancy_sum", 0)
+            block["scheduler"] = {
+                **{k: int(v) for k, v in scheduler.items()},
+                "mean_occupancy": round(occupancy / batches, 3) if batches else 0.0,
+            }
+        return block
+
+
+class MatchService:
+    """An online entity-matching service over one fitted matcher.
+
+    ``index`` (optional) enables :meth:`lookup` — probe-record requests
+    that retrieve candidates before matching.  Batching, admission
+    control, retries and deadlines are configured here and applied to
+    every request path.
+    """
+
+    def __init__(
+        self,
+        matcher: Matcher,
+        index: CandidateIndex | None = None,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        retry_policy: RetryPolicy | None = None,
+        serialization_seed: int | None = None,
+        default_timeout_s: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        """Compose the serving stack around ``matcher``.
+
+        ``retry_policy`` re-runs a batch whose failure is retryable under
+        the study's error classification; ``default_timeout_s`` bounds
+        every caller's wait unless a request overrides it;
+        ``serialization_seed`` fixes the column order shown to the
+        matcher (``None`` = canonical order) so responses are a pure
+        function of the request trace.
+        """
+        self.matcher = matcher
+        self.index = index
+        self.retry_policy = retry_policy
+        self.serialization_seed = serialization_seed
+        self.default_timeout_s = default_timeout_s
+        self.clock = clock or SystemClock()
+        self.stats = ServingStats()
+        self._batcher = MicroBatcher(
+            self._process_batch,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            clock=self.clock,
+        )
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MatchService":
+        """Launch the background dispatcher (threaded serving mode)."""
+        self._batcher.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding requests and stop the dispatcher."""
+        self._batcher.stop()
+        self._started = False
+
+    def __enter__(self) -> "MatchService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def started(self) -> bool:
+        """Whether the background dispatcher is running."""
+        return self._started
+
+    # -- the batched model call ---------------------------------------------
+
+    def _process_batch(self, pairs: list[RecordPair]) -> list[int]:
+        """Score one coalesced batch, retrying retryable failures."""
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                labels = self.matcher.predict(pairs, self.serialization_seed)
+                self.stats.bump("pairs_scored", len(pairs))
+                return [int(label) for label in labels]
+            except Exception as error:
+                if (
+                    policy is None
+                    or not policy.retryable(error)
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                delay = policy.delay_for_error(
+                    error, attempt, key=f"serving/{pairs[0].pair_id}"
+                )
+                self.stats.bump("batch_retries")
+                if delay > 0:
+                    self.clock.sleep(delay)
+                attempt += 1
+
+    # -- request paths -------------------------------------------------------
+
+    def _submit_pairs(self, pairs: Sequence[RecordPair]) -> list:
+        """Admit pairs into the scheduler (shedding is counted and raised)."""
+        pending = []
+        for pair in pairs:
+            self.stats.bump("requests")
+            try:
+                pending.append(self._batcher.submit(pair))
+            except OverloadedError:
+                self.stats.bump("shed")
+                raise
+        if not self._started:
+            # Inline mode: deterministic FIFO dispatch while the caller
+            # would otherwise block forever waiting for a thread.
+            self._batcher.drain()
+        return pending
+
+    def _await(self, pending, timeout_s: float | None) -> MatchResponse:
+        """Wait for one outcome, folding it into the stats."""
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        try:
+            label = pending.result(timeout)
+        except Exception:
+            self.stats.bump("errors")
+            raise
+        latency = pending.latency_s or 0.0
+        self.stats.record_latency(latency)
+        if label == 1:
+            self.stats.bump("matches")
+        return MatchResponse(label=label, latency_s=latency)
+
+    @staticmethod
+    def _as_record(values: Sequence[str], record_id: str) -> Record:
+        """An anonymous request record (no entity identity, by design)."""
+        if not values:
+            raise ServingError("a request record needs at least one value")
+        return Record(record_id, tuple(str(v) for v in values), entity_id="")
+
+    def make_pair(
+        self, left: Sequence[str] | Record, right: Sequence[str] | Record
+    ) -> RecordPair:
+        """Build an unlabelled candidate pair from raw attribute values.
+
+        The placeholder label 0 is never read by ``predict``; both sides
+        must have the same attribute count (aligned schemas are a
+        protocol requirement, Section 2.1).
+        """
+        left_record = left if isinstance(left, Record) else self._as_record(left, "req-l")
+        right_record = (
+            right if isinstance(right, Record) else self._as_record(right, "req-r")
+        )
+        if left_record.n_attributes != right_record.n_attributes:
+            raise ServingError(
+                f"schema mismatch: {left_record.n_attributes} vs "
+                f"{right_record.n_attributes} attributes"
+            )
+        return RecordPair(
+            pair_id=f"{left_record.record_id}|{right_record.record_id}",
+            left=left_record,
+            right=right_record,
+            label=0,
+        )
+
+    def match_pair(
+        self,
+        left: Sequence[str] | Record,
+        right: Sequence[str] | Record,
+        timeout_s: float | None = None,
+    ) -> MatchResponse:
+        """Match one record pair (coalesced with concurrent requests)."""
+        pending = self._submit_pairs([self.make_pair(left, right)])
+        return self._await(pending[0], timeout_s)
+
+    def match_pairs(
+        self, pairs: Sequence[RecordPair], timeout_s: float | None = None
+    ) -> list[MatchResponse]:
+        """Match many pairs; each is an independently batched request."""
+        pending = self._submit_pairs(list(pairs))
+        return [self._await(p, timeout_s) for p in pending]
+
+    def lookup(
+        self,
+        probe: Sequence[str] | Record,
+        top_k: int = 10,
+        timeout_s: float | None = None,
+    ) -> list[LookupMatch]:
+        """Find corpus records matching a probe: block, then batch-match.
+
+        Queries the candidate index for the probe's ``top_k`` candidates
+        and returns the subset the matcher confirms, best-blocking-first.
+        Requires the service to be constructed with an index.
+        """
+        if self.index is None:
+            raise ServingError("lookup needs a CandidateIndex (none configured)")
+        probe_record = (
+            probe if isinstance(probe, Record) else self._as_record(probe, "probe")
+        )
+        self.stats.bump("lookups")
+        candidates: list[Candidate] = self.index.query(probe_record, top_k=top_k)
+        if not candidates:
+            return []
+        pairs = [self.make_pair(probe_record, c.record) for c in candidates]
+        responses = self.match_pairs(pairs, timeout_s=timeout_s)
+        return [
+            LookupMatch(record=c.record, shared_tokens=c.shared_tokens)
+            for c, response in zip(candidates, responses)
+            if response.matched
+        ]
+
+    # -- health and metrics --------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness/saturation report for the ``/healthz`` endpoint."""
+        saturated = self._batcher.saturated
+        return {
+            "status": "degraded" if saturated else "ok",
+            "saturated": saturated,
+            "queue_depth": self._batcher.queue_depth,
+            "max_queue": self._batcher.max_queue,
+            "started": self._started,
+            "matcher": self.matcher.display_name,
+        }
+
+    def metrics(self) -> dict:
+        """The full stats block for the ``/metrics`` endpoint."""
+        return self.stats.as_dict(scheduler=self._batcher.counters())

@@ -84,6 +84,7 @@ def run_study(
     retries: int | None = None,
     faults: str | None = None,
     fail_fast: bool | None = None,
+    export_artifacts: str | None = None,
 ) -> dict:
     """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON.
 
@@ -91,6 +92,12 @@ def run_study(
     (see :mod:`repro.reliability`): failed grid cells are retried, then
     recorded as structured entries under ``runtime.cell_failures`` in the
     output document instead of aborting the run — unless ``fail_fast``.
+
+    ``export_artifacts`` names a directory to receive a deployable
+    matcher artifact after the study finishes: the serving matcher is
+    fitted on every benchmark and exported via
+    :func:`repro.serving.artifacts.export_deployable`, and the artifact
+    path is recorded in the document's ``artifacts`` block.
     """
     started = time.time()
     n_workers = resolve_workers(workers, config)
@@ -216,6 +223,15 @@ def run_study(
                 print(f"[runtime] completion cache ({len(cache)} entries) -> {saved_to}",
                       flush=True)
 
+    if export_artifacts is not None:
+        print(f"[full_run] exporting serving artifact -> {export_artifacts}", flush=True)
+        # Imported lazily so the study driver never depends on the
+        # serving package unless an export was actually requested.
+        from ..serving.artifacts import export_deployable
+
+        artifact = export_deployable(config, export_artifacts)
+        document["artifacts"] = {"path": str(artifact), "profile": config.name}
+
     document["wall_clock_seconds"] = round(time.time() - started, 1)
     checkpoint()
     print(stats.footer(), flush=True)
@@ -265,6 +281,11 @@ def main(argv: list[str] | None = None) -> int:
         help="abort on the first failed grid cell instead of recording a "
              "structured CellFailure and continuing",
     )
+    parser.add_argument(
+        "--export-artifacts", default=None, metavar="DIR",
+        help="after the study, fit the serving matcher on all benchmarks "
+             "and export a deployable artifact directory (see repro.serving)",
+    )
     args = parser.parse_args(argv)
     codes = tuple(c for c in args.codes.split(",") if c) or None
     run_study(
@@ -278,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
         faults=args.faults,
         fail_fast=args.fail_fast,
+        export_artifacts=args.export_artifacts,
     )
     return 0
 

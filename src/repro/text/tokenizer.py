@@ -87,6 +87,38 @@ class Vocabulary:
         ordered = [tok for tok, _count in counts.most_common()]
         return cls(ordered, size=size, n_hash_buckets=n_hash_buckets)
 
+    # -- artifact round trip --------------------------------------------------
+
+    def to_state(self) -> dict:
+        """A JSON-serialisable snapshot that :meth:`from_state` restores exactly.
+
+        Persists the in-vocabulary words in id order plus the common-token
+        set, so a vocabulary reloaded from a matcher artifact
+        (:mod:`repro.serving.artifacts`) maps every token — known, common,
+        and hashed-OOV alike — to the same id as the original.
+        """
+        return {
+            "size": self.size,
+            "n_hash_buckets": self.n_hash_buckets,
+            "words": [tok for tok in self._id_of if tok not in SPECIALS],
+            "common": sorted(self._common),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Vocabulary":
+        """Rebuild the exact vocabulary captured by :meth:`to_state`."""
+        try:
+            vocab = cls(
+                list(state["words"]),
+                size=int(state["size"]),
+                n_hash_buckets=int(state["n_hash_buckets"]),
+                n_common=0,
+            )
+            vocab._common = frozenset(state["common"])
+        except (KeyError, TypeError) as error:
+            raise ConfigurationError(f"malformed vocabulary state: {error}") from None
+        return vocab
+
     def _hash_bucket(self, token: str) -> int:
         digest = hashlib.blake2b(token.encode("utf-8"), digest_size=4).digest()
         return self._hash_base + int.from_bytes(digest, "little") % self.n_hash_buckets

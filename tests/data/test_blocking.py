@@ -5,13 +5,36 @@ from __future__ import annotations
 import pytest
 
 from repro.data import build_dataset
-from repro.data.blocking import TokenBlocker
+from repro.data.blocking import InvertedTokenIndex, TokenBlocker, record_tokens
 from repro.data.record import Record
 from repro.errors import DatasetError
 
 
 def _records(texts: list[str], prefix: str) -> list[Record]:
     return [Record(f"{prefix}{i}", (t,), f"e-{prefix}{i}") for i, t in enumerate(texts)]
+
+
+class TestInvertedTokenIndex:
+    def test_incremental_add_updates_postings(self):
+        index = InvertedTokenIndex()
+        assert index.add(Record("r0", ("alpha beta",), "e0")) == 0
+        assert index.add(Record("r1", ("alpha gamma",), "e1")) == 1
+        assert len(index) == 2
+        assert index.document_frequency("alpha") == 2
+        assert index.postings("beta") == (0,)
+        assert index.postings("missing") == ()
+
+    def test_shared_counts_skips_stop_tokens(self):
+        index = InvertedTokenIndex()
+        index.add_many(
+            Record(f"r{i}", (f"common word{i}",), f"e{i}") for i in range(4)
+        )
+        counts = index.shared_counts(("common", "word1"), stop_df=2.0)
+        assert counts == {1: 1}  # 'common' (df=4) ignored, 'word1' kept
+
+    def test_record_tokens_deduplicates_in_order(self):
+        record = Record("r", ("alpha beta", "beta gamma alpha"), "e")
+        assert record_tokens(record) == ("alpha", "beta", "gamma")
 
 
 class TestTokenBlocker:
@@ -60,6 +83,32 @@ class TestTokenBlocker:
             TokenBlocker(min_shared=0)
         with pytest.raises(DatasetError):
             TokenBlocker(max_df=0.0)
+
+    def test_index_backed_blocker_matches_brute_force(self):
+        """The inverted-index pass equals the O(n^2) definition on a seeded world."""
+        dataset, _world = build_dataset("BEER", scale=0.05, seed=11)
+        left = [p.left for p in dataset.pairs]
+        right = [p.right for p in dataset.pairs]
+        min_shared, max_df = 2, 0.2
+
+        # Brute-force reference: count shared non-stop tokens pairwise.
+        stop_df = max(2.0, max_df * len(right))
+        df: dict[str, int] = {}
+        for record in right:
+            for token in record_tokens(record):
+                df[token] = df.get(token, 0) + 1
+        reference = set()
+        for a in left:
+            a_tokens = [t for t in record_tokens(a) if df.get(t, 0) <= stop_df]
+            for b in right:
+                b_tokens = set(record_tokens(b))
+                if sum(1 for t in a_tokens if t in b_tokens) >= min_shared:
+                    reference.add((a.record_id, b.record_id))
+
+        result = TokenBlocker(min_shared=min_shared, max_df=max_df).block(left, right)
+        got = {(a.record_id, b.record_id) for a, b in result.candidates}
+        assert got == reference
+        assert reference  # the seeded world produced candidates
 
     def test_completeness_requires_truth(self):
         left = _records(["a b"], "l")

@@ -56,14 +56,31 @@ class TestBatchJob:
 
     def test_lifecycle_enforced(self):
         job = BatchJob(EchoClient("No"))
-        with pytest.raises(LLMError):
-            job.process()  # empty
         job.submit("x")
         job.process()
         with pytest.raises(LLMError):
             job.process()  # twice
         with pytest.raises(LLMError):
             job.submit("y")  # after processing
+
+    def test_empty_batch_yields_empty_report(self):
+        """A request-less job completes with a zeroed, well-formed report."""
+        job = BatchJob(EchoClient("No"))
+        job.process()
+        assert job.results == []
+        assert job.texts() == []
+        assert job.n_failed == 0
+        assert job.meter.n_requests == 0
+        assert "0/0 ok" in job.report()
+        with pytest.raises(LLMError):
+            job.process()  # processed is processed, even when empty
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_workers_validated(self, workers):
+        job = BatchJob(EchoClient("No"))
+        job.submit("x")
+        with pytest.raises(LLMError, match="workers must be >= 1"):
+            job.process(workers=workers)
 
     def test_results_before_process_raise(self):
         job = BatchJob(EchoClient("No"))

@@ -1,0 +1,110 @@
+"""Tests for the matcher artifact store (export -> reload -> identical)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError
+from repro.matchers.anymatch import AnyMatchMatcher
+from repro.matchers.string_sim import StringSimMatcher
+from repro.serving.artifacts import (
+    ARTIFACT_FORMAT,
+    MANIFEST_NAME,
+    WEIGHTS_NAME,
+    load_artifact,
+    save_artifact,
+)
+
+
+class TestAnyMatchRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reloaded_predictions_are_byte_identical(
+        self, tmp_path, tiny_config, small_datasets, seed
+    ):
+        transfer = list(small_datasets.values())
+        matcher = AnyMatchMatcher("gpt2").fit(transfer, tiny_config, seed=seed)
+        pairs = transfer[0].pairs[:40]
+
+        directory = save_artifact(matcher, tmp_path / f"art{seed}", profile="test")
+        reloaded = load_artifact(directory)
+
+        for serialization_seed in (None, 3):
+            original_scores = matcher.match_scores(pairs, serialization_seed)
+            reloaded_scores = reloaded.match_scores(pairs, serialization_seed)
+            assert original_scores.tobytes() == reloaded_scores.tobytes()
+            assert np.array_equal(
+                matcher.predict(pairs, serialization_seed),
+                reloaded.predict(pairs, serialization_seed),
+            )
+
+    def test_manifest_carries_roster_metadata(
+        self, tmp_path, tiny_config, small_datasets
+    ):
+        transfer = list(small_datasets.values())
+        matcher = AnyMatchMatcher("gpt2").fit(transfer, tiny_config, seed=0)
+        directory = save_artifact(matcher, tmp_path / "art", profile="smoke")
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == ARTIFACT_FORMAT
+        assert manifest["kind"] == "anymatch"
+        assert manifest["profile"] == "smoke"
+        assert manifest["roster"]["name"] == "anymatch-gpt2"
+        assert manifest["roster"]["requires_fit"] is True
+        assert (directory / WEIGHTS_NAME).exists()
+
+
+class TestExportDeployable:
+    def test_smoke_profile_exports_loadable_artifact(self, tmp_path):
+        from repro.config import get_profile
+        from repro.serving.artifacts import export_deployable
+
+        directory = export_deployable(get_profile("smoke"), tmp_path / "deploy")
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["profile"] == "smoke"
+        reloaded = load_artifact(directory)
+        assert reloaded.display_name == "AnyMatch[GPT-2]"
+
+
+class TestStringSimRoundTrip:
+    def test_threshold_round_trips(self, tmp_path):
+        directory = save_artifact(StringSimMatcher(threshold=0.41), tmp_path / "s")
+        reloaded = load_artifact(directory)
+        assert isinstance(reloaded, StringSimMatcher)
+        assert reloaded.threshold == pytest.approx(0.41)
+
+
+class TestArtifactErrors:
+    def test_unfitted_matcher_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="fitted before export"):
+            save_artifact(AnyMatchMatcher("gpt2"), tmp_path / "x")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError, match=MANIFEST_NAME):
+            load_artifact(tmp_path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{nope")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            load_artifact(tmp_path)
+
+    def test_unknown_format_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ArtifactError, match="unsupported"):
+            load_artifact(tmp_path)
+
+    def test_unknown_kind(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format_version": ARTIFACT_FORMAT, "kind": "mystery"})
+        )
+        with pytest.raises(ArtifactError, match="unknown artifact kind"):
+            load_artifact(tmp_path)
+
+    def test_missing_weights(self, tmp_path, tiny_config, small_datasets):
+        transfer = list(small_datasets.values())
+        matcher = AnyMatchMatcher("gpt2").fit(transfer, tiny_config, seed=0)
+        directory = save_artifact(matcher, tmp_path / "art")
+        (directory / WEIGHTS_NAME).unlink()
+        with pytest.raises(ArtifactError, match=WEIGHTS_NAME):
+            load_artifact(directory)

@@ -1,0 +1,77 @@
+"""Tests for the incremental candidate index, including offline parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_dataset
+from repro.data.blocking import TokenBlocker
+from repro.data.record import Record
+from repro.errors import DatasetError
+from repro.serving.index import CandidateIndex
+
+
+def _records(texts: list[str], prefix: str) -> list[Record]:
+    return [Record(f"{prefix}{i}", (t,), f"e-{prefix}{i}") for i, t in enumerate(texts)]
+
+
+class TestCandidateIndex:
+    def test_query_ranks_by_overlap_then_insertion(self):
+        # max_df=1.0 keeps every token so the ranking itself is under test.
+        index = CandidateIndex(min_shared=1, max_df=1.0)
+        index.add_records(
+            _records(["alpha beta gamma", "alpha beta", "alpha delta", "zz yy"], "r")
+        )
+        probe = Record("p", ("alpha beta gamma",), "e-p")
+        got = index.query(probe, top_k=None)
+        assert [c.record.record_id for c in got] == ["r0", "r1", "r2"]
+        assert [c.shared_tokens for c in got] == [3, 2, 1]
+
+    def test_top_k_truncates(self):
+        index = CandidateIndex(min_shared=1, max_df=1.0)
+        index.add_records(_records([f"alpha token{i}" for i in range(9)], "r"))
+        probe = Record("p", ("alpha",), "e-p")
+        assert len(index.query(probe, top_k=3)) == 3
+
+    def test_incremental_add_extends_results(self):
+        index = CandidateIndex(min_shared=1)
+        index.add_records(_records(["alpha one"], "a"))
+        probe = Record("p", ("alpha two",), "e-p")
+        before = index.query(probe, top_k=None)
+        assert [c.record.record_id for c in before] == ["a0"]
+        index.add_records(_records(["alpha two"], "b"))
+        after = index.query(probe, top_k=None)
+        assert [c.record.record_id for c in after] == ["b0", "a0"]
+        assert len(index) == 2
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            CandidateIndex(min_shared=0)
+        with pytest.raises(DatasetError):
+            CandidateIndex(max_df=1.5)
+        index = CandidateIndex()
+        with pytest.raises(DatasetError):
+            index.query(Record("p", ("a",), "e"))  # empty index
+        index.add_records(_records(["a b"], "r"))
+        with pytest.raises(DatasetError):
+            index.query(Record("p", ("a",), "e"), top_k=0)
+
+
+class TestOfflineParity:
+    def test_matches_token_blocker_on_seeded_benchmark(self):
+        """Querying each left record reproduces TokenBlocker.block exactly."""
+        dataset, _world = build_dataset("DBAC", scale=0.05, seed=7)
+        left = [p.left for p in dataset.pairs]
+        right = [p.right for p in dataset.pairs]
+        offline = TokenBlocker(min_shared=2).block(left, right)
+        expected = {(a.record_id, b.record_id) for a, b in offline.candidates}
+
+        index = CandidateIndex(min_shared=2)
+        index.add_records(right)
+        online = {
+            (probe.record_id, c.record.record_id)
+            for probe in left
+            for c in index.query(probe, top_k=None)
+        }
+        assert online == expected
+        assert expected  # the benchmark actually produced candidates

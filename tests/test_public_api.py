@@ -18,7 +18,7 @@ class TestPublicApi:
     @pytest.mark.parametrize(
         "module_name",
         ["data", "matchers", "llm", "eval", "analysis", "cost", "nn", "models",
-         "text", "study", "config", "errors"],
+         "text", "study", "serving", "config", "errors"],
     )
     def test_subpackages_importable(self, module_name):
         __import__(f"repro.{module_name}")
