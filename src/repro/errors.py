@@ -95,6 +95,42 @@ class RetryExhaustedError(LLMError):
     """
 
 
+class CorruptStateError(ReproError):
+    """On-disk study state failed integrity checks on load.
+
+    Raised (or collected, on paths that must keep running) when a journal
+    record, completion-cache line, results document, or artifact manifest
+    is truncated, unparseable, or fails its checksum.  The offending
+    bytes are quarantined to a ``.corrupt-<ts>`` sidecar first, so a
+    resumed run never re-trips on the same damage and the evidence
+    survives for inspection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: "str | None" = None,
+        quarantined_to: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: The file the corrupt state was read from, when known.
+        self.path = path
+        #: Where the corrupt bytes were moved/copied, when quarantined.
+        self.quarantined_to = quarantined_to
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died (or hung past its deadline) mid-task.
+
+    The structured surface for ``BrokenProcessPool``: instead of a raw
+    pool exception aborting the whole study, the executor rebuilds the
+    pool and raises (or converts) this error for the task that killed
+    it.  Classified retryable — a fresh worker may well succeed — and
+    converted into a :class:`repro.runtime.grid.CellFailure` record on
+    the study grid's degradation path.
+    """
+
+
 class CellExecutionError(ReproError):
     """A study grid cell failed and the run is configured to fail fast.
 

@@ -33,14 +33,28 @@ per injector instance*.  Two consequences follow:
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import ConfigurationError, RateLimitError, TransientLLMError
 from ..llm.client import LLMClient, LLMRequest, LLMResponse
 from . import counters
 from .clock import Clock, SystemClock
 
-__all__ = ["FaultPlan", "FaultInjector", "MALFORMED_TEXT"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "MALFORMED_TEXT",
+    "CRASH_EXIT_CODE",
+    "register_crash_hook",
+    "unregister_crash_hook",
+    "reset_crash_state",
+]
+
+#: The exit status of an injected crash — SIGKILL's conventional 128+9,
+#: so a crash-point fault is indistinguishable from a real ``kill -9``.
+CRASH_EXIT_CODE = 137
 
 #: The garbled completion text injected for malformed-completion faults.
 #: Deliberately free of any standalone yes/no token so that
@@ -83,9 +97,17 @@ class FaultPlan:
     #: Cap on consecutive *error* faults (transient, rate-limit,
     #: malformed) per request key; the next attempt passes through clean.
     max_consecutive: int = 3
+    #: Kill the process (``os._exit(137)``) at the Nth completed LLM
+    #: call, counted process-wide across injector instances; 0 disables.
+    crash_at: int = 0
+    #: Whether the injected crash first fires registered crash hooks so
+    #: durable state (the cell journal) can simulate a torn final write.
+    torn_write: bool = False
 
     def __post_init__(self) -> None:
         """Validate rates, durations and the consecutive-fault cap."""
+        if self.crash_at < 0:
+            raise ConfigurationError("crash_at must be >= 0 (0 disables)")
         rates = (
             self.transient_rate,
             self.rate_limit_rate,
@@ -111,7 +133,7 @@ class FaultPlan:
     @property
     def any_faults(self) -> bool:
         """Whether this plan injects anything at all."""
-        return self.error_rate > 0 or self.latency_rate > 0
+        return self.error_rate > 0 or self.latency_rate > 0 or self.crash_at > 0
 
     # -- env-spec round trip --------------------------------------------------
 
@@ -128,6 +150,8 @@ class FaultPlan:
             "retry_after_s": ("retry_after_s", float),
             "seed": ("seed", int),
             "max_consecutive": ("max_consecutive", int),
+            "crash_at": ("crash_at", int),
+            "torn_write": ("torn_write", int),
         }
         for part in spec.split(","):
             part = part.strip()
@@ -149,6 +173,8 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"fault spec {name}={value!r} is not a {cast.__name__}"
                 ) from None
+        if "torn_write" in kwargs:
+            kwargs["torn_write"] = bool(kwargs["torn_write"])
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def to_spec(self) -> str:
@@ -157,8 +183,70 @@ class FaultPlan:
             f"transient={self.transient_rate},rate_limit={self.rate_limit_rate},"
             f"latency={self.latency_rate},malformed={self.malformed_rate},"
             f"latency_s={self.latency_s},retry_after_s={self.retry_after_s},"
-            f"seed={self.seed},max_consecutive={self.max_consecutive}"
+            f"seed={self.seed},max_consecutive={self.max_consecutive},"
+            f"crash_at={self.crash_at},torn_write={int(self.torn_write)}"
         )
+
+
+# -- crash-point faults ------------------------------------------------------
+#
+# A crash is not an exception a retry policy can see: the process is gone.
+# Crash-point plans make that failure mode deterministic — the Nth completed
+# LLM call process-wide calls ``os._exit(137)``, exactly as if the OOM killer
+# or an operator's ``kill -9`` landed mid-grid.  With ``torn_write`` the
+# registered crash hooks fire first, letting durable state (the cell
+# journal) leave a partial final record behind, which is the worst on-disk
+# state a real power cut can produce for an append-only log.
+
+_crash_hooks: dict[int, Callable[[], None]] = {}
+_next_hook_token = 0
+_completions = 0
+
+
+def register_crash_hook(hook: Callable[[], None]) -> int:
+    """Register ``hook`` to run just before an injected crash exits.
+
+    Returns a token for :func:`unregister_crash_hook`.  Hooks simulate
+    in-flight I/O at the moment of death (e.g. the journal's torn final
+    line) and must not assume the process survives them.
+    """
+    global _next_hook_token
+    _next_hook_token += 1
+    _crash_hooks[_next_hook_token] = hook
+    return _next_hook_token
+
+
+def unregister_crash_hook(token: int) -> None:
+    """Remove a crash hook; unknown tokens are ignored."""
+    _crash_hooks.pop(token, None)
+
+
+def reset_crash_state() -> None:
+    """Reset the process-wide completion counter and hook registry.
+
+    Test isolation only — a real run never survives its crash point.
+    """
+    global _completions
+    _completions = 0
+    _crash_hooks.clear()
+
+
+def _maybe_crash(plan: FaultPlan) -> None:
+    """Count one completed call; die if ``plan``'s crash point is reached."""
+    global _completions
+    if plan.crash_at <= 0:
+        return
+    _completions += 1
+    if _completions >= plan.crash_at:
+        if plan.torn_write:
+            for hook in list(_crash_hooks.values()):
+                try:
+                    hook()
+                except Exception:  # noqa: BLE001 - dying anyway; hooks are best-effort
+                    pass
+        # os._exit skips atexit/finally handlers on purpose: a crash that
+        # runs cleanup code would not be a crash.
+        os._exit(CRASH_EXIT_CODE)
 
 
 class FaultInjector(LLMClient):
@@ -192,6 +280,11 @@ class FaultInjector(LLMClient):
         if self.count:
             counters.record(key, amount)
 
+    def _finish(self, response: LLMResponse) -> LLMResponse:
+        """Deliver a completed response, honouring any crash point."""
+        _maybe_crash(self.plan)
+        return response
+
     def complete(self, request: LLMRequest) -> LLMResponse:
         """Complete ``request``, possibly injecting one planned fault.
 
@@ -210,7 +303,7 @@ class FaultInjector(LLMClient):
             # Bounded adversary: this key has faulted the maximum number
             # of times in a row — let the attempt through clean.
             self._consecutive[key] = 0
-            return self.inner.complete(request)
+            return self._finish(self.inner.complete(request))
 
         draw = _unit_float(self.plan.seed, key, attempt)
         plan = self.plan
@@ -236,11 +329,13 @@ class FaultInjector(LLMClient):
             self._record("faults_injected")
             self._record("malformed_completions")
             response = self.inner.complete(request)
-            return LLMResponse(
-                text=MALFORMED_TEXT,
-                model=response.model,
-                prompt_tokens=response.prompt_tokens,
-                completion_tokens=response.completion_tokens,
+            return self._finish(
+                LLMResponse(
+                    text=MALFORMED_TEXT,
+                    model=response.model,
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                )
             )
         draw -= plan.malformed_rate
         if draw < plan.latency_rate:
@@ -250,6 +345,6 @@ class FaultInjector(LLMClient):
             self._record("latency_spikes")
             self._consecutive[key] = 0
             self.clock.sleep(plan.latency_s)
-            return self.inner.complete(request)
+            return self._finish(self.inner.complete(request))
         self._consecutive[key] = 0
-        return self.inner.complete(request)
+        return self._finish(self.inner.complete(request))

@@ -26,6 +26,13 @@ scheduler the study drivers dispatch through:
     parallel-speedup estimate recorded into ``full_study.json``.
 :mod:`repro.runtime.chunks`
     Deterministic chunk partitioning shared by the batch layer.
+:mod:`repro.runtime.persist`
+    Atomic, checksummed file writes (tmp + ``os.replace`` + digest
+    footer) and quarantine of corrupt on-disk state.
+:mod:`repro.runtime.journal`
+    The write-ahead cell journal behind ``full_run --resume``: every
+    completed grid cell is fsynced to an append-only JSONL log and
+    replayed byte-identically after a crash.
 
 ``repro.runtime.grid`` is intentionally *not* imported here: it pulls in
 the study roster (and with it the matcher stack), which would create an
@@ -45,12 +52,22 @@ from .executor import (
     ThreadStudyExecutor,
     make_executor,
     resolve_backend,
+    resolve_cell_timeout,
     resolve_workers,
+)
+from .journal import CellJournal, cell_key
+from .persist import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    load_checked_json,
+    quarantine_file,
 )
 from .stats import RuntimeStats
 
 __all__ = [
     "CachedClient",
+    "CellJournal",
     "CompletionCache",
     "EXECUTOR_BACKENDS",
     "ProcessStudyExecutor",
@@ -59,9 +76,16 @@ __all__ = [
     "StudyExecutor",
     "ThreadStudyExecutor",
     "active_cache",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "cell_key",
     "chunk_indices",
     "completion_key",
+    "load_checked_json",
     "make_executor",
+    "quarantine_file",
     "resolve_backend",
+    "resolve_cell_timeout",
     "resolve_workers",
 ]

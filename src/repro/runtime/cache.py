@@ -29,11 +29,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
-from ..errors import CostModelError, LLMError
+from ..errors import CorruptStateError, CostModelError, LLMError
 from ..llm.client import LLMClient, LLMRequest, LLMResponse
 from ..llm.pricing import api_price_per_1k
+from .persist import atomic_write_text, canonical_json, quarantine_line, sha256_hex
 
 __all__ = [
     "completion_key",
@@ -77,6 +79,10 @@ class CompletionCache:
         self.misses = 0
         self.saved_prompt_tokens = 0
         self.saved_dollars = 0.0
+        #: Structured errors for entries quarantined during :meth:`load`.
+        self.corruption_errors: list[CorruptStateError] = []
+        #: How many persisted lines were quarantined as damaged.
+        self.quarantined = 0
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -138,14 +144,32 @@ class CompletionCache:
     # -- persistence ---------------------------------------------------------
 
     def load(self, path: str | Path) -> int:
-        """Merge entries from a JSON-lines file; returns how many loaded."""
+        """Merge entries from a JSON-lines file; returns how many loaded.
+
+        A damaged line — unparseable JSON, missing fields, or a per-line
+        ``sha256`` self-checksum that no longer matches — is quarantined
+        to the file's ``.corrupt-<ts>`` sidecar and recorded in
+        :attr:`corruption_errors` / :attr:`quarantined`; the healthy
+        entries still load and the run continues with a partially warm
+        cache instead of crashing.  A cache is a pure accelerator, so a
+        dropped entry costs one recomputation, never correctness.
+        """
+        path = Path(path)
         loaded = 0
-        for line in Path(path).read_text().splitlines():
+        quarantine_ts = time.time()
+        for line in path.read_text().splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("cache line is not a JSON object")
+                checksum = row.pop("sha256", None)
+                if checksum is not None and checksum != sha256_hex(
+                    canonical_json(row)
+                ):
+                    raise ValueError("line checksum mismatch")
                 response = LLMResponse(
                     text=row["text"],
                     model=row["model"],
@@ -154,29 +178,43 @@ class CompletionCache:
                 )
                 self._entries[row["key"]] = response
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
-                raise LLMError(f"corrupt cache line in {path}: {error}") from None
+                sidecar = quarantine_line(path, line, timestamp=quarantine_ts)
+                self.quarantined += 1
+                self.corruption_errors.append(
+                    CorruptStateError(
+                        f"corrupt cache line in {path}: {error}",
+                        path=str(path),
+                        quarantined_to=str(sidecar),
+                    )
+                )
+                continue
             loaded += 1
         return loaded
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Write all entries as JSON-lines (one completion per line)."""
+        """Atomically write all entries as JSON-lines (one per line).
+
+        Each line carries a ``sha256`` self-checksum over its canonical
+        content, and the whole file is written through
+        :func:`~repro.runtime.persist.atomic_write_text` — a crash
+        mid-save leaves the previous complete cache in place, never a
+        torn prefix.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise LLMError("no cache path configured; pass one to save()")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        lines = [
-            json.dumps(
-                {
-                    "key": key,
-                    "text": response.text,
-                    "model": response.model,
-                    "prompt_tokens": response.prompt_tokens,
-                    "completion_tokens": response.completion_tokens,
-                }
-            )
-            for key, response in self._entries.items()
-        ]
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        lines = []
+        for key, response in self._entries.items():
+            payload = {
+                "key": key,
+                "text": response.text,
+                "model": response.model,
+                "prompt_tokens": response.prompt_tokens,
+                "completion_tokens": response.completion_tokens,
+            }
+            payload["sha256"] = sha256_hex(canonical_json(payload))
+            lines.append(json.dumps(payload))
+        atomic_write_text(target, "\n".join(lines) + ("\n" if lines else ""))
         return target
 
 

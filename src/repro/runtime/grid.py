@@ -288,6 +288,27 @@ def split_failures(
     return successes, failures
 
 
+def _crashed_cell_failure(cell: GridCell, error: ReproError) -> CellFailure:
+    """The degradation record for a cell whose pool worker died or hung.
+
+    The worker took the cell's timing and counter deltas with it, so the
+    record carries only the structured blame for the
+    ``runtime.cell_failures`` block.  Crash failures are journaled like
+    any other outcome, so a resumed run replays the degradation rather
+    than silently retrying it; re-run without ``--resume`` (or delete
+    the journal) to give crashed cells another chance.
+    """
+    return CellFailure(
+        matcher_name=cell.matcher_name,
+        target_code=cell.target_code,
+        error_type=type(error).__name__,
+        message=str(error)[:500],
+        attempts=1,
+        seconds=0.0,
+        retryable=True,
+    )
+
+
 def run_cells(
     cells: list[GridCell],
     executor: StudyExecutor,
@@ -295,6 +316,7 @@ def run_cells(
     phase: str = "grid",
     cell_retries: int | None = None,
     fail_fast: bool | None = None,
+    journal=None,
 ) -> list["CellResult | CellFailure"]:
     """Dispatch cells through the executor, in submission order.
 
@@ -305,24 +327,63 @@ def run_cells(
     ``fail_fast`` default from the environment
     (``REPRO_CELL_RETRIES`` / ``REPRO_FAIL_FAST``) and then the cells'
     :class:`~repro.config.StudyConfig`.
+
+    With a :class:`~repro.runtime.journal.CellJournal` attached, cells
+    already present in the journal are *replayed* from disk instead of
+    executed (their reconstructed outcomes are byte-identical), and every
+    newly computed cell is durably journaled the moment the parent
+    collects it — the write-ahead contract ``--resume`` is built on.
+    A worker process that dies or hangs mid-cell degrades into the same
+    :class:`CellFailure` path via the executor's crash containment.
     """
     config = cells[0].config if cells else None
     retries = _resolve_cell_retries(cell_retries, config)
     abort_on_failure = _resolve_fail_fast(fail_fast, config)
     worker = partial(run_cell_guarded, cell_retries=retries)
 
+    outcomes: list["CellResult | CellFailure | None"] = [None] * len(cells)
+    pending_indices = list(range(len(cells)))
+    if journal is not None:
+        pending_indices = []
+        for index, cell in enumerate(cells):
+            replayed = journal.lookup(cell)
+            if replayed is not None:
+                outcomes[index] = replayed
+            else:
+                pending_indices.append(index)
+    pending_cells = [cells[i] for i in pending_indices]
+    n_replayed = len(cells) - len(pending_cells)
+
+    def journal_outcome(position: int, outcome: "CellResult | CellFailure") -> None:
+        journal.record(pending_cells[position], outcome, phase=phase)
+
     cache = active_cache()
     cache_snapshot = cache.counters() if cache is not None else {}
     reliability_snapshot = reliability_counters.snapshot()
+
+    def dispatch() -> list["CellResult | CellFailure"]:
+        return executor.map_tasks(
+            worker,
+            pending_cells,
+            on_result=journal_outcome if journal is not None else None,
+            on_crash=_crashed_cell_failure,
+        )
+
     if stats is None:
-        outcomes = executor.map_tasks(worker, cells)
+        computed = dispatch()
     else:
         with stats.phase(phase):
-            outcomes = executor.map_tasks(worker, cells)
+            computed = dispatch()
+    for position, index in enumerate(pending_indices):
+        outcomes[index] = computed[position]
     successes, failures = split_failures(outcomes)
 
     if stats is not None:
-        stats.record_tasks(phase, len(outcomes), sum(o.seconds for o in outcomes))
+        stats.record_tasks(phase, len(computed), sum(o.seconds for o in computed))
+        if journal is not None:
+            stats.merge_resume(
+                {"cells_replayed": n_replayed, "cells_computed": len(computed)}
+            )
         if cache is not None and executor.backend != "process":
             # Serial and thread cells share this process's cache, so
             # per-cell deltas overlap under concurrency (each cell's
@@ -332,7 +393,8 @@ def run_cells(
         else:
             # Process workers hold their own forked caches and run their
             # cells sequentially, so per-cell deltas partition exactly.
-            for outcome in outcomes:
+            # Replayed cells did no work and contribute nothing.
+            for outcome in computed:
                 stats.merge_cache(outcome.cache_delta)
         if executor.backend != "process":
             # Same aliasing argument as the cache: one whole-phase delta
@@ -343,7 +405,7 @@ def run_cells(
         else:
             # A failed process cell's counters die with the exception;
             # successful cells partition exactly.
-            for outcome in outcomes:
+            for outcome in computed:
                 stats.merge_reliability(outcome.reliability_delta)
         stats.merge_reliability(
             {

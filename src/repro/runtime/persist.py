@@ -1,0 +1,238 @@
+"""Atomic, checksummed persistence for study state.
+
+Every file the study runtime leaves on disk — the completion cache, the
+cell journal, ``full_study.json``, serving-artifact manifests — can be
+the only surviving record of hours of simulated-API spend.  A plain
+``write_text`` can be killed mid-write and leave a torn file behind;
+this module is the one place that torn-write window is closed:
+
+``atomic_write_bytes`` / ``atomic_write_text`` / ``atomic_write_json``
+    Write to a temporary file in the *same directory*, ``fsync`` it, and
+    ``os.replace`` it over the destination.  POSIX rename is atomic, so
+    readers (and a resumed run) see either the old complete file or the
+    new complete file, never a prefix.
+
+``attach_digest`` / ``verify_digest``
+    Embed a sha256 digest footer (an ``_integrity`` key, last in the
+    object) into a JSON document and verify it on load, so silent disk
+    or copy corruption is detected rather than parsed.
+
+``quarantine_file`` / ``quarantine_line``
+    Move damaged state aside to a ``.corrupt-<ts>`` sidecar instead of
+    crashing on it (or worse, overwriting the evidence), paired with a
+    structured :class:`~repro.errors.CorruptStateError`.
+
+``load_checked_json``
+    The read side: parse + verify, quarantining and raising
+    :class:`~repro.errors.CorruptStateError` on any damage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from ..errors import CorruptStateError
+
+__all__ = [
+    "INTEGRITY_KEY",
+    "canonical_json",
+    "sha256_hex",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "attach_digest",
+    "verify_digest",
+    "quarantine_file",
+    "quarantine_line",
+    "load_checked_json",
+]
+
+#: Top-level key carrying a JSON document's digest footer.
+INTEGRITY_KEY = "_integrity"
+
+
+def canonical_json(obj: object) -> str:
+    """The canonical serialization checksums are computed over.
+
+    Sorted keys and minimal separators, so the digest is a function of
+    the *content* only, never of formatting choices.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """Hex sha256 of ``data`` (text is hashed as UTF-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.  With ``fsync`` (the
+    default) the data is flushed to stable storage before the rename, so
+    a crash immediately after this function returns cannot lose it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (makes the rename durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems that reject dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str, fsync: bool = True) -> Path:
+    """Atomically write UTF-8 ``text`` to ``path``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def attach_digest(document: dict) -> dict:
+    """Return a copy of ``document`` with its digest footer appended.
+
+    The digest covers the canonical serialization of everything *except*
+    the footer itself, and the footer is inserted last so it renders at
+    the bottom of the saved file.
+    """
+    payload = {k: v for k, v in document.items() if k != INTEGRITY_KEY}
+    footer = dict(payload)
+    footer[INTEGRITY_KEY] = {"algo": "sha256", "digest": sha256_hex(canonical_json(payload))}
+    return footer
+
+
+def verify_digest(document: dict) -> bool:
+    """Whether ``document``'s digest footer matches its content.
+
+    Documents without a footer (pre-journal files, hand-edited configs)
+    verify trivially: integrity checking is opt-in per file, not a
+    format break.
+    """
+    footer = document.get(INTEGRITY_KEY)
+    if footer is None:
+        return True
+    payload = {k: v for k, v in document.items() if k != INTEGRITY_KEY}
+    try:
+        expected = footer["digest"]
+    except (TypeError, KeyError):
+        return False
+    return sha256_hex(canonical_json(payload)) == expected
+
+
+def atomic_write_json(
+    path: str | Path, document: dict, indent: int | None = 2, digest: bool = True
+) -> Path:
+    """Atomically write ``document`` as JSON, with a digest footer.
+
+    ``digest=False`` writes the plain document (for files whose schema
+    other tools own).  The result is always valid JSON — the footer is a
+    normal ``_integrity`` key, so naive ``json.loads`` consumers keep
+    working.
+    """
+    if digest:
+        document = attach_digest(document)
+    return atomic_write_text(path, json.dumps(document, indent=indent) + "\n")
+
+
+def _corrupt_sidecar(path: Path, timestamp: float | None = None) -> Path:
+    """The ``.corrupt-<ts>`` sidecar path quarantined bytes move to."""
+    ts = int(timestamp if timestamp is not None else time.time())
+    return path.with_name(f"{path.name}.corrupt-{ts}")
+
+
+def quarantine_file(path: str | Path, timestamp: float | None = None) -> Path:
+    """Move a damaged file aside to its ``.corrupt-<ts>`` sidecar.
+
+    Returns the sidecar path.  The original name is freed so the next
+    write (or a resumed run) starts clean instead of re-tripping on the
+    same bytes.
+    """
+    path = Path(path)
+    sidecar = _corrupt_sidecar(path, timestamp)
+    while sidecar.exists():  # a second quarantine within the same second
+        sidecar = sidecar.with_name(sidecar.name + "x")
+    os.replace(path, sidecar)
+    return sidecar
+
+
+def quarantine_line(
+    path: str | Path, raw_line: str, timestamp: float | None = None
+) -> Path:
+    """Append one damaged JSONL line to the file's ``.corrupt-<ts>`` sidecar.
+
+    Line-oriented stores (the journal, the completion cache) quarantine
+    per-entry: the healthy entries stay usable and only the damaged
+    bytes are set aside.  Returns the sidecar path.
+    """
+    path = Path(path)
+    sidecar = _corrupt_sidecar(path, timestamp)
+    with open(sidecar, "a", encoding="utf-8") as handle:
+        handle.write(raw_line.rstrip("\n") + "\n")
+    return sidecar
+
+
+def load_checked_json(path: str | Path, quarantine: bool = True) -> dict:
+    """Load a JSON document, verifying its digest footer if present.
+
+    On unparseable content or a digest mismatch the file is quarantined
+    (unless ``quarantine=False``) and a structured
+    :class:`~repro.errors.CorruptStateError` is raised — callers decide
+    whether that is fatal (an artifact load) or survivable (a cache warm
+    start, which simply begins cold).
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        document = json.loads(text)
+        if not isinstance(document, dict):
+            raise ValueError(f"expected a JSON object, got {type(document).__name__}")
+    except (json.JSONDecodeError, ValueError) as error:
+        sidecar = quarantine_file(path) if quarantine else None
+        raise CorruptStateError(
+            f"corrupt JSON in {path}: {error}",
+            path=str(path),
+            quarantined_to=str(sidecar) if sidecar else None,
+        ) from None
+    if not verify_digest(document):
+        sidecar = quarantine_file(path) if quarantine else None
+        raise CorruptStateError(
+            f"checksum mismatch in {path}: content does not match its "
+            f"{INTEGRITY_KEY} digest footer",
+            path=str(path),
+            quarantined_to=str(sidecar) if sidecar else None,
+        )
+    return document

@@ -52,6 +52,16 @@ class RuntimeStats:
         #: Structured :class:`repro.runtime.grid.CellFailure` records
         #: (as dicts) from every phase, in submission order.
         self.cell_failures: list[dict] = []
+        #: Whether a write-ahead cell journal was attached to this run
+        #: (switches the ``resume`` block on in :meth:`as_dict`).
+        self.journal_active = False
+        #: Resumed-vs-computed accounting for journaled runs.
+        self.resume_counters: dict[str, float] = {
+            "cells_replayed": 0,
+            "cells_computed": 0,
+            "journal_records_loaded": 0,
+            "corrupt_quarantined": 0,
+        }
         self._started = time.perf_counter()
 
     @contextmanager
@@ -80,6 +90,12 @@ class RuntimeStats:
         """Fold one retry/fault counter delta into the totals."""
         for key in self.reliability_counters:
             self.reliability_counters[key] += delta.get(key, 0)
+
+    def merge_resume(self, delta: dict[str, float]) -> None:
+        """Fold journal replay/compute counts into the resume totals."""
+        self.journal_active = True
+        for key in self.resume_counters:
+            self.resume_counters[key] += delta.get(key, 0)
 
     def record_failures(self, failures: list) -> None:
         """Append structured cell-failure records (dicts or CellFailures)."""
@@ -149,6 +165,10 @@ class RuntimeStats:
             "reliability": reliability,
             "total_wall_seconds": round(self.total_wall_seconds, 3),
         }
+        if self.journal_active:
+            block["resume"] = {
+                key: int(value) for key, value in self.resume_counters.items()
+            }
         if self.cell_failures:
             block["cell_failures"] = list(self.cell_failures)
         return block
@@ -172,6 +192,18 @@ class RuntimeStats:
                 f"[runtime]   cache: {hits:.0f} hits / {misses:.0f} misses "
                 f"({self.cache_hit_rate:.0%}), "
                 f"${self.cache_counters['saved_dollars']:.4f} saved"
+            )
+        if self.journal_active:
+            resume = self.resume_counters
+            lines.append(
+                f"[runtime]   resume: {resume['cells_replayed']:.0f} cells "
+                f"replayed from journal / {resume['cells_computed']:.0f} computed"
+                + (
+                    f", {resume['corrupt_quarantined']:.0f} corrupt records "
+                    "quarantined"
+                    if resume["corrupt_quarantined"]
+                    else ""
+                )
             )
         if self.reliability_active:
             r = self.reliability_counters

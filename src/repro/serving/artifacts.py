@@ -32,11 +32,17 @@ from pathlib import Path
 import numpy as np
 
 from ..config import StudyConfig, SurrogateScale
-from ..errors import ArtifactError
+from ..errors import ArtifactError, CorruptStateError
 from ..matchers.anymatch import AnyMatchMatcher
 from ..matchers.base import Matcher
 from ..matchers.string_sim import StringSimMatcher
 from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..runtime.persist import (
+    atomic_write_json,
+    quarantine_file,
+    sha256_hex,
+    verify_digest,
+)
 from ..text.tokenizer import Vocabulary
 
 __all__ = [
@@ -97,6 +103,9 @@ def save_artifact(
             "vocabulary": matcher._vocab.to_state(),
         }
         save_checkpoint(matcher._model, directory / WEIGHTS_NAME)
+        manifest["weights_sha256"] = sha256_hex(
+            (directory / WEIGHTS_NAME).read_bytes()
+        )
     elif isinstance(matcher, StringSimMatcher):
         manifest["kind"] = "string_sim"
         manifest["string_sim"] = {"threshold": matcher.threshold}
@@ -106,7 +115,10 @@ def save_artifact(
             "supported: AnyMatchMatcher, StringSimMatcher"
         )
 
-    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    # Atomic + digest-footed: a serving process restarted mid-export sees
+    # either no manifest or a complete, checksummed one — never a torn
+    # file that parses as a half-described matcher.
+    atomic_write_json(directory / MANIFEST_NAME, manifest)
     return directory
 
 
@@ -140,6 +152,18 @@ def _load_anymatch(manifest: dict, directory: Path) -> AnyMatchMatcher:
     weights = directory / WEIGHTS_NAME
     if not weights.exists():
         raise ArtifactError(f"artifact {directory} is missing {WEIGHTS_NAME}")
+    expected_digest = manifest.get("weights_sha256")
+    if expected_digest is not None:
+        actual_digest = sha256_hex(weights.read_bytes())
+        if actual_digest != expected_digest:
+            sidecar = quarantine_file(weights)
+            raise CorruptStateError(
+                f"checkpoint {weights} does not match the manifest's "
+                f"weights_sha256 (expected {expected_digest[:12]}…, got "
+                f"{actual_digest[:12]}…)",
+                path=str(weights),
+                quarantined_to=str(sidecar),
+            )
     load_checkpoint(model, weights)
     matcher._model = model
     matcher._vocab = vocab
@@ -155,7 +179,11 @@ def load_artifact(directory: str | os.PathLike) -> Matcher:
     The reloaded matcher is ready to ``predict`` and produces predictions
     byte-identical to the exported instance.  Raises
     :class:`~repro.errors.ArtifactError` when the directory, manifest, or
-    checkpoint is missing, malformed, or of an unknown kind/version.
+    checkpoint is missing, malformed, or of an unknown kind/version, and
+    :class:`~repro.errors.CorruptStateError` (after quarantining the
+    damaged file to a ``.corrupt-<ts>`` sidecar) when the manifest's
+    digest footer or the checkpoint's ``weights_sha256`` fails to verify
+    — i.e. the file parses but its bytes are not the ones exported.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -165,6 +193,14 @@ def load_artifact(directory: str | os.PathLike) -> Matcher:
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as error:
         raise ArtifactError(f"corrupt manifest {manifest_path}: {error}") from None
+    if not isinstance(manifest, dict) or not verify_digest(manifest):
+        sidecar = quarantine_file(manifest_path)
+        raise CorruptStateError(
+            f"checksum mismatch in {manifest_path}: content does not match "
+            "its digest footer",
+            path=str(manifest_path),
+            quarantined_to=str(sidecar),
+        )
     version = manifest.get("format_version")
     if version != ARTIFACT_FORMAT:
         raise ArtifactError(

@@ -20,12 +20,18 @@ failed grid cells degrade into structured ``runtime.cell_failures``
 entries instead of aborting (``--fail-fast`` restores the abort), and
 ``--faults SPEC`` injects deterministic faults to rehearse all of it
 offline — see ``docs/FAILURE_SEMANTICS.md``.
+
+It is also crash-safe: ``--journal PATH`` write-ahead logs every
+completed grid cell (fsynced JSONL), all output files are written
+atomically with embedded checksums, and after a kill — even one injected
+mid-write via ``--faults crash_at=N,torn_write=1`` — re-running with
+``--resume`` replays the finished cells and executes only the remainder,
+yielding a byte-identical ``full_study.json``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -46,7 +52,14 @@ from ..runtime.cache import (
     active_cache,
     cache_enabled_from_env,
 )
-from ..runtime.executor import make_executor, resolve_backend, resolve_workers
+from ..runtime.executor import (
+    make_executor,
+    resolve_backend,
+    resolve_cell_timeout,
+    resolve_workers,
+)
+from ..runtime.journal import CellJournal
+from ..runtime.persist import atomic_write_json
 from ..runtime.stats import RuntimeStats
 from . import figures, findings, table3, table4, table5, table6
 
@@ -73,6 +86,11 @@ def _configure_reliability(
         os.environ[FAIL_FAST_ENV] = "1"
 
 
+def default_journal_path(out_path: Path) -> Path:
+    """The journal path derived from an output path (``--journal`` default)."""
+    return out_path.with_name(out_path.stem + ".journal.jsonl")
+
+
 def run_study(
     config: StudyConfig,
     out_path: Path,
@@ -85,6 +103,9 @@ def run_study(
     faults: str | None = None,
     fail_fast: bool | None = None,
     export_artifacts: str | None = None,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
+    cell_timeout_s: float | None = None,
 ) -> dict:
     """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON.
 
@@ -92,6 +113,15 @@ def run_study(
     (see :mod:`repro.reliability`): failed grid cells are retried, then
     recorded as structured entries under ``runtime.cell_failures`` in the
     output document instead of aborting the run — unless ``fail_fast``.
+
+    ``journal_path`` attaches a write-ahead :class:`CellJournal` (every
+    completed grid cell is fsynced to disk before the run moves on);
+    ``resume`` replays the journal's finished cells instead of starting
+    the file fresh, so a killed run re-executes only the remainder and
+    produces table values byte-identical to an uninterrupted run.  With
+    ``resume`` and no explicit path, the journal defaults to
+    :func:`default_journal_path` next to ``out_path``.
+    ``cell_timeout_s`` arms the executor's per-cell hang watchdog.
 
     ``export_artifacts`` names a directory to receive a deployable
     matcher artifact after the study finishes: the serving matcher is
@@ -108,14 +138,52 @@ def run_study(
     if use_cache and active_cache() is None:
         activate(CompletionCache(path=cache_path))
     stats = RuntimeStats(workers=n_workers, backend=backend_name)
-    executor = make_executor(workers=n_workers, backend=backend_name, config=config)
+    executor = make_executor(
+        workers=n_workers,
+        backend=backend_name,
+        config=config,
+        cell_timeout_s=resolve_cell_timeout(cell_timeout_s),
+    )
+
+    journal = None
+    if journal_path is not None or resume:
+        journal_file = (
+            Path(journal_path)
+            if journal_path is not None
+            else default_journal_path(out_path)
+        )
+        journal = CellJournal(journal_file, fresh=not resume)
+        journal.write_header(
+            {
+                "profile": config.name,
+                "codes": list(codes or ()),
+                "resumed": resume,
+                "faults": faults or "",
+            }
+        )
+        stats.merge_resume(
+            {
+                "journal_records_loaded": journal.records_loaded,
+                "corrupt_quarantined": journal.quarantined,
+            }
+        )
+        if resume:
+            print(
+                f"[full_run] resuming: {journal.records_loaded} journaled cells "
+                f"at {journal_file}"
+                + (
+                    f" ({journal.quarantined} corrupt records quarantined)"
+                    if journal.quarantined
+                    else ""
+                ),
+                flush=True,
+            )
 
     document: dict = {"profile": config.name, "codes": list(codes or ())}
 
     def checkpoint() -> None:
         document["runtime"] = stats.as_dict()
-        out_path.parent.mkdir(parents=True, exist_ok=True)
-        out_path.write_text(json.dumps(document, indent=2))
+        atomic_write_json(out_path, document)
 
     try:
         # Table 3 dispatches one matcher row at a time so partial results
@@ -136,6 +204,7 @@ def run_study(
                 executor=executor,
                 stats=stats,
                 use_cache=use_cache,
+                journal=journal,
             )
             results.extend(partial.results)
             t3 = Table3Result(results, config.name, codes=tuple(codes or ()))
@@ -161,7 +230,12 @@ def run_study(
 
         print("[full_run] Table 4 ...", flush=True)
         t4 = table4.run(
-            config, codes=codes, executor=executor, stats=stats, use_cache=use_cache
+            config,
+            codes=codes,
+            executor=executor,
+            stats=stats,
+            use_cache=use_cache,
+            journal=journal,
         )
         document["table4"] = {
             "per_dataset": {
@@ -204,6 +278,8 @@ def run_study(
                 document["findings"] = {"error": str(error)}
     finally:
         executor.close()
+        if journal is not None:
+            journal.close()
         # Warm-retry persistence: the completion cache is saved in this
         # ``finally`` so even a *crashed* run leaves its completions on
         # disk.  That partial JSON-lines file is safe to reuse because
@@ -286,6 +362,22 @@ def main(argv: list[str] | None = None) -> int:
         help="after the study, fit the serving matcher on all benchmarks "
              "and export a deployable artifact directory (see repro.serving)",
     )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead cell journal: fsync every completed grid cell "
+             "to this JSONL file (default with --resume: <out>.journal.jsonl)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay finished cells from the journal and execute only the "
+             "remainder; output is byte-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock watchdog: a cell stuck past this long is "
+             "abandoned as a retryable CellFailure (default: "
+             "REPRO_CELL_TIMEOUT_S env var, else no watchdog)",
+    )
     args = parser.parse_args(argv)
     codes = tuple(c for c in args.codes.split(",") if c) or None
     run_study(
@@ -300,6 +392,9 @@ def main(argv: list[str] | None = None) -> int:
         faults=args.faults,
         fail_fast=args.fail_fast,
         export_artifacts=args.export_artifacts,
+        journal_path=args.journal,
+        resume=args.resume,
+        cell_timeout_s=args.cell_timeout,
     )
     return 0
 

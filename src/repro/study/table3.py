@@ -47,6 +47,7 @@ def run(
     executor: StudyExecutor | None = None,
     stats: RuntimeStats | None = None,
     use_cache: bool | None = None,
+    journal=None,
 ) -> Table3Result:
     """Run the leave-one-dataset-out study for the requested matchers.
 
@@ -56,7 +57,9 @@ def run(
     The grid of ``(matcher, target)`` cells is dispatched through
     ``executor`` (default: whatever ``REPRO_WORKERS`` / the config
     select; serial when unset).  Cells are independent and fully seeded,
-    so every backend returns bit-identical results.
+    so every backend returns bit-identical results.  With ``journal`` (a
+    :class:`~repro.runtime.journal.CellJournal`) attached, finished cells
+    are replayed from disk and new ones journaled as they complete.
     """
     config = config or get_profile("default")
     matcher_names = matcher_names or ROSTER_ORDER
@@ -88,7 +91,9 @@ def run(
         for code in loop_codes
     ]
     try:
-        cell_results = grid.run_cells(cells, executor, stats=stats, phase="table3")
+        cell_results = grid.run_cells(
+            cells, executor, stats=stats, phase="table3", journal=journal
+        )
     finally:
         if owns_executor:
             executor.close()

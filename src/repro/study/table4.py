@@ -60,13 +60,15 @@ def run(
     stats: RuntimeStats | None = None,
     use_cache: bool | None = None,
     strategies: tuple[DemonstrationStrategy, ...] = TABLE4_STRATEGIES,
+    journal=None,
 ) -> Table4Result:
     """Evaluate each model under the three demonstration strategies.
 
     Like Table 3, the ``(model, strategy, target)`` grid dispatches
-    through the executor.  With the completion cache enabled the ``none``
-    strategy is where hits concentrate: its prompts are byte-identical to
-    the Table-3 MatchGPT prompts for the same model, seed and targets.
+    through the executor, and an attached ``journal`` replays finished
+    cells.  With the completion cache enabled the ``none`` strategy is
+    where hits concentrate: its prompts are byte-identical to the
+    Table-3 MatchGPT prompts for the same model, seed and targets.
     """
     config = config or get_profile("default")
     if use_cache is None:
@@ -99,7 +101,9 @@ def run(
                     )
                 )
     try:
-        cell_results = grid.run_cells(cells, executor, stats=stats, phase="table4")
+        cell_results = grid.run_cells(
+            cells, executor, stats=stats, phase="table4", journal=journal
+        )
     finally:
         if owns_executor:
             executor.close()

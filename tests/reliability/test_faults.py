@@ -21,6 +21,7 @@ from repro.reliability import (
     RetryingClient,
     validate_yes_no,
 )
+from repro.reliability import faults
 from repro.reliability.faults import MALFORMED_TEXT
 
 _PROMPTS = [f"Do entries A{i} and B{i} match? ('Yes'/'No')" for i in range(40)]
@@ -145,3 +146,80 @@ class TestPlanSpecs:
             FaultPlan(max_consecutive=0)
         with pytest.raises(ConfigurationError):
             FaultPlan.parse("transient=0.2,nonsense=1")
+
+
+class TestCrashPoint:
+    """Deterministic crash-at-Nth-completion and torn-write fault modes."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_state(self):
+        faults.reset_crash_state()
+        yield
+        faults.reset_crash_state()
+
+    def test_spec_round_trip(self):
+        plan = FaultPlan(crash_at=3, torn_write=True)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+        parsed = FaultPlan.parse("crash_at=2,torn_write=1")
+        assert parsed.crash_at == 2 and parsed.torn_write is True
+
+    def test_validation_and_any_faults(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_at=-1)
+        assert FaultPlan(crash_at=1).any_faults
+        assert not FaultPlan().any_faults
+
+    def test_crash_fires_at_nth_completion(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr(
+            faults.os, "_exit", lambda code: exits.append(code) or _exit_stub()
+        )
+        injector = FaultInjector(EchoClient(), FaultPlan(crash_at=2), count=False)
+        injector.complete(LLMRequest(prompt=_PROMPTS[0]))  # 1st survives
+        with pytest.raises(_StubExit):
+            injector.complete(LLMRequest(prompt=_PROMPTS[1]))  # 2nd dies
+        assert exits == [faults.CRASH_EXIT_CODE]
+
+    def test_counter_is_shared_across_injectors(self, monkeypatch):
+        monkeypatch.setattr(faults.os, "_exit", lambda code: _exit_stub())
+        plan = FaultPlan(crash_at=2)
+        first = FaultInjector(EchoClient(), plan, count=False)
+        second = FaultInjector(EchoClient(), plan, count=False)
+        first.complete(LLMRequest(prompt=_PROMPTS[0]))
+        with pytest.raises(_StubExit):
+            second.complete(LLMRequest(prompt=_PROMPTS[1]))
+
+    def test_torn_write_fires_hooks_before_exit(self, monkeypatch):
+        events = []
+        monkeypatch.setattr(faults.os, "_exit", lambda code: _exit_stub())
+        token = faults.register_crash_hook(lambda: events.append("torn"))
+        injector = FaultInjector(
+            EchoClient(), FaultPlan(crash_at=1, torn_write=True), count=False
+        )
+        with pytest.raises(_StubExit):
+            injector.complete(LLMRequest(prompt=_PROMPTS[0]))
+        assert events == ["torn"]
+        faults.unregister_crash_hook(token)
+
+    def test_hooks_skipped_without_torn_write(self, monkeypatch):
+        events = []
+        monkeypatch.setattr(faults.os, "_exit", lambda code: _exit_stub())
+        faults.register_crash_hook(lambda: events.append("torn"))
+        injector = FaultInjector(EchoClient(), FaultPlan(crash_at=1), count=False)
+        with pytest.raises(_StubExit):
+            injector.complete(LLMRequest(prompt=_PROMPTS[0]))
+        assert events == []
+
+    def test_unregister_is_idempotent(self):
+        token = faults.register_crash_hook(lambda: None)
+        faults.unregister_crash_hook(token)
+        faults.unregister_crash_hook(token)  # unknown token: no error
+        assert token not in faults._crash_hooks
+
+
+class _StubExit(BaseException):
+    """Stands in for the process disappearing under ``os._exit``."""
+
+
+def _exit_stub():
+    raise _StubExit

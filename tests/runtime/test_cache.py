@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.errors import LLMError
+from repro.errors import CorruptStateError, LLMError
 from repro.llm.batching import BatchJob
 from repro.llm.client import EchoClient, LLMRequest, LLMResponse
 from repro.runtime.cache import (
@@ -122,11 +124,53 @@ class TestPersistence:
         with pytest.raises(LLMError):
             CompletionCache().save()
 
-    def test_corrupt_file_raises(self, tmp_path):
-        path = tmp_path / "bad.jsonl"
-        path.write_text('{"key": "k"}\n')
-        with pytest.raises(LLMError):
-            CompletionCache(path=path)
+    def test_corrupt_lines_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = CompletionCache()
+        client = CachedClient(_CountingClient(), cache)
+        client.complete(LLMRequest(prompt="p1"))
+        cache.save(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k"}\n')       # missing fields
+            handle.write("not json at all\n")    # unparseable
+
+        reloaded = CompletionCache(path=path)
+        assert len(reloaded) == 1  # the healthy entry still loads
+        assert reloaded.quarantined == 2
+        assert len(reloaded.corruption_errors) == 2
+        assert all(
+            isinstance(e, CorruptStateError) for e in reloaded.corruption_errors
+        )
+        sidecars = list(tmp_path.glob("cache.jsonl.corrupt-*"))
+        assert len(sidecars) == 1
+        assert len(sidecars[0].read_text().splitlines()) == 2
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = CompletionCache()
+        client = CachedClient(_CountingClient(), cache)
+        client.complete(LLMRequest(prompt="p1"))
+        cache.save(path)
+        # Flip a byte of the stored completion text without touching the
+        # line's sha256 self-checksum.
+        line = path.read_text().rstrip("\n")
+        row = json.loads(line)
+        row["text"] = row["text"] + "TAMPERED"
+        path.write_text(json.dumps(row) + "\n")
+
+        reloaded = CompletionCache(path=path)
+        assert len(reloaded) == 0
+        assert reloaded.quarantined == 1
+        assert "checksum" in str(reloaded.corruption_errors[0])
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = CompletionCache()
+        client = CachedClient(_CountingClient(), cache)
+        client.complete(LLMRequest(prompt="p1"))
+        cache.save(path)
+        cache.save(path)  # overwrite goes through the tmp+rename path too
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.jsonl"]
 
 
 class TestActiveCache:

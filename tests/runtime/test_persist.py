@@ -1,0 +1,141 @@
+"""Tests for atomic, checksummed persistence primitives."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CorruptStateError
+from repro.runtime.persist import (
+    INTEGRITY_KEY,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    attach_digest,
+    canonical_json,
+    load_checked_json,
+    quarantine_file,
+    quarantine_line,
+    sha256_hex,
+    verify_digest,
+)
+
+
+class TestCanonical:
+    def test_key_order_invariant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_sha256_text_and_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+
+
+class TestAtomicWrite:
+    def test_round_trip_and_no_tmp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        atomic_write_text(path, "world")  # overwrite also atomic
+        assert path.read_text() == "world"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_failed_write_leaves_previous_content(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+        monkeypatch.setattr(os, "replace", _boom)
+        with pytest.raises(RuntimeError):
+            atomic_write_text(path, "replacement")
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def _boom(src, dst):
+    raise RuntimeError("injected rename failure")
+
+
+class TestDigest:
+    def test_attach_then_verify(self):
+        doc = attach_digest({"x": 1, "y": [1, 2]})
+        assert INTEGRITY_KEY in doc
+        assert verify_digest(doc)
+
+    def test_footer_is_last_key(self):
+        doc = attach_digest({"z": 1, "a": 2})
+        assert list(doc)[-1] == INTEGRITY_KEY
+
+    def test_tamper_detected(self):
+        doc = attach_digest({"x": 1})
+        doc["x"] = 2
+        assert not verify_digest(doc)
+
+    def test_footerless_document_verifies(self):
+        assert verify_digest({"x": 1})
+
+    def test_malformed_footer_fails(self):
+        assert not verify_digest({"x": 1, INTEGRITY_KEY: "nonsense"})
+
+    def test_attach_is_idempotent_over_reattach(self):
+        once = attach_digest({"x": 1})
+        twice = attach_digest(once)
+        assert once == twice
+
+
+class TestLoadCheckedJson:
+    def test_happy_path(self, tmp_path):
+        path = atomic_write_json(tmp_path / "doc.json", {"x": 1})
+        doc = load_checked_json(path)
+        assert doc["x"] == 1
+
+    def test_garbage_is_quarantined(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text("{ not json")
+        with pytest.raises(CorruptStateError) as info:
+            load_checked_json(path)
+        assert not path.exists()
+        assert info.value.quarantined_to is not None
+        assert ".corrupt-" in info.value.quarantined_to
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path):
+        path = atomic_write_json(tmp_path / "doc.json", {"x": 1})
+        doc = json.loads(path.read_text())
+        doc["x"] = 999  # tamper after signing
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CorruptStateError, match="checksum"):
+            load_checked_json(path)
+        assert not path.exists()
+
+    def test_quarantine_opt_out_keeps_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text("garbage")
+        with pytest.raises(CorruptStateError):
+            load_checked_json(path, quarantine=False)
+        assert path.exists()
+
+
+class TestQuarantine:
+    def test_file_moves_to_sidecar(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("x")
+        sidecar = quarantine_file(path, timestamp=1000)
+        assert not path.exists()
+        assert sidecar.name == "bad.json.corrupt-1000"
+        assert sidecar.read_text() == "x"
+
+    def test_same_second_collision_gets_suffix(self, tmp_path):
+        for content in ("one", "two"):
+            path = tmp_path / "bad.json"
+            path.write_text(content)
+            quarantine_file(path, timestamp=1000)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["bad.json.corrupt-1000", "bad.json.corrupt-1000x"]
+
+    def test_lines_append_to_one_sidecar(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        quarantine_line(path, "bad line 1\n", timestamp=1000)
+        sidecar = quarantine_line(path, "bad line 2", timestamp=1000)
+        assert sidecar.read_text() == "bad line 1\nbad line 2\n"

@@ -7,9 +7,10 @@ import json
 import numpy as np
 import pytest
 
-from repro.errors import ArtifactError
+from repro.errors import ArtifactError, CorruptStateError
 from repro.matchers.anymatch import AnyMatchMatcher
 from repro.matchers.string_sim import StringSimMatcher
+from repro.runtime.persist import verify_digest
 from repro.serving.artifacts import (
     ARTIFACT_FORMAT,
     MANIFEST_NAME,
@@ -108,3 +109,55 @@ class TestArtifactErrors:
         (directory / WEIGHTS_NAME).unlink()
         with pytest.raises(ArtifactError, match=WEIGHTS_NAME):
             load_artifact(directory)
+
+
+class TestIntegrityChecks:
+    def test_manifest_carries_verifiable_digest(self, tmp_path):
+        directory = save_artifact(StringSimMatcher(), tmp_path / "s")
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert verify_digest(manifest)
+        assert "_integrity" in manifest
+
+    def test_tampered_manifest_quarantined(self, tmp_path):
+        directory = save_artifact(StringSimMatcher(threshold=0.41), tmp_path / "s")
+        manifest_path = directory / MANIFEST_NAME
+        tampered = manifest_path.read_text().replace("0.41", "0.99")
+        manifest_path.write_text(tampered)
+
+        with pytest.raises(CorruptStateError, match="checksum") as info:
+            load_artifact(directory)
+        assert not manifest_path.exists()  # moved aside, not left in place
+        assert ".corrupt-" in info.value.quarantined_to
+        sidecar = list(directory.glob(f"{MANIFEST_NAME}.corrupt-*"))
+        assert len(sidecar) == 1
+
+    def test_tampered_weights_quarantined(
+        self, tmp_path, tiny_config, small_datasets
+    ):
+        transfer = list(small_datasets.values())
+        matcher = AnyMatchMatcher("gpt2").fit(transfer, tiny_config, seed=0)
+        directory = save_artifact(matcher, tmp_path / "art")
+        weights = directory / WEIGHTS_NAME
+        damaged = bytearray(weights.read_bytes())
+        damaged[len(damaged) // 2] ^= 0xFF
+        weights.write_bytes(bytes(damaged))
+
+        with pytest.raises(CorruptStateError, match="weights_sha256"):
+            load_artifact(directory)
+        assert not weights.exists()
+        assert list(directory.glob(f"{WEIGHTS_NAME}.corrupt-*"))
+
+    def test_footerless_legacy_manifest_still_loads(self, tmp_path):
+        # Pre-integrity manifests have no digest footer; they must keep
+        # loading (checksums are opt-in per file, not a format break).
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps(
+                {
+                    "format_version": ARTIFACT_FORMAT,
+                    "kind": "string_sim",
+                    "string_sim": {"threshold": 0.5},
+                }
+            )
+        )
+        reloaded = load_artifact(tmp_path)
+        assert isinstance(reloaded, StringSimMatcher)
