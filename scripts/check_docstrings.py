@@ -12,7 +12,8 @@ interpreter and needs no dependencies) and requires a docstring on:
 Private names (leading underscore) and dunders other than ``__init__``
 are exempt.  Exit status is non-zero when anything is missing, so CI can
 gate on it; the default targets are the packages held at 100%:
-``repro.llm``, ``repro.runtime``, ``repro.reliability``, ``repro.serving``.
+``repro.llm``, ``repro.runtime``, ``repro.reliability``, ``repro.serving``,
+plus the inference fast path (``repro.nn.fastpath``) and its benchmark.
 
 Usage::
 
@@ -33,6 +34,8 @@ DEFAULT_TARGETS = (
     "src/repro/runtime",
     "src/repro/reliability",
     "src/repro/serving",
+    "src/repro/nn/fastpath.py",
+    "benchmarks/bench_inference.py",
 )
 
 

@@ -81,6 +81,7 @@ class BatchJob:
         chunk_size: int | None = None,
         executor: "object | None" = None,
         retry_policy: "object | None" = None,
+        bucket_by_length: bool = False,
     ) -> "BatchJob":
         """Run every queued request, capturing per-request failures.
 
@@ -88,6 +89,12 @@ class BatchJob:
         split into contiguous chunks and fanned across the pool; results
         are merged back in submission order and metered in that order,
         so the outcome is identical to a serial run.
+
+        ``bucket_by_length`` chunks requests by ascending prompt token
+        length instead of submission position, so a simulated (or real)
+        backend that pads each chunk to its longest prompt wastes less
+        work.  Results, metering order and budget enforcement are still
+        in submission order — only the completion order changes.
 
         ``retry_policy`` (a :class:`repro.reliability.RetryPolicy`)
         wraps the client for this processing pass so transient failures
@@ -116,7 +123,7 @@ class BatchJob:
 
             client = RetryingClient(self.client, retry_policy)  # type: ignore[arg-type]
 
-        if workers == 1 and executor is None:
+        if workers == 1 and executor is None and not bucket_by_length:
             for index, request in enumerate(self._requests):
                 try:
                     response = client.complete(request)
@@ -125,7 +132,7 @@ class BatchJob:
                 except LLMError as error:
                     self._results.append(BatchResult(index, None, str(error)))
         else:
-            self._process_chunked(client, workers, chunk_size, executor)
+            self._process_chunked(client, workers, chunk_size, executor, bucket_by_length)
         self._processed = True
         return self
 
@@ -135,10 +142,11 @@ class BatchJob:
         workers: int,
         chunk_size: int | None,
         executor: "object | None",
+        bucket_by_length: bool = False,
     ) -> None:
         # Imported here: repro.llm must stay importable without the
         # runtime package (which imports back into this layer).
-        from ..runtime.chunks import chunk_indices, default_chunk_size
+        from ..runtime.chunks import chunk_indices, default_chunk_size, length_buckets
         from ..runtime.executor import StudyExecutor, make_executor
 
         owns_executor = executor is None
@@ -147,10 +155,17 @@ class BatchJob:
         if not isinstance(executor, StudyExecutor):
             raise LLMError(f"executor must be a StudyExecutor, got {type(executor)!r}")
         size = chunk_size or default_chunk_size(len(self._requests), executor.workers)
-        chunks = [
-            [(index, self._requests[index]) for index in indices]
-            for indices in chunk_indices(len(self._requests), size)
-        ]
+        if bucket_by_length:
+            lengths = [len(request.prompt.split()) for request in self._requests]
+            chunks = [
+                [(int(index), self._requests[int(index)]) for index in bucket]
+                for bucket in length_buckets(lengths, size)
+            ]
+        else:
+            chunks = [
+                [(index, self._requests[index]) for index in indices]
+                for indices in chunk_indices(len(self._requests), size)
+            ]
         # functools.partial over a module-level function stays picklable,
         # so chunks can also ship to a process-backed executor (the
         # client must then be picklable too).
@@ -161,9 +176,13 @@ class BatchJob:
         finally:
             if owns_executor:
                 executor.close()
-        # Chunks come back in submission order; metering replays in that
-        # order so budget enforcement matches the serial path exactly.
-        for index, response, error in (o for chunk in outcomes for o in chunk):
+        # Metering replays in submission order (length-bucketed chunks
+        # come back permuted, so sort first) — budget enforcement then
+        # matches the serial path exactly.
+        flattened = [o for chunk in outcomes for o in chunk]
+        if bucket_by_length:
+            flattened.sort(key=lambda outcome: outcome[0])
+        for index, response, error in flattened:
             if response is not None:
                 try:
                     self.meter.record(response)

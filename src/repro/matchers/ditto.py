@@ -128,6 +128,13 @@ class DittoMatcher(Matcher):
     def match_scores(
         self, pairs: list[RecordPair], serialization_seed: int | None = None
     ) -> np.ndarray:
+        """Match probabilities; scoring follows the active inference config.
+
+        ``predict_proba`` routes through the fused no-grad kernels with
+        float32 weights and length-bucketed batches by default (see
+        :class:`repro.config.InferenceConfig`); predictions are identical
+        to the autograd reference path.
+        """
         data = encode_pairs(
             pairs, self._vocab, self._max_len,
             serialization_seed=serialization_seed,

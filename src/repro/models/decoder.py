@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..nn import Module, TransformerDecoder
+from ..nn import Module, TransformerDecoder, fastpath
 from ..nn.tensor import Tensor
 
 __all__ = ["CausalLMClassifier"]
@@ -66,4 +66,25 @@ class CausalLMClassifier(Module):
         # Projecting only the answer slot through the LM head avoids a
         # vocab-sized matmul at every position (same logits, ~T× cheaper).
         lm_logits = self.backbone.lm_head(answer_slot)  # (B, V)
+        return lm_logits[:, np.array([self.no_id, self.yes_id])]
+
+    def infer_logits(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """No-grad logits via the fused kernels (byte-identical at float64)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        hidden = fastpath.decoder_forward(
+            self.backbone, ids, key_padding_mask=pad_mask, flags=flags, dtype=dtype
+        )
+        if pad_mask is None:
+            last = np.full(ids.shape[0], ids.shape[1] - 1, dtype=np.int64)
+        else:
+            lengths = (~np.asarray(pad_mask, dtype=bool)).sum(axis=1)
+            last = np.maximum(lengths - 1, 0)
+        answer_slot = hidden[np.arange(ids.shape[0]), last, :]
+        lm_logits = fastpath.linear(self.backbone.lm_head, answer_slot)
         return lm_logits[:, np.array([self.no_id, self.yes_id])]

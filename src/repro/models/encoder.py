@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Linear, Module, TransformerEncoder
+from ..nn import Linear, Module, TransformerEncoder, fastpath
 from ..nn.tensor import Tensor
 
 __all__ = ["EncoderClassifier"]
@@ -52,3 +52,14 @@ class EncoderClassifier(Module):
     ) -> Tensor:
         """Binary match logits of shape (batch, 2)."""
         return self.head(self.encode(ids, pad_mask, flags))
+
+    def infer_logits(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """No-grad logits via the fused kernels (byte-identical at float64)."""
+        hidden = fastpath.encoder_forward(self.backbone, ids, pad_mask, flags, dtype)
+        return fastpath.linear(self.head, hidden[:, 0, :])

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..nn import Linear, Module, TransformerEncoder, stack
+from ..nn import Linear, Module, TransformerEncoder, fastpath, stack
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
@@ -68,3 +68,19 @@ class MoEClassifier(Module):
         flags: np.ndarray | None = None,
     ) -> Tensor:
         return self.head(self.moe_representation(ids, pad_mask, flags))
+
+    def infer_logits(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """No-grad logits via the fused kernels (byte-identical at float64)."""
+        pooled = fastpath.encoder_forward(self.backbone, ids, pad_mask, flags, dtype)[:, 0, :]
+        gate_weights = fastpath.softmax_(fastpath.linear(self.gate, pooled))  # (B, E)
+        expert_outputs = np.stack(
+            [np.tanh(fastpath.linear(expert, pooled)) for expert in self.experts], axis=1
+        )  # (B, E, D)
+        expert_outputs *= gate_weights[:, :, None]
+        return fastpath.linear(self.head, expert_outputs.sum(axis=1))

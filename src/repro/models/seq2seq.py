@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..nn import Module, TransformerDecoder, TransformerEncoder
+from ..nn import Module, TransformerDecoder, TransformerEncoder, fastpath
 from ..nn.tensor import Tensor
 
 __all__ = ["Seq2SeqClassifier"]
@@ -56,4 +56,21 @@ class Seq2SeqClassifier(Module):
             start, memory=memory, memory_padding_mask=pad_mask
         )  # (B, 1, D)
         lm_logits = self.decoder.lm_head(hidden[:, 0, :])  # (B, V)
+        return lm_logits[:, np.array([self.no_id, self.yes_id])]
+
+    def infer_logits(
+        self,
+        ids: np.ndarray,
+        pad_mask: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """No-grad logits via the fused kernels (byte-identical at float64)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        memory = fastpath.encoder_forward(self.encoder, ids, pad_mask, flags, dtype)
+        start = np.full((ids.shape[0], 1), self.start_id, dtype=np.int64)
+        hidden = fastpath.decoder_forward(
+            self.decoder, start, memory=memory, memory_padding_mask=pad_mask, dtype=dtype
+        )
+        lm_logits = fastpath.linear(self.decoder.lm_head, hidden[:, 0, :])
         return lm_logits[:, np.array([self.no_id, self.yes_id])]

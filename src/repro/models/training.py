@@ -6,10 +6,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import StudyConfig
+from ..config import StudyConfig, get_inference_config
 from ..errors import MatcherError
-from ..nn import AdamW, LinearWarmupSchedule, Module, clip_grad_norm, no_grad
+from ..nn import AdamW, LinearWarmupSchedule, Module, clip_grad_norm, fastpath, no_grad
 from ..nn import functional as F
+from ..runtime.chunks import length_buckets
 
 __all__ = ["EncodedPairs", "train_classifier", "predict_proba"]
 
@@ -82,17 +83,68 @@ def predict_proba(
     model: Module,
     data: EncodedPairs,
     batch_size: int = 128,
+    *,
+    fast_path: bool | None = None,
+    float32: bool | None = None,
+    bucket_by_length: bool | None = None,
 ) -> np.ndarray:
-    """Match probabilities P(label=1) for each pair, shape (n,)."""
+    """Match probabilities P(label=1) for each pair, shape (n,).
+
+    The three keyword knobs default to the active
+    :class:`repro.config.InferenceConfig`:
+
+    * ``fast_path`` routes models exposing ``infer_logits`` through the
+      fused no-grad kernels of :mod:`repro.nn.fastpath` (byte-identical
+      probabilities at float64).
+    * ``float32`` runs the fast path in single precision (see the
+      tolerance documented in :mod:`repro.nn.fastpath`).
+    * ``bucket_by_length`` groups pairs of similar token length and trims
+      each batch to its own longest member, instead of padding everything
+      to the global ``max_len``.  Results are scattered back to input
+      order, so the returned array lines up with ``data`` as before.
+    """
     model.eval()
-    outputs: list[np.ndarray] = []
-    with no_grad():
-        for start in range(0, len(data), batch_size):
-            idx = np.arange(start, min(start + batch_size, len(data)))
-            batch = data.take(idx)
-            logits = model(batch.ids, batch.pad_mask, batch.shared)
-            probs = F.softmax(logits, axis=-1).numpy()
-            outputs.append(probs[:, 1])
-    if not outputs:
+    config = get_inference_config()
+    if fast_path is None:
+        fast_path = config.fast_path
+    if float32 is None:
+        float32 = config.float32
+    if bucket_by_length is None:
+        bucket_by_length = config.bucketing
+    use_fast = fast_path and hasattr(model, "infer_logits")
+    dtype = np.float32 if (use_fast and float32) else np.float64
+
+    n = len(data)
+    if n == 0:
         return np.zeros(0)
-    return np.concatenate(outputs)
+    if bucket_by_length:
+        lengths = (~data.pad_mask).sum(axis=1)
+        batches = length_buckets(lengths, batch_size)
+    else:
+        batches = [
+            np.arange(start, min(start + batch_size, n))
+            for start in range(0, n, batch_size)
+        ]
+
+    out = np.zeros(n)
+    with no_grad():
+        for idx in batches:
+            batch = data.take(idx)
+            ids, pad_mask, shared = batch.ids, batch.pad_mask, batch.shared
+            if bucket_by_length:
+                # Trim pure-padding columns: every row keeps at least one
+                # attended position (the encoders guarantee column 0), and
+                # fully-masked keys contribute exactly zero attention
+                # weight, so trimming never changes the kept outputs.
+                width = max(1, int((~pad_mask).sum(axis=1).max(initial=0)))
+                ids = ids[:, :width]
+                pad_mask = pad_mask[:, :width]
+                shared = shared[:, :width] if shared is not None else None
+            if use_fast:
+                logits = model.infer_logits(ids, pad_mask, shared, dtype=dtype)
+                probs = fastpath.softmax_(logits)
+            else:
+                logits = model(ids, pad_mask, shared)
+                probs = F.softmax(logits, axis=-1).numpy()
+            out[idx] = probs[:, 1]
+    return out

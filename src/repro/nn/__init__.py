@@ -1,6 +1,6 @@
 """Neural substrate: numpy autograd, layers, transformers, optimisers."""
 
-from . import functional
+from . import fastpath, functional
 from .attention import MultiHeadAttention
 from .layers import Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, clip_grad_norm
@@ -35,6 +35,7 @@ __all__ = [
     "TransformerEncoderLayer",
     "clip_grad_norm",
     "concat",
+    "fastpath",
     "functional",
     "is_grad_enabled",
     "load_checkpoint",

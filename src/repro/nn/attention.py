@@ -6,13 +6,15 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from . import functional as F
+from .fastpath import MASK_VALUE, PreparedPaddingMask, causal_mask
 from .layers import Linear, Module
 from .tensor import Tensor
 
 __all__ = ["MultiHeadAttention"]
 
-#: Large negative logit used to mask out attention positions.
-_MASK_VALUE = -1e9
+#: Large negative logit used to mask out attention positions (re-exported
+#: from :mod:`repro.nn.fastpath`, the single source of truth).
+_MASK_VALUE = MASK_VALUE
 
 
 class MultiHeadAttention(Module):
@@ -43,12 +45,14 @@ class MultiHeadAttention(Module):
         self,
         x: Tensor,
         kv: Tensor | None = None,
-        key_padding_mask: np.ndarray | None = None,
+        key_padding_mask: "np.ndarray | PreparedPaddingMask | None" = None,
     ) -> Tensor:
         """Attend ``x`` (queries) over ``kv`` (keys/values; defaults to ``x``).
 
         ``key_padding_mask`` is a boolean array of shape ``(batch, kv_len)``
-        that is ``True`` at padding positions to be ignored.
+        that is ``True`` at padding positions to be ignored, or a
+        :class:`~repro.nn.fastpath.PreparedPaddingMask` already validated
+        and broadcast by the enclosing stack (reused across its layers).
         """
         source = kv if kv is not None else x
         q = self._split_heads(self.q_proj(x))
@@ -58,16 +62,10 @@ class MultiHeadAttention(Module):
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         q_len, k_len = q.shape[2], k.shape[2]
         if self.causal:
-            causal_mask = np.triu(np.ones((q_len, k_len), dtype=bool), k=1)
-            scores = scores.masked_fill(causal_mask[None, None, :, :], _MASK_VALUE)
+            scores = scores.masked_fill(causal_mask(q_len, k_len), _MASK_VALUE)
         if key_padding_mask is not None:
-            key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
-            if key_padding_mask.shape != (x.shape[0], k_len):
-                raise ConfigurationError(
-                    f"key_padding_mask shape {key_padding_mask.shape} != "
-                    f"({x.shape[0]}, {k_len})"
-                )
-            scores = scores.masked_fill(key_padding_mask[:, None, None, :], _MASK_VALUE)
+            prepared = PreparedPaddingMask.prepare(key_padding_mask, x.shape[0], k_len)
+            scores = scores.masked_fill(prepared.mask, _MASK_VALUE)
 
         weights = F.softmax(scores, axis=-1)
         context = weights @ v

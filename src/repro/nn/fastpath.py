@@ -1,0 +1,376 @@
+"""Fused no-grad inference kernels over raw numpy arrays.
+
+The autograd :class:`~repro.nn.tensor.Tensor` pays, on every op, for a
+``Tensor`` allocation, a backward closure and a parents tuple — dead
+weight during evaluation, where the graph is never walked.  This module
+is the **inference fast path**: the exact forward arithmetic of the
+layers in :mod:`repro.nn`, re-expressed as fused ndarray kernels with
+in-place temporaries where safe, plus the shared mask caches both paths
+use.
+
+Three guarantees define the contract (pinned by the parity suites in
+``tests/nn/test_fastpath.py`` and ``tests/models/test_fastpath_parity.py``):
+
+* **float64 parity is byte-exact.**  Every kernel replays the reference
+  path's operations in an order that is bit-identical under IEEE-754
+  (in-place variants of the same ops; the ``0.5`` GELU factor commutes
+  exactly because power-of-two multiplies never round).  ``infer_logits``
+  at ``np.float64`` equals the ``Tensor`` forward to the last bit.
+* **float32 parity is documented, not exact.**  Weights are cast once
+  per parameter (cached; see below) and the whole forward runs in
+  single precision.  Logits agree with the float64 path within
+  ``FLOAT32_RTOL``/``FLOAT32_ATOL``; at the surrogate scales in
+  :mod:`repro.config` the resulting match *predictions* are unchanged.
+* **Eval mode only.**  The kernels skip dropout unconditionally, so the
+  entry points refuse modules left in training mode.
+
+Weight-cast caching: the float32 copies are memoised per module under
+the :data:`CAST_CACHE_ATTR` attribute and invalidated whenever the
+module re-enters training mode (``Module.train``) or loads a state dict
+— the only two ways this codebase mutates fitted weights between
+evaluations.
+
+Mask caching: causal masks are memoised per ``(q_len, k_len)`` shape in
+:func:`causal_mask` (shared across every layer of every stack), and key
+padding masks are validated/broadcast **once per stack forward** into a
+:class:`PreparedPaddingMask` instead of once per attention call.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MASK_VALUE",
+    "FLOAT32_RTOL",
+    "FLOAT32_ATOL",
+    "CAST_CACHE_ATTR",
+    "causal_mask",
+    "PreparedPaddingMask",
+    "cast_param",
+    "invalidate_casts",
+    "softmax",
+    "softmax_",
+    "gelu_",
+    "layer_norm",
+    "linear",
+    "attention",
+    "stem",
+    "encoder_forward",
+    "decoder_forward",
+]
+
+#: Large negative logit used to mask out attention positions (the single
+#: source; :mod:`repro.nn.attention` imports it from here).
+MASK_VALUE = -1e9
+
+#: Documented float32-vs-float64 logit tolerance (see module docstring).
+FLOAT32_RTOL = 1e-3
+FLOAT32_ATOL = 1e-3
+
+#: Module attribute under which per-dtype weight casts are memoised.
+CAST_CACHE_ATTR = "_fp_cast_cache"
+
+
+# -- shared mask caches -------------------------------------------------------
+
+
+@lru_cache(maxsize=256)
+def causal_mask(q_len: int, k_len: int) -> np.ndarray:
+    """The ``(1, 1, q_len, k_len)`` upper-triangular mask, memoised.
+
+    Read-only: the array is shared across every causal attention call of
+    the process (all layers of all decoder stacks hit the same shapes).
+    """
+    mask = np.triu(np.ones((q_len, k_len), dtype=bool), k=1)[None, None, :, :]
+    mask.setflags(write=False)
+    return mask
+
+
+class PreparedPaddingMask:
+    """A key-padding mask validated and broadcast once per stack forward.
+
+    Attention stacks re-apply the *same* ``(batch, k_len)`` mask in every
+    layer; preparing it once saves the per-call validation, dtype
+    conversion and ``(batch, 1, 1, k_len)`` broadcast.  Attention calls
+    receiving a prepared mask only cheaply re-check that its shape still
+    matches theirs.
+    """
+
+    __slots__ = ("mask", "batch", "k_len")
+
+    def __init__(self, mask: np.ndarray, batch: int, k_len: int) -> None:
+        """Wrap an already-broadcast ``(batch, 1, 1, k_len)`` bool mask."""
+        self.mask = mask
+        self.batch = batch
+        self.k_len = k_len
+
+    @classmethod
+    def prepare(cls, raw: "np.ndarray | PreparedPaddingMask", batch: int, k_len: int) -> "PreparedPaddingMask":
+        """Validate a raw ``(batch, k_len)`` mask and broadcast it for scores."""
+        if isinstance(raw, PreparedPaddingMask):
+            raw.check(batch, k_len)
+            return raw
+        arr = np.asarray(raw, dtype=bool)
+        if arr.shape != (batch, k_len):
+            raise ConfigurationError(
+                f"key_padding_mask shape {arr.shape} != ({batch}, {k_len})"
+            )
+        return cls(arr[:, None, None, :], batch, k_len)
+
+    def check(self, batch: int, k_len: int) -> None:
+        """Assert this mask was prepared for the caller's shape."""
+        if self.batch != batch or self.k_len != k_len:
+            raise ConfigurationError(
+                f"prepared padding mask is ({self.batch}, {self.k_len}); "
+                f"attention needs ({batch}, {k_len})"
+            )
+
+
+# -- weight casts -------------------------------------------------------------
+
+
+def cast_param(module: object, name: str, dtype: np.dtype) -> np.ndarray:
+    """``module.<name>.data`` cast to ``dtype``, memoised on the module.
+
+    float64 (the storage dtype) is returned as-is.  Casts are cached
+    under :data:`CAST_CACHE_ATTR` and dropped by ``Module.train()`` /
+    ``load_state_dict()`` — the points where weights may change.
+    """
+    data = getattr(module, name).data
+    if dtype == np.float64:
+        return data
+    cache = module.__dict__.setdefault(CAST_CACHE_ATTR, {})
+    hit = cache.get(name)
+    if hit is None or hit.dtype != dtype:
+        hit = data.astype(dtype)
+        cache[name] = hit
+    return hit
+
+
+def invalidate_casts(module: object) -> None:
+    """Drop every memoised weight cast of ``module`` and its submodules."""
+    for sub in module.modules():
+        sub.__dict__.pop(CAST_CACHE_ATTR, None)
+
+
+# -- fused elementwise kernels ------------------------------------------------
+
+
+def softmax_(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """In-place softmax along ``axis`` (the caller must own ``x``)."""
+    x -= x.max(axis=axis, keepdims=True)
+    np.exp(x, out=x)
+    x /= x.sum(axis=axis, keepdims=True)
+    return x
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` into a fresh array (input untouched)."""
+    out = x - x.max(axis=axis, keepdims=True)
+    np.exp(out, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+    return out
+
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu_(x: np.ndarray) -> np.ndarray:
+    """Fused tanh-approximation GELU; consumes ``x`` (one temporary).
+
+    Bit-identical to :func:`repro.nn.functional.gelu`'s forward: the
+    only reassociation is factoring the exact power-of-two ``0.5``.
+    """
+    inner = 0.044715 * x ** 3
+    inner += x
+    inner *= _GELU_C
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= x
+    inner *= 0.5
+    return inner
+
+
+def layer_norm(module: object, x: np.ndarray) -> np.ndarray:
+    """LayerNorm over the last axis, mirroring ``LayerNorm.forward``."""
+    dim = x.shape[-1]
+    mu = x.sum(axis=-1, keepdims=True)
+    mu *= 1.0 / dim
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True)
+    var *= 1.0 / dim
+    var += module.eps
+    np.power(var, -0.5, out=var)
+    centered *= var
+    centered *= cast_param(module, "gain", x.dtype)
+    centered += cast_param(module, "bias", x.dtype)
+    return centered
+
+
+def linear(module: object, x: np.ndarray) -> np.ndarray:
+    """Affine map ``x W + b`` with weights cast to ``x``'s dtype."""
+    out = x @ cast_param(module, "weight", x.dtype)
+    out += cast_param(module, "bias", x.dtype)
+    return out
+
+
+# -- attention ----------------------------------------------------------------
+
+
+def _split_heads(attn: object, x: np.ndarray) -> np.ndarray:
+    batch, length, _dim = x.shape
+    return x.reshape(batch, length, attn.n_heads, attn.head_dim).transpose(0, 2, 1, 3)
+
+
+def attention(
+    attn: object,
+    x: np.ndarray,
+    kv: np.ndarray | None = None,
+    key_padding_mask: PreparedPaddingMask | None = None,
+) -> np.ndarray:
+    """Fused multi-head attention mirroring ``MultiHeadAttention.forward``.
+
+    ``key_padding_mask`` must already be a :class:`PreparedPaddingMask`
+    (the stack forwards prepare it once and reuse it across layers).
+    """
+    source = kv if kv is not None else x
+    q = _split_heads(attn, linear(attn.q_proj, x))
+    k = _split_heads(attn, linear(attn.k_proj, source))
+    v = _split_heads(attn, linear(attn.v_proj, source))
+
+    scores = q @ k.swapaxes(-1, -2)
+    scores *= 1.0 / np.sqrt(attn.head_dim)
+    q_len, k_len = q.shape[2], k.shape[2]
+    if attn.causal:
+        scores = np.where(causal_mask(q_len, k_len), MASK_VALUE, scores)
+    if key_padding_mask is not None:
+        key_padding_mask.check(x.shape[0], k_len)
+        scores = np.where(key_padding_mask.mask, MASK_VALUE, scores)
+
+    weights = softmax_(scores)
+    context = weights @ v
+    merged = context.transpose(0, 2, 1, 3).reshape(x.shape[0], q_len, attn.dim)
+    return linear(attn.out_proj, merged)
+
+
+# -- embedding stem and transformer stacks ------------------------------------
+
+
+def _check_ids(ids: np.ndarray, n_embeddings: int) -> None:
+    """Replicate ``Embedding.forward``'s id-range validation."""
+    if ids.min(initial=0) < 0 or ids.max(initial=0) >= n_embeddings:
+        raise ConfigurationError(f"embedding ids out of range [0, {n_embeddings})")
+
+
+def stem(
+    module: object,
+    ids: np.ndarray,
+    flags: np.ndarray | None,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Token + positional (+ flag) embedding sum (``_EmbeddingStem``, eval)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    _check_ids(ids, module.tokens.weight.shape[0])
+    length = ids.shape[1]
+    if length > module.positions.weight.shape[0]:
+        raise ConfigurationError(
+            f"embedding ids out of range [0, {module.positions.weight.shape[0]})"
+        )
+    x = cast_param(module.tokens, "weight", dtype)[ids]
+    x += cast_param(module.positions, "weight", dtype)[:length]
+    if flags is not None:
+        flags = np.asarray(flags, dtype=np.int64)
+        _check_ids(flags, module.flags.weight.shape[0])
+        x += cast_param(module.flags, "weight", dtype)[flags]
+    return x
+
+
+def _require_eval(module: object) -> None:
+    """The fast path skips dropout, so training-mode modules are refused."""
+    if getattr(module, "training", False):
+        raise ConfigurationError(
+            "inference fast path requires eval mode; call model.eval() first"
+        )
+
+
+def _ffn(layer: object, x: np.ndarray) -> np.ndarray:
+    """Position-wise feed-forward (``FeedForward.forward``)."""
+    return linear(layer.down, gelu_(linear(layer.up, x)))
+
+
+def encoder_forward(
+    encoder: object,
+    ids: np.ndarray,
+    key_padding_mask: np.ndarray | None = None,
+    flags: np.ndarray | None = None,
+    dtype: np.dtype = np.float64,
+) -> np.ndarray:
+    """Fused ``TransformerEncoder.forward`` over raw arrays."""
+    _require_eval(encoder)
+    ids = np.asarray(ids, dtype=np.int64)
+    prepared = (
+        PreparedPaddingMask.prepare(key_padding_mask, ids.shape[0], ids.shape[1])
+        if key_padding_mask is not None
+        else None
+    )
+    x = stem(encoder.stem, ids, flags, dtype)
+    for block in encoder.blocks:
+        attended = attention(block.attn, layer_norm(block.norm1, x), key_padding_mask=prepared)
+        attended += x
+        x = attended
+        fed = _ffn(block.ffn, layer_norm(block.norm2, x))
+        fed += x
+        x = fed
+    return layer_norm(encoder.final_norm, x)
+
+
+def decoder_forward(
+    decoder: object,
+    ids: np.ndarray,
+    memory: np.ndarray | None = None,
+    key_padding_mask: np.ndarray | None = None,
+    memory_padding_mask: np.ndarray | None = None,
+    flags: np.ndarray | None = None,
+    dtype: np.dtype = np.float64,
+) -> np.ndarray:
+    """Fused ``TransformerDecoder.hidden`` (pre-LM-head representations)."""
+    _require_eval(decoder)
+    ids = np.asarray(ids, dtype=np.int64)
+    batch, length = ids.shape
+    prepared = (
+        PreparedPaddingMask.prepare(key_padding_mask, batch, length)
+        if key_padding_mask is not None
+        else None
+    )
+    prepared_memory = (
+        PreparedPaddingMask.prepare(memory_padding_mask, batch, memory.shape[1])
+        if memory_padding_mask is not None and memory is not None
+        else None
+    )
+    x = stem(decoder.stem, ids, flags, dtype)
+    for block in decoder.blocks:
+        attended = attention(
+            block.self_attn, layer_norm(block.norm1, x), key_padding_mask=prepared
+        )
+        attended += x
+        x = attended
+        if block.cross_attn is not None:
+            if memory is None:
+                raise ValueError("decoder layer built with cross attention needs memory")
+            crossed = attention(
+                block.cross_attn,
+                layer_norm(block.norm_cross, x),
+                kv=memory,
+                key_padding_mask=prepared_memory,
+            )
+            crossed += x
+            x = crossed
+        fed = _ffn(block.ffn, layer_norm(block.norm2, x))
+        fed += x
+        x = fed
+    return layer_norm(decoder.final_norm, x)

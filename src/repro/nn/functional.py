@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import GradientError
+from . import fastpath
 from .tensor import Tensor
 
 __all__ = [
@@ -24,9 +25,9 @@ __all__ = [
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    # Forward values come from the shared fused kernel so the Tensor path
+    # and the inference fast path agree byte-for-byte.
+    out_data = fastpath.softmax(x.data, axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         dot = (grad * out_data).sum(axis=axis, keepdims=True)

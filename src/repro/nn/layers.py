@@ -63,6 +63,9 @@ class Module:
     def train(self) -> "Module":
         for module in self.modules():
             module.training = True
+            # Weights are about to change; memoised inference-dtype casts
+            # (see repro.nn.fastpath.cast_param) would go stale.
+            module.__dict__.pop("_fp_cast_cache", None)
         return self
 
     def eval(self) -> "Module":
@@ -95,6 +98,9 @@ class Module:
                     f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
                 )
             param.data = state[name].copy()
+        for module in self.modules():
+            # New weights invalidate memoised inference-dtype casts.
+            module.__dict__.pop("_fp_cast_cache", None)
 
     def __call__(self, *args: object, **kwargs: object) -> Tensor:
         return self.forward(*args, **kwargs)

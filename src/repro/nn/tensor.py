@@ -62,7 +62,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with an optional gradient and a backward closure."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "__weakref__")
 
     def __init__(
         self,
@@ -76,8 +76,12 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
         self.requires_grad = requires_grad and is_grad_enabled()
-        self._parents = _parents if self.requires_grad or _parents else ()
-        self._backward = _backward
+        # A tensor that does not require grad must not pin the activation
+        # graph: drop both the parents tuple and the backward closure (the
+        # closure alone captures the parent arrays) so eval batches free as
+        # they go instead of accumulating until the top-level result dies.
+        self._parents = _parents if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
 
     # -- constructors -----------------------------------------------------
 

@@ -6,6 +6,7 @@ import numpy as np
 
 from . import functional as F
 from .attention import MultiHeadAttention
+from .fastpath import PreparedPaddingMask
 from .layers import Dropout, Embedding, LayerNorm, Linear, Module
 from .tensor import Tensor
 
@@ -158,6 +159,12 @@ class TransformerEncoder(Module):
         key_padding_mask: np.ndarray | None = None,
         flags: np.ndarray | None = None,
     ) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if key_padding_mask is not None:
+            # Validate/broadcast once here; every block reuses the result.
+            key_padding_mask = PreparedPaddingMask.prepare(
+                key_padding_mask, ids.shape[0], ids.shape[1]
+            )
         x = self.stem(ids, flags)
         for block in self.blocks:
             x = block(x, key_padding_mask=key_padding_mask)
@@ -198,6 +205,16 @@ class TransformerDecoder(Module):
         flags: np.ndarray | None = None,
     ) -> Tensor:
         """Final-layer representations, before the LM head."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if key_padding_mask is not None:
+            # Validate/broadcast once here; every block reuses the result.
+            key_padding_mask = PreparedPaddingMask.prepare(
+                key_padding_mask, ids.shape[0], ids.shape[1]
+            )
+        if memory_padding_mask is not None and memory is not None:
+            memory_padding_mask = PreparedPaddingMask.prepare(
+                memory_padding_mask, ids.shape[0], memory.shape[1]
+            )
         x = self.stem(ids, flags)
         for block in self.blocks:
             x = block(

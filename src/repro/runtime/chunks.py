@@ -9,10 +9,13 @@ original sequence exactly.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["chunk_indices", "default_chunk_size"]
+__all__ = ["chunk_indices", "default_chunk_size", "length_buckets"]
 
 
 def default_chunk_size(n_items: int, workers: int, per_worker: int = 4) -> int:
@@ -35,4 +38,24 @@ def chunk_indices(n_items: int, chunk_size: int) -> list[range]:
     return [
         range(start, min(start + chunk_size, n_items))
         for start in range(0, n_items, chunk_size)
+    ]
+
+
+def length_buckets(lengths: Sequence[int] | np.ndarray, batch_size: int) -> list[np.ndarray]:
+    """Index batches grouping items of similar length (padding reduction).
+
+    Items are stable-sorted by ``lengths`` and cut into consecutive groups
+    of ``batch_size``, so each batch only pays for its own longest member
+    instead of the global maximum.  The concatenation of the returned
+    index arrays is a permutation of ``range(len(lengths))``; callers
+    scatter results back through it to restore submission order.
+
+    >>> [list(b) for b in length_buckets([5, 1, 4, 2], 2)]
+    [[1, 3], [2, 0]]
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.argsort(np.asarray(lengths), kind="stable")
+    return [
+        order[chunk.start:chunk.stop] for chunk in chunk_indices(order.size, batch_size)
     ]

@@ -66,6 +66,14 @@ def _config_key_material(config) -> dict:
     material = {name: getattr(config, name) for name in _CONFIG_KEY_FIELDS}
     material["seeds"] = list(config.seeds)
     material["surrogate"] = dict(vars(config.surrogate))
+    # float32 inference perturbs NN probabilities within the documented
+    # tolerance, so journalled cells computed under one precision must
+    # not be replayed under the other.  The fast path itself and length
+    # bucketing are excluded on purpose: both are parity-tested to leave
+    # predictions unchanged.
+    from ..config import get_inference_config
+
+    material["inference_float32"] = get_inference_config().float32
     return material
 
 

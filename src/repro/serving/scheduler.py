@@ -100,9 +100,10 @@ class PendingResult:
 class MicroBatcher:
     """Coalesce concurrent requests into bounded batches for one processor.
 
-    ``process_batch`` receives a list of queued items (FIFO order) and
-    must return one result per item, in order; any exception it raises is
-    delivered to every request in that batch.
+    ``process_batch`` receives a list of queued items (FIFO order, or a
+    similar-length window when ``length_key`` is set) and must return one
+    result per item, in order; any exception it raises is delivered to
+    every request in that batch.
     """
 
     def __init__(
@@ -112,6 +113,7 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
         clock: Clock | None = None,
+        length_key: Callable[[Any], float] | None = None,
     ) -> None:
         """Configure the batching policy.
 
@@ -119,6 +121,14 @@ class MicroBatcher:
         the oldest queued request waits for the batch to fill, and
         ``max_queue`` is the admission-control bound beyond which submits
         shed load with :class:`~repro.errors.OverloadedError`.
+
+        ``length_key`` (optional) turns on length-bucketed batch forming:
+        each batch is a window of similar-``length_key`` requests instead
+        of a strict FIFO slice, so a processor that pads to the longest
+        item in the batch wastes less work.  The oldest waiting request
+        is always included in the next batch — bucketing reorders, it
+        never starves — and admission control is unaffected (the queue
+        bound counts waiting requests regardless of their length).
         """
         if max_batch_size < 1:
             raise ConfigurationError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -131,7 +141,11 @@ class MicroBatcher:
         self.max_wait_ms = max_wait_ms
         self.max_queue = max_queue
         self.clock = clock or SystemClock()
-        self._queue: deque[tuple[Any, PendingResult]] = deque()
+        self.length_key = length_key
+        self._seq = 0
+        #: Entries are ``(item, pending, seq, length)``; ``seq`` is the
+        #: admission order and ``length`` the cached ``length_key`` value.
+        self._queue: deque[tuple[Any, PendingResult, int, float]] = deque()
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
         self._stopped = False
@@ -189,7 +203,9 @@ class MicroBatcher:
                     f"admission queue full ({self.max_queue} requests waiting)"
                 )
             pending = PendingResult(submitted_at=self.clock.monotonic())
-            self._queue.append((item, pending))
+            length = 0.0 if self.length_key is None else float(self.length_key(item))
+            self._queue.append((item, pending, self._seq, length))
+            self._seq += 1
             self._counters["submitted"] += 1
             self._cond.notify_all()
         return pending
@@ -227,11 +243,31 @@ class MicroBatcher:
             n_batches += 1
 
     def _pop_batch(self) -> list[tuple[Any, PendingResult]]:
-        """Pop up to ``max_batch_size`` queued entries (caller holds the lock)."""
-        batch = []
-        while self._queue and len(batch) < self.max_batch_size:
-            batch.append(self._queue.popleft())
-        return batch
+        """Pop up to ``max_batch_size`` queued entries (caller holds the lock).
+
+        FIFO without a ``length_key``; with one, a window of
+        similar-length entries that always contains the oldest waiting
+        request (so bucketing can never starve it).
+        """
+        if not self._queue:
+            return []
+        if self.length_key is None:
+            batch = []
+            while self._queue and len(batch) < self.max_batch_size:
+                item, pending, _seq, _length = self._queue.popleft()
+                batch.append((item, pending))
+            return batch
+        entries = list(self._queue)
+        oldest_seq = entries[0][2]
+        ordered = sorted(entries, key=lambda entry: (entry[3], entry[2]))
+        oldest_pos = next(
+            i for i, entry in enumerate(ordered) if entry[2] == oldest_seq
+        )
+        start = max(0, min(oldest_pos, len(ordered) - self.max_batch_size))
+        chosen = ordered[start:start + self.max_batch_size]
+        chosen_seqs = {entry[2] for entry in chosen}
+        self._queue = deque(e for e in entries if e[2] not in chosen_seqs)
+        return [(entry[0], entry[1]) for entry in chosen]
 
     def _dispatch_loop(self) -> None:
         """Threaded mode: batch when full or when the oldest waited enough."""

@@ -32,6 +32,7 @@ from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..config import get_inference_config
 from ..data.pairs import RecordPair
 from ..data.record import Record
 from ..errors import OverloadedError, ServingError
@@ -41,7 +42,20 @@ from ..reliability.policy import RetryPolicy
 from .index import Candidate, CandidateIndex
 from .scheduler import MicroBatcher
 
-__all__ = ["MatchResponse", "LookupMatch", "ServingStats", "MatchService"]
+__all__ = ["MatchResponse", "LookupMatch", "ServingStats", "MatchService", "pair_token_length"]
+
+
+def pair_token_length(pair: RecordPair) -> float:
+    """Whitespace token count of both records — the batching length key.
+
+    A cheap proxy for the encoded sequence length: the encoder budgets
+    tokens per side from exactly these values, so sorting by this count
+    groups pairs that will pad to similar widths.
+    """
+    return float(
+        sum(len(value.split()) for value in pair.left.values)
+        + sum(len(value.split()) for value in pair.right.values)
+    )
 
 
 @dataclass(frozen=True)
@@ -164,6 +178,7 @@ class MatchService:
         serialization_seed: int | None = None,
         default_timeout_s: float | None = None,
         clock: Clock | None = None,
+        bucket_by_length: bool | None = None,
     ) -> None:
         """Compose the serving stack around ``matcher``.
 
@@ -172,7 +187,11 @@ class MatchService:
         every caller's wait unless a request overrides it;
         ``serialization_seed`` fixes the column order shown to the
         matcher (``None`` = canonical order) so responses are a pure
-        function of the request trace.
+        function of the request trace.  ``bucket_by_length`` (default:
+        the active :class:`repro.config.InferenceConfig`) makes the
+        scheduler form batches of similar-token-length pairs instead of
+        strict FIFO slices; per-pair responses are unchanged, only
+        co-batching (and thus padding waste) differs.
         """
         self.matcher = matcher
         self.index = index
@@ -181,12 +200,16 @@ class MatchService:
         self.default_timeout_s = default_timeout_s
         self.clock = clock or SystemClock()
         self.stats = ServingStats()
+        if bucket_by_length is None:
+            bucket_by_length = get_inference_config().bucketing
+        self.bucket_by_length = bucket_by_length
         self._batcher = MicroBatcher(
             self._process_batch,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             max_queue=max_queue,
             clock=self.clock,
+            length_key=pair_token_length if bucket_by_length else None,
         )
         self._started = False
 

@@ -157,3 +157,55 @@ class TestChunkedProcessing:
         job.submit("x")
         with pytest.raises(LLMError):
             job.process(executor=object())
+
+
+class TestLengthBucketing:
+    """``bucket_by_length=True`` regroups work without changing results."""
+
+    def _prompts(self):
+        # Deliberately unsorted word counts so bucketing must reorder.
+        return [" ".join(["w"] * n) for n in (9, 2, 7, 1, 8, 3, 6, 4, 5)]
+
+    def test_bucketed_matches_serial(self):
+        serial = BatchJob(EchoClient("No"))
+        serial.submit_many(self._prompts())
+        serial.process()
+
+        bucketed = BatchJob(EchoClient("No"))
+        bucketed.submit_many(self._prompts())
+        bucketed.process(chunk_size=3, bucket_by_length=True)
+        assert bucketed.texts() == serial.texts()
+        assert [r.index for r in bucketed.results] == [r.index for r in serial.results]
+
+    def test_bucketed_failures_keep_submission_indices(self):
+        prompts = ["good " * 5, "a bad one", "good", "longer bad text here"]
+        job = BatchJob(_PickyClient())
+        job.submit_many(prompts)
+        job.process(chunk_size=2, bucket_by_length=True)
+        failed = [r.index for r in job.results if not r.succeeded]
+        assert failed == [1, 3]
+
+    def test_bucketed_metering_matches_serial(self):
+        def run(**process_kwargs):
+            meter = UsageMeter(price_per_1k_tokens=1.0)
+            job = BatchJob(_PickyClient(), meter=meter)
+            job.submit_many(["good " * 4, "bad", "good"])
+            job.process(**process_kwargs)
+            return meter.n_requests, meter.prompt_tokens
+
+        assert run(chunk_size=1, bucket_by_length=True) == run()
+
+    def test_bucketed_budget_trips_on_same_request_as_serial(self):
+        # Metering replays in submission order, so a token budget cuts off
+        # at the same request whether or not batches were length-sorted.
+        def run(**process_kwargs):
+            meter = UsageMeter(price_per_1k_tokens=1.0, token_budget=14)
+            job = BatchJob(EchoClient("No"), meter=meter)
+            job.submit_many(["one two three four", "five six", "seven"])
+            job.process(**process_kwargs)
+            return job.texts(), [r.error for r in job.results]
+
+        serial_texts, serial_errors = run()
+        bucketed_texts, bucketed_errors = run(chunk_size=1, bucket_by_length=True)
+        assert bucketed_texts == serial_texts
+        assert bucketed_errors == serial_errors

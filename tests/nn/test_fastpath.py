@@ -1,0 +1,173 @@
+"""Tests for the fused no-grad inference kernels (repro.nn.fastpath)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import (
+    LayerNorm,
+    MultiHeadAttention,
+    Tensor,
+    TransformerEncoder,
+    fastpath,
+    no_grad,
+)
+from repro.nn import functional as F
+from repro.nn.fastpath import PreparedPaddingMask, causal_mask
+
+
+class TestKernelParity:
+    """Each fused kernel must be byte-identical to its Tensor twin."""
+
+    def test_softmax_matches_functional(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 7))
+        expected = F.softmax(Tensor(x)).numpy()
+        assert np.array_equal(fastpath.softmax(x), expected)
+        assert np.array_equal(fastpath.softmax_(x.copy()), expected)
+
+    def test_softmax_inplace_consumes_input(self):
+        x = np.zeros((2, 3))
+        out = fastpath.softmax_(x)
+        assert out is x
+
+    def test_gelu_matches_functional(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 9)) * 3.0
+        expected = F.gelu(Tensor(x)).numpy()
+        assert np.array_equal(fastpath.gelu_(x.copy()), expected)
+
+    def test_layer_norm_matches_module(self):
+        rng = np.random.default_rng(2)
+        norm = LayerNorm(8)
+        norm.gain.data = rng.normal(size=8)
+        norm.bias.data = rng.normal(size=8)
+        x = rng.normal(size=(3, 5, 8))
+        with no_grad():
+            expected = norm(Tensor(x)).numpy()
+        assert np.array_equal(fastpath.layer_norm(norm, x.copy()), expected)
+
+    @pytest.mark.parametrize("causal", [False, True])
+    def test_attention_matches_module(self, causal):
+        rng = np.random.default_rng(3)
+        attn = MultiHeadAttention(8, 2, rng, causal=causal)
+        attn.eval()
+        x = rng.normal(size=(2, 6, 8))
+        pad = np.zeros((2, 6), dtype=bool)
+        pad[0, 4:] = True
+        with no_grad():
+            expected = attn(Tensor(x), key_padding_mask=pad).numpy()
+        prepared = PreparedPaddingMask.prepare(pad, 2, 6)
+        got = fastpath.attention(attn, x, key_padding_mask=prepared)
+        assert np.array_equal(got, expected)
+
+    def test_encoder_forward_matches_module(self):
+        rng = np.random.default_rng(4)
+        encoder = TransformerEncoder(32, 8, 2, 2, 16, 10, rng)
+        encoder.eval()
+        ids = rng.integers(0, 32, size=(3, 10))
+        pad = np.arange(10)[None, :] >= rng.integers(4, 11, size=(3, 1))
+        flags = rng.integers(0, 3, size=(3, 10))
+        with no_grad():
+            expected = encoder(ids, key_padding_mask=pad, flags=flags).numpy()
+        got = fastpath.encoder_forward(encoder, ids, pad, flags)
+        assert np.array_equal(got, expected)
+
+
+class TestCausalMaskCache:
+    def test_same_shape_returns_same_object(self):
+        assert causal_mask(6, 6) is causal_mask(6, 6)
+        assert causal_mask(6, 6) is not causal_mask(6, 7)
+
+    def test_mask_is_read_only(self):
+        mask = causal_mask(4, 4)
+        assert not mask.flags.writeable
+        with pytest.raises(ValueError):
+            mask[0, 0, 0, 0] = True
+
+    def test_mask_shape_and_content(self):
+        mask = causal_mask(3, 3)
+        assert mask.shape == (1, 1, 3, 3)
+        assert np.array_equal(mask[0, 0], np.triu(np.ones((3, 3), dtype=bool), k=1))
+
+
+class TestPreparedPaddingMask:
+    def test_prepare_broadcasts_for_scores(self):
+        pad = np.zeros((2, 5), dtype=bool)
+        prepared = PreparedPaddingMask.prepare(pad, 2, 5)
+        assert prepared.mask.shape == (2, 1, 1, 5)
+
+    def test_prepare_is_idempotent(self):
+        prepared = PreparedPaddingMask.prepare(np.zeros((2, 5), dtype=bool), 2, 5)
+        assert PreparedPaddingMask.prepare(prepared, 2, 5) is prepared
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ConfigurationError, match="key_padding_mask shape"):
+            PreparedPaddingMask.prepare(np.zeros((2, 4), dtype=bool), 2, 5)
+
+    def test_check_rejects_mismatched_reuse(self):
+        prepared = PreparedPaddingMask.prepare(np.zeros((2, 5), dtype=bool), 2, 5)
+        with pytest.raises(ConfigurationError, match="prepared padding mask"):
+            prepared.check(2, 6)
+
+
+class TestWeightCastCache:
+    def _norm(self):
+        norm = LayerNorm(4)
+        norm.gain.data = np.arange(4, dtype=np.float64)
+        return norm
+
+    def test_float64_is_passthrough(self):
+        norm = self._norm()
+        assert fastpath.cast_param(norm, "gain", np.float64) is norm.gain.data
+        assert fastpath.CAST_CACHE_ATTR not in norm.__dict__
+
+    def test_float32_cast_is_memoised(self):
+        norm = self._norm()
+        first = fastpath.cast_param(norm, "gain", np.float32)
+        assert first.dtype == np.float32
+        assert fastpath.cast_param(norm, "gain", np.float32) is first
+
+    def test_train_invalidates_casts(self):
+        norm = self._norm()
+        stale = fastpath.cast_param(norm, "gain", np.float32)
+        norm.train()
+        norm.gain.data = norm.gain.data + 1.0
+        fresh = fastpath.cast_param(norm, "gain", np.float32)
+        assert fresh is not stale
+        assert np.array_equal(fresh, norm.gain.data.astype(np.float32))
+
+    def test_load_state_dict_invalidates_casts(self):
+        norm = self._norm()
+        stale = fastpath.cast_param(norm, "gain", np.float32)
+        state = norm.state_dict()
+        state["gain"] = state["gain"] + 2.0
+        norm.load_state_dict(state)
+        fresh = fastpath.cast_param(norm, "gain", np.float32)
+        assert fresh is not stale
+        assert np.array_equal(fresh, norm.gain.data.astype(np.float32))
+
+    def test_invalidate_casts_helper(self):
+        norm = self._norm()
+        fastpath.cast_param(norm, "gain", np.float32)
+        fastpath.invalidate_casts(norm)
+        assert fastpath.CAST_CACHE_ATTR not in norm.__dict__
+
+
+class TestEvalModeGate:
+    def test_training_mode_refused(self):
+        rng = np.random.default_rng(5)
+        encoder = TransformerEncoder(16, 8, 1, 2, 16, 6, rng)
+        encoder.train()
+        ids = rng.integers(0, 16, size=(1, 6))
+        with pytest.raises(ConfigurationError, match="requires eval mode"):
+            fastpath.encoder_forward(encoder, ids)
+
+    def test_out_of_range_ids_refused(self):
+        rng = np.random.default_rng(6)
+        encoder = TransformerEncoder(16, 8, 1, 2, 16, 6, rng)
+        encoder.eval()
+        with pytest.raises(ConfigurationError, match="out of range"):
+            fastpath.encoder_forward(encoder, np.full((1, 6), 99))

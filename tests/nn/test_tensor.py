@@ -155,6 +155,30 @@ class TestBackwardSemantics:
         assert is_grad_enabled()
         assert not y.requires_grad
 
+    def test_no_grad_retains_no_graph(self):
+        # Regression: results built under ``no_grad()`` used to keep their
+        # ``_parents`` tuple and backward closure alive, pinning every
+        # intermediate of an inference pass in memory.
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2 + 1).sum()
+        assert y._parents == ()
+        assert y._backward is None
+
+    def test_no_grad_inputs_are_collectable(self):
+        # The result must not keep its inputs alive through ``_parents``.
+        import gc
+        import weakref
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        ref = weakref.ref(x)
+        del x
+        gc.collect()
+        assert ref() is None
+        assert y.data is not None  # result outlives its inputs
+
     def test_no_grad_is_thread_local(self):
         # Regression: a process-wide flag let one grid cell's ``no_grad()``
         # evaluation disable graph construction inside another cell's

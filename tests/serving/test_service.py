@@ -213,3 +213,25 @@ class TestLookup:
         }
         assert match_ids <= candidate_ids
         assert service.metrics()["counters"]["lookups"] == 1
+
+
+class TestLengthBucketedServing:
+    def test_bucketed_responses_match_fifo_responses(self):
+        """Per-pair labels are identical with and without length bucketing."""
+        fifo = MatchService(StringSimMatcher(), max_batch_size=4,
+                            bucket_by_length=False)
+        bucketed = MatchService(StringSimMatcher(), max_batch_size=4,
+                                bucket_by_length=True)
+        fifo_labels = [r.label for r in fifo.match_pairs(
+            [fifo.make_pair(left, right) for left, right in TRACE])]
+        bucketed_labels = [r.label for r in bucketed.match_pairs(
+            [bucketed.make_pair(left, right) for left, right in TRACE])]
+        assert bucketed_labels == fifo_labels
+
+    def test_pair_token_length_counts_both_records(self):
+        from repro.serving.service import pair_token_length
+
+        service = MatchService(StringSimMatcher())
+        pair = service.make_pair(["sony mdr headphones", "audio"],
+                                 ["nikon lens kit", "optics"])
+        assert pair_token_length(pair) == (3 + 1) + (3 + 1)

@@ -1,0 +1,60 @@
+"""Study tables are invariant under the inference fast path.
+
+Runs a deliberately small Table-3 / Table-4 slice twice — once on the
+autograd reference path, once with the shipped fast-path defaults
+(fused kernels, float32 weights, length bucketing) — and asserts the
+rendered tables are character-identical.  ``Ditto`` exercises the fused
+surrogate kernels end to end; ``Jellyfish`` exercises the prompt-length
+reordering of the LLM batch path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StudyConfig, SurrogateScale, inference_overrides
+from repro.study import table3, table4
+
+_FAST = dict(fast_path=True, float32=True, bucketing=True)
+_REFERENCE = dict(fast_path=False, float32=False, bucketing=False)
+
+_CODES = ("ABT", "DBAC", "BEER")
+
+
+@pytest.fixture(scope="module")
+def config() -> StudyConfig:
+    return StudyConfig(
+        name="test-fastpath", seeds=(0,), test_fraction=0.5, train_pair_budget=100,
+        epochs=1, dataset_scale=0.05,
+        surrogate=SurrogateScale(d_model=16, n_layers=1, n_heads=2, d_ff=32,
+                                 max_len=32, vocab_size=1024),
+    )
+
+
+def test_table3_rendered_output_unchanged(config):
+    with inference_overrides(**_REFERENCE):
+        reference = table3.run(
+            config, matcher_names=("Ditto", "Jellyfish"), codes=_CODES, use_cache=False
+        )
+    with inference_overrides(**_FAST):
+        fast = table3.run(
+            config, matcher_names=("Ditto", "Jellyfish"), codes=_CODES, use_cache=False
+        )
+    assert fast.render() == reference.render()
+    for got, expected in zip(fast.results, reference.results):
+        assert got.matcher_name == expected.matcher_name
+        assert got.per_dataset.keys() == expected.per_dataset.keys()
+        for code in expected.per_dataset:
+            assert got.per_dataset[code].mean_f1 == expected.per_dataset[code].mean_f1
+
+
+def test_table4_rendered_output_unchanged(config):
+    with inference_overrides(**_REFERENCE):
+        reference = table4.run(
+            config, models=("gpt-3.5-turbo",), codes=_CODES, use_cache=False
+        )
+    with inference_overrides(**_FAST):
+        fast = table4.run(
+            config, models=("gpt-3.5-turbo",), codes=_CODES, use_cache=False
+        )
+    assert fast.render() == reference.render()
