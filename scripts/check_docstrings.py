@@ -13,7 +13,8 @@ Private names (leading underscore) and dunders other than ``__init__``
 are exempt.  Exit status is non-zero when anything is missing, so CI can
 gate on it; the default targets are the packages held at 100%:
 ``repro.llm``, ``repro.runtime``, ``repro.reliability``, ``repro.serving``,
-plus the inference fast path (``repro.nn.fastpath``) and its benchmark.
+``repro.obs``, plus the inference fast path (``repro.nn.fastpath``), the
+trace-report script and the obs/inference benchmarks.
 
 Usage::
 
@@ -34,8 +35,11 @@ DEFAULT_TARGETS = (
     "src/repro/runtime",
     "src/repro/reliability",
     "src/repro/serving",
+    "src/repro/obs",
     "src/repro/nn/fastpath.py",
     "benchmarks/bench_inference.py",
+    "benchmarks/bench_obs.py",
+    "scripts/trace_report.py",
 )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import LLMError
+from ..obs.trace import span
 from .client import LLMClient, LLMRequest, LLMResponse, UsageMeter
 
 __all__ = ["BatchResult", "BatchJob"]
@@ -45,11 +46,15 @@ def _complete_chunk(
 ) -> list[tuple[int, LLMResponse | None, str | None]]:
     """Run one chunk of requests, capturing per-request failures."""
     outcomes: list[tuple[int, LLMResponse | None, str | None]] = []
-    for index, request in requests:
-        try:
-            outcomes.append((index, client.complete(request), None))
-        except LLMError as error:
-            outcomes.append((index, None, str(error)))
+    with span("batch.chunk", requests=len(requests)) as chunk_span:
+        failed = 0
+        for index, request in requests:
+            try:
+                outcomes.append((index, client.complete(request), None))
+            except LLMError as error:
+                failed += 1
+                outcomes.append((index, None, str(error)))
+        chunk_span.set(failed=failed)
     return outcomes
 
 
@@ -82,8 +87,17 @@ class BatchJob:
         executor: "object | None" = None,
         retry_policy: "object | None" = None,
         bucket_by_length: bool = False,
+        fail_fast: bool = False,
     ) -> "BatchJob":
         """Run every queued request, capturing per-request failures.
+
+        ``fail_fast`` propagates the first request's typed error instead
+        of capturing it — the mode :class:`~repro.matchers.MatchGPTMatcher`
+        uses so a retry-exhausted or budget-exceeded request aborts the
+        prediction with its original exception class intact (graceful
+        degradation upstream keys on that type).  It requires the serial
+        path (``workers=1``, no executor, no bucketing): chunked workers
+        capture errors as strings, which would lose the type.
 
         With ``workers > 1`` (or an explicit ``executor``), requests are
         split into contiguous chunks and fanned across the pool; results
@@ -111,6 +125,8 @@ class BatchJob:
             raise LLMError("batch already processed")
         if workers < 1:
             raise LLMError(f"workers must be >= 1, got {workers}")
+        if fail_fast and (workers != 1 or executor is not None or bucket_by_length):
+            raise LLMError("fail_fast requires the serial path (workers=1)")
         if not self._requests:
             self._processed = True
             return self
@@ -123,16 +139,33 @@ class BatchJob:
 
             client = RetryingClient(self.client, retry_policy)  # type: ignore[arg-type]
 
-        if workers == 1 and executor is None and not bucket_by_length:
-            for index, request in enumerate(self._requests):
-                try:
-                    response = client.complete(request)
-                    self.meter.record(response)
-                    self._results.append(BatchResult(index, response, None))
-                except LLMError as error:
-                    self._results.append(BatchResult(index, None, str(error)))
-        else:
-            self._process_chunked(client, workers, chunk_size, executor, bucket_by_length)
+        with span(
+            "batch.process",
+            requests=len(self._requests),
+            workers=workers,
+            model=self.client.model_name,
+        ) as process_span:
+            if workers == 1 and executor is None and not bucket_by_length:
+                with span("batch.chunk", requests=len(self._requests)) as chunk_span:
+                    failed = 0
+                    for index, request in enumerate(self._requests):
+                        try:
+                            response = client.complete(request)
+                            self.meter.record(response)
+                            self._results.append(BatchResult(index, response, None))
+                        except LLMError as error:
+                            if fail_fast:
+                                raise
+                            failed += 1
+                            self._results.append(BatchResult(index, None, str(error)))
+                    chunk_span.set(failed=failed)
+            else:
+                self._process_chunked(
+                    client, workers, chunk_size, executor, bucket_by_length
+                )
+            process_span.set(
+                failed=sum(1 for r in self._results if not r.succeeded)
+            )
         self._processed = True
         return self
 

@@ -9,6 +9,7 @@ import numpy as np
 from ..config import StudyConfig
 from ..data.pairs import EMDataset, RecordPair
 from ..errors import MatcherError, NotFittedError
+from ..obs.trace import span
 
 __all__ = ["Matcher", "collect_transfer_pairs", "balance_labels"]
 
@@ -54,7 +55,8 @@ class Matcher:
             raise NotFittedError(f"{self.display_name} must be fitted before predict()")
         if not pairs:
             raise MatcherError("predict() received no pairs")
-        return self._predict(list(pairs), serialization_seed)
+        with span("matcher.predict", matcher=self.name, pairs=len(pairs)):
+            return self._predict(list(pairs), serialization_seed)
 
     def _predict(self, pairs: list[RecordPair], serialization_seed: int | None) -> np.ndarray:
         raise NotImplementedError

@@ -15,7 +15,8 @@ import numpy as np
 from ..config import StudyConfig
 from ..data.pairs import EMDataset, RecordPair
 from ..errors import MatcherError
-from ..llm.client import LLMClient, LLMRequest, UsageMeter
+from ..llm.batching import BatchJob
+from ..llm.client import LLMClient, UsageMeter
 from ..llm.prompts import (
     Demonstration,
     DemonstrationRetriever,
@@ -104,15 +105,22 @@ class MatchGPTMatcher(Matcher):
         return build_match_prompt(left, right, self._demos_for(pair, left, right))
 
     def _predict(self, pairs: list[RecordPair], serialization_seed: int | None) -> np.ndarray:
-        predictions = []
+        # The paper prices MatchGPT inference through the Batch API
+        # (Table 6), so prediction goes through BatchJob in the same
+        # submit-then-collect shape.  ``fail_fast`` preserves the old
+        # inline-loop semantics exactly: requests complete and are
+        # metered in submission order, and the first typed error
+        # (retry-exhausted, budget, deadline) propagates unchanged.
+        job = BatchJob(
+            self.client,
+            meter=self.meter if self.meter is not None else UsageMeter(),
+        )
         for pair in pairs:
-            prompt = self.prompt_for(pair, serialization_seed)
-            request = LLMRequest(
-                prompt=prompt,
+            job.submit(
+                self.prompt_for(pair, serialization_seed),
                 metadata={"demo_strategy": self.demo_strategy.value},
             )
-            response = self.client.complete(request)
-            if self.meter is not None:
-                self.meter.record(response)
-            predictions.append(parse_answer(response.text))
-        return np.array(predictions, dtype=np.int64)
+        job.process(fail_fast=True)
+        return np.array(
+            [parse_answer(text) for text in job.texts()], dtype=np.int64
+        )

@@ -10,6 +10,7 @@ from ..config import StudyConfig, get_inference_config
 from ..errors import MatcherError
 from ..nn import AdamW, LinearWarmupSchedule, Module, clip_grad_norm, fastpath, no_grad
 from ..nn import functional as F
+from ..obs.trace import span
 from ..runtime.chunks import length_buckets
 
 __all__ = ["EncodedPairs", "train_classifier", "predict_proba"]
@@ -127,24 +128,32 @@ def predict_proba(
         ]
 
     out = np.zeros(n)
-    with no_grad():
-        for idx in batches:
-            batch = data.take(idx)
-            ids, pad_mask, shared = batch.ids, batch.pad_mask, batch.shared
-            if bucket_by_length:
-                # Trim pure-padding columns: every row keeps at least one
-                # attended position (the encoders guarantee column 0), and
-                # fully-masked keys contribute exactly zero attention
-                # weight, so trimming never changes the kept outputs.
-                width = max(1, int((~pad_mask).sum(axis=1).max(initial=0)))
-                ids = ids[:, :width]
-                pad_mask = pad_mask[:, :width]
-                shared = shared[:, :width] if shared is not None else None
-            if use_fast:
-                logits = model.infer_logits(ids, pad_mask, shared, dtype=dtype)
-                probs = fastpath.softmax_(logits)
-            else:
-                logits = model(ids, pad_mask, shared)
-                probs = F.softmax(logits, axis=-1).numpy()
-            out[idx] = probs[:, 1]
+    with span(
+        "infer.logits",
+        model=type(model).__name__,
+        pairs=n,
+        batches=len(batches),
+        fast_path=bool(use_fast),
+        dtype=np.dtype(dtype).name,
+    ):
+        with no_grad():
+            for idx in batches:
+                batch = data.take(idx)
+                ids, pad_mask, shared = batch.ids, batch.pad_mask, batch.shared
+                if bucket_by_length:
+                    # Trim pure-padding columns: every row keeps at least one
+                    # attended position (the encoders guarantee column 0), and
+                    # fully-masked keys contribute exactly zero attention
+                    # weight, so trimming never changes the kept outputs.
+                    width = max(1, int((~pad_mask).sum(axis=1).max(initial=0)))
+                    ids = ids[:, :width]
+                    pad_mask = pad_mask[:, :width]
+                    shared = shared[:, :width] if shared is not None else None
+                if use_fast:
+                    logits = model.infer_logits(ids, pad_mask, shared, dtype=dtype)
+                    probs = fastpath.softmax_(logits)
+                else:
+                    logits = model(ids, pad_mask, shared)
+                    probs = F.softmax(logits, axis=-1).numpy()
+                out[idx] = probs[:, 1]
     return out

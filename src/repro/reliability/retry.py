@@ -33,6 +33,7 @@ from collections.abc import Callable
 
 from ..errors import DeadlineExceededError, LLMError, RetryExhaustedError
 from ..llm.client import LLMClient, LLMRequest, LLMResponse
+from ..obs.trace import span
 from . import counters
 from .clock import Clock, SystemClock
 from .policy import RetryPolicy
@@ -104,36 +105,41 @@ class RetryingClient(LLMClient):
         deadline = None if timeout is None else self.clock.monotonic() + timeout
         last_error: LLMError | None = None
 
-        for attempt in range(1, policy.max_attempts + 1):
-            if deadline is not None and self.clock.monotonic() >= deadline:
-                raise DeadlineExceededError(
-                    f"deadline of {timeout}s expired before attempt {attempt}"
-                ) from last_error
-            try:
-                response = self.inner.complete(request)
-                if self.validate is not None:
-                    self.validate(response)
-                self._record("attempts")
-                return response
-            except LLMError as error:
-                self._record("attempts")
-                last_error = error
-                if not policy.retryable(error):
-                    raise
-                if attempt == policy.max_attempts:
-                    break
-                delay = policy.delay_for_error(error, attempt, key=request.prompt)
-                if deadline is not None and self.clock.monotonic() + delay >= deadline:
+        with span("llm.request", model=self.model_name) as request_span:
+            for attempt in range(1, policy.max_attempts + 1):
+                request_span.set(attempts=attempt)
+                if deadline is not None and self.clock.monotonic() >= deadline:
                     raise DeadlineExceededError(
-                        f"deadline of {timeout}s cannot fit a {delay:.3f}s "
-                        f"backoff after attempt {attempt}"
-                    ) from error
-                self._record("request_retries")
-                if delay > 0:
-                    self._record("retry_sleep_seconds", delay)
-                    self.clock.sleep(delay)
+                        f"deadline of {timeout}s expired before attempt {attempt}"
+                    ) from last_error
+                try:
+                    response = self.inner.complete(request)
+                    if self.validate is not None:
+                        self.validate(response)
+                    self._record("attempts")
+                    return response
+                except LLMError as error:
+                    self._record("attempts")
+                    last_error = error
+                    if not policy.retryable(error):
+                        raise
+                    if attempt == policy.max_attempts:
+                        break
+                    delay = policy.delay_for_error(error, attempt, key=request.prompt)
+                    if (
+                        deadline is not None
+                        and self.clock.monotonic() + delay >= deadline
+                    ):
+                        raise DeadlineExceededError(
+                            f"deadline of {timeout}s cannot fit a {delay:.3f}s "
+                            f"backoff after attempt {attempt}"
+                        ) from error
+                    self._record("request_retries")
+                    if delay > 0:
+                        self._record("retry_sleep_seconds", delay)
+                        self.clock.sleep(delay)
 
-        raise RetryExhaustedError(
-            f"request failed after {policy.max_attempts} attempts; "
-            f"last error: {type(last_error).__name__}: {last_error}"
-        ) from last_error
+            raise RetryExhaustedError(
+                f"request failed after {policy.max_attempts} attempts; "
+                f"last error: {type(last_error).__name__}: {last_error}"
+            ) from last_error

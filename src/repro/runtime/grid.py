@@ -37,6 +37,7 @@ from ..errors import (
     TransientLLMError,
 )
 from ..eval.loo import LeaveOneOutRunner, StudyResult, TargetResult
+from ..obs.trace import span
 from ..reliability import counters as reliability_counters
 from ..reliability import wiring
 from .cache import active_cache, ensure_active_cache
@@ -237,26 +238,38 @@ def run_cell_guarded(cell: GridCell, cell_retries: int = 1) -> "CellResult | Cel
     """
     started = time.perf_counter()
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            result = run_cell(cell)
-            if attempts > 1:
-                result = replace(result, retries=attempts - 1)
-            return result
-        except ReproError as error:
-            retryable = isinstance(error, _CELL_RETRYABLE)
-            if retryable and attempts <= cell_retries:
-                continue
-            return CellFailure(
-                matcher_name=cell.matcher_name,
-                target_code=cell.target_code,
-                error_type=type(error).__name__,
-                message=str(error)[:500],
-                attempts=attempts,
-                seconds=time.perf_counter() - started,
-                retryable=retryable,
-            )
+    with span(
+        "grid.cell",
+        kind=cell.kind,
+        matcher=cell.matcher_name,
+        target=cell.target_code,
+    ) as cell_span:
+        while True:
+            attempts += 1
+            try:
+                result = run_cell(cell)
+                if attempts > 1:
+                    result = replace(result, retries=attempts - 1)
+                cell_span.set(outcome="ok", attempts=attempts)
+                return result
+            except ReproError as error:
+                retryable = isinstance(error, _CELL_RETRYABLE)
+                if retryable and attempts <= cell_retries:
+                    continue
+                cell_span.set(
+                    outcome="failed",
+                    attempts=attempts,
+                    error_type=type(error).__name__,
+                )
+                return CellFailure(
+                    matcher_name=cell.matcher_name,
+                    target_code=cell.target_code,
+                    error_type=type(error).__name__,
+                    message=str(error)[:500],
+                    attempts=attempts,
+                    seconds=time.perf_counter() - started,
+                    retryable=retryable,
+                )
 
 
 def _resolve_cell_retries(explicit: int | None, config: StudyConfig | None) -> int:
@@ -362,12 +375,19 @@ def run_cells(
     reliability_snapshot = reliability_counters.snapshot()
 
     def dispatch() -> list["CellResult | CellFailure"]:
-        return executor.map_tasks(
-            worker,
-            pending_cells,
-            on_result=journal_outcome if journal is not None else None,
-            on_crash=_crashed_cell_failure,
-        )
+        with span(
+            "grid.phase",
+            phase=phase,
+            cells=len(pending_cells),
+            replayed=n_replayed,
+            backend=executor.backend,
+        ):
+            return executor.map_tasks(
+                worker,
+                pending_cells,
+                on_result=journal_outcome if journal is not None else None,
+                on_crash=_crashed_cell_failure,
+            )
 
     if stats is None:
         computed = dispatch()

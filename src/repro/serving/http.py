@@ -12,7 +12,11 @@ Three endpoints, all JSON:
     with ``status: degraded`` while the admission queue is full.
 ``GET /metrics``
     The :class:`~repro.serving.service.ServingStats` block merged with
-    the scheduler counters.
+    the scheduler counters (explicit zeros when no batch has flushed).
+    JSON by default; ``GET /metrics?format=prometheus`` — or an
+    ``Accept`` header mentioning ``text/plain`` — returns the same
+    snapshot in the Prometheus text exposition format instead, rendered
+    through :class:`~repro.obs.registry.MetricsRegistry`.
 
 Error mapping is structural, never a hang: malformed requests are 400,
 shed load (:class:`~repro.errors.OverloadedError`) is 429, a blown
@@ -71,13 +75,33 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
                 status, {"error": type(error).__name__, "detail": str(error)}
             )
 
+        def _send_text(self, status: int, text: str) -> None:
+            """Write one plain-text response (the Prometheus rendering)."""
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _wants_prometheus(self, path: str, query: str) -> bool:
+            """Whether /metrics should render Prometheus text, not JSON."""
+            if "format=prometheus" in query:
+                return True
+            accept = self.headers.get("Accept", "")
+            return "text/plain" in accept
+
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            """Serve /healthz and /metrics."""
-            if self.path == "/healthz":
+            """Serve /healthz and /metrics (JSON or Prometheus text)."""
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
                 health = service.healthz()
                 self._send_json(503 if health["saturated"] else 200, health)
-            elif self.path == "/metrics":
-                self._send_json(200, service.metrics())
+            elif path == "/metrics":
+                if self._wants_prometheus(path, query):
+                    self._send_text(200, service.prometheus_metrics())
+                else:
+                    self._send_json(200, service.metrics())
             else:
                 self._send_json(404, {"error": "NotFound", "detail": self.path})
 

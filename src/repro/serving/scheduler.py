@@ -33,6 +33,7 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 from ..errors import ConfigurationError, DeadlineExceededError, OverloadedError, ServingError
+from ..obs.trace import span
 from ..reliability.clock import Clock, SystemClock
 
 __all__ = ["PendingResult", "MicroBatcher"]
@@ -292,19 +293,22 @@ class MicroBatcher:
         items = [item for item, _pending in batch]
         self._counters["batches"] += 1
         self._counters["occupancy_sum"] += len(batch)
-        try:
-            results = self.process_batch(items)
-            if len(results) != len(items):
-                raise ServingError(
-                    f"process_batch returned {len(results)} results "
-                    f"for {len(items)} items"
-                )
-        except BaseException as error:  # delivered, not swallowed
-            self._counters["batch_errors"] += 1
-            now = self.clock.monotonic()
-            for _item, pending in batch:
-                pending.fail(error, completed_at=now)
-            return
+        with span("scheduler.flush", occupancy=len(batch)) as flush_span:
+            try:
+                results = self.process_batch(items)
+                if len(results) != len(items):
+                    raise ServingError(
+                        f"process_batch returned {len(results)} results "
+                        f"for {len(items)} items"
+                    )
+            except BaseException as error:  # delivered, not swallowed
+                self._counters["batch_errors"] += 1
+                flush_span.set(outcome="error", error_type=type(error).__name__)
+                now = self.clock.monotonic()
+                for _item, pending in batch:
+                    pending.fail(error, completed_at=now)
+                return
+            flush_span.set(outcome="ok")
         now = self.clock.monotonic()
         for (_item, pending), result in zip(batch, results):
             pending.fulfil(result, completed_at=now)

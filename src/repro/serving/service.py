@@ -37,6 +37,8 @@ from ..data.pairs import RecordPair
 from ..data.record import Record
 from ..errors import OverloadedError, ServingError
 from ..matchers.base import Matcher
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import span
 from ..reliability.clock import Clock, SystemClock
 from ..reliability.policy import RetryPolicy
 from .index import Candidate, CandidateIndex
@@ -142,19 +144,39 @@ class ServingStats:
             "max_ms": round(1000.0 * window[-1], 3),
         }
 
+    #: Scheduler counters the metrics block always carries.  When no
+    #: scheduler snapshot is supplied (no batcher attached, or a batcher
+    #: in inline-drain mode that never flushed), these render as explicit
+    #: zeros — the block never silently disappears, so merge paths and
+    #: dashboards see a stable schema (see ``docs/OBSERVABILITY.md``).
+    SCHEDULER_KEYS = (
+        "submitted", "shed", "batches", "processed",
+        "batch_errors", "occupancy_sum",
+    )
+
     def as_dict(self, scheduler: dict[str, float] | None = None) -> dict:
-        """The ``GET /metrics`` block, optionally merging scheduler counters."""
+        """The ``GET /metrics`` block, merging scheduler counters.
+
+        ``scheduler`` is a :meth:`MicroBatcher.counters
+        <repro.serving.scheduler.MicroBatcher.counters>` snapshot;
+        passing ``None`` emits every scheduler counter as an explicit
+        ``0`` rather than omitting the ``scheduler`` key, so consumers
+        never need an existence check and zero always means "no batches
+        flushed", not "unknown".
+        """
         with self._lock:
             counters = {k: (int(v) if float(v).is_integer() else v)
                         for k, v in self.counters.items()}
         block: dict = {"counters": counters, "latency": self.latency_summary()}
-        if scheduler is not None:
-            batches = scheduler.get("batches", 0)
-            occupancy = scheduler.get("occupancy_sum", 0)
-            block["scheduler"] = {
-                **{k: int(v) for k, v in scheduler.items()},
-                "mean_occupancy": round(occupancy / batches, 3) if batches else 0.0,
-            }
+        if scheduler is None:
+            scheduler = {key: 0 for key in self.SCHEDULER_KEYS}
+        batches = scheduler.get("batches", 0)
+        occupancy = scheduler.get("occupancy_sum", 0)
+        block["scheduler"] = {
+            **{key: 0 for key in self.SCHEDULER_KEYS},
+            **{k: int(v) for k, v in scheduler.items()},
+            "mean_occupancy": round(occupancy / batches, 3) if batches else 0.0,
+        }
         return block
 
 
@@ -334,15 +356,21 @@ class MatchService:
         timeout_s: float | None = None,
     ) -> MatchResponse:
         """Match one record pair (coalesced with concurrent requests)."""
-        pending = self._submit_pairs([self.make_pair(left, right)])
-        return self._await(pending[0], timeout_s)
+        with span("serving.match", pairs=1) as match_span:
+            pending = self._submit_pairs([self.make_pair(left, right)])
+            response = self._await(pending[0], timeout_s)
+            match_span.set(matched=response.matched)
+            return response
 
     def match_pairs(
         self, pairs: Sequence[RecordPair], timeout_s: float | None = None
     ) -> list[MatchResponse]:
         """Match many pairs; each is an independently batched request."""
-        pending = self._submit_pairs(list(pairs))
-        return [self._await(p, timeout_s) for p in pending]
+        with span("serving.match", pairs=len(pairs)) as match_span:
+            pending = self._submit_pairs(list(pairs))
+            responses = [self._await(p, timeout_s) for p in pending]
+            match_span.set(matched=sum(1 for r in responses if r.matched))
+            return responses
 
     def lookup(
         self,
@@ -361,17 +389,21 @@ class MatchService:
         probe_record = (
             probe if isinstance(probe, Record) else self._as_record(probe, "probe")
         )
-        self.stats.bump("lookups")
-        candidates: list[Candidate] = self.index.query(probe_record, top_k=top_k)
-        if not candidates:
-            return []
-        pairs = [self.make_pair(probe_record, c.record) for c in candidates]
-        responses = self.match_pairs(pairs, timeout_s=timeout_s)
-        return [
-            LookupMatch(record=c.record, shared_tokens=c.shared_tokens)
-            for c, response in zip(candidates, responses)
-            if response.matched
-        ]
+        with span("serving.lookup", top_k=top_k) as lookup_span:
+            self.stats.bump("lookups")
+            candidates: list[Candidate] = self.index.query(probe_record, top_k=top_k)
+            lookup_span.set(candidates=len(candidates))
+            if not candidates:
+                return []
+            pairs = [self.make_pair(probe_record, c.record) for c in candidates]
+            responses = self.match_pairs(pairs, timeout_s=timeout_s)
+            matches = [
+                LookupMatch(record=c.record, shared_tokens=c.shared_tokens)
+                for c, response in zip(candidates, responses)
+                if response.matched
+            ]
+            lookup_span.set(matches=len(matches))
+            return matches
 
     # -- health and metrics --------------------------------------------------
 
@@ -390,3 +422,17 @@ class MatchService:
     def metrics(self) -> dict:
         """The full stats block for the ``/metrics`` endpoint."""
         return self.stats.as_dict(scheduler=self._batcher.counters())
+
+    def prometheus_metrics(self) -> str:
+        """The same stats in the Prometheus text exposition format.
+
+        Builds an ephemeral :class:`~repro.obs.registry.MetricsRegistry`,
+        absorbs this service's stats + scheduler counters into it, and
+        renders — so the JSON and Prometheus views of ``GET /metrics``
+        are always two encodings of one snapshot.
+        """
+        registry = MetricsRegistry()
+        registry.absorb_serving_stats(self.stats, scheduler=self._batcher.counters())
+        registry.gauge("serving_queue_depth", self._batcher.queue_depth)
+        registry.gauge("serving_saturated", 1.0 if self._batcher.saturated else 0.0)
+        return registry.render_prometheus()

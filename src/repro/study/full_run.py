@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 
 from ..config import StudyConfig, get_profile
+from ..obs.wiring import activate_observability
 from ..reliability import FaultPlan, RetryPolicy
 from ..reliability.wiring import (
     FAIL_FAST_ENV,
@@ -106,6 +107,7 @@ def run_study(
     journal_path: str | Path | None = None,
     resume: bool = False,
     cell_timeout_s: float | None = None,
+    trace_path: str | Path | None = None,
 ) -> dict:
     """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON.
 
@@ -128,6 +130,14 @@ def run_study(
     fitted on every benchmark and exported via
     :func:`repro.serving.artifacts.export_deployable`, and the artifact
     path is recorded in the document's ``artifacts`` block.
+
+    ``trace_path`` (or ``REPRO_TRACE``) enables the observability layer
+    for the run: spans covering grid cells, LLM request retries, batch
+    chunks and fast-path inference are exported as self-checksummed
+    JSONL at that path, and the document gains an ``observability``
+    block unifying all telemetry (see ``docs/OBSERVABILITY.md``).  With
+    observability off (the default) the document is byte-identical to
+    one produced without the layer.
     """
     started = time.time()
     n_workers = resolve_workers(workers, config)
@@ -138,6 +148,11 @@ def run_study(
     if use_cache and active_cache() is None:
         activate(CompletionCache(path=cache_path))
     stats = RuntimeStats(workers=n_workers, backend=backend_name)
+    obs = activate_observability(
+        str(trace_path) if trace_path is not None else None
+    )
+    if obs is not None and obs.trace_path:
+        print(f"[full_run] tracing spans -> {obs.trace_path}", flush=True)
     executor = make_executor(
         workers=n_workers,
         backend=backend_name,
@@ -276,7 +291,16 @@ def run_study(
                 }
             except Exception as error:  # pragma: no cover - needs the full roster
                 document["findings"] = {"error": str(error)}
+        if obs is not None:
+            # The unified telemetry block: the registry snapshot (with
+            # RuntimeStats absorbed) plus the trace export summary.
+            document["observability"] = obs.finish(stats)
     finally:
+        # Uninstall first so a crashed run still flushes its partial
+        # trace (the flush is atomic and idempotent) and never leaks an
+        # installed tracer into the next run in this process.
+        if obs is not None:
+            obs.uninstall()
         executor.close()
         if journal is not None:
             journal.close()
@@ -373,6 +397,13 @@ def main(argv: list[str] | None = None) -> int:
              "remainder; output is byte-identical to an uninterrupted run",
     )
     parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export a self-checksummed JSONL span trace to this path and "
+             "add an 'observability' block to the output (default: "
+             "REPRO_TRACE env var, else observability stays off and the "
+             "output is byte-identical to an untraced run)",
+    )
+    parser.add_argument(
         "--cell-timeout", type=float, default=None, metavar="SECONDS",
         help="per-cell wall-clock watchdog: a cell stuck past this long is "
              "abandoned as a retryable CellFailure (default: "
@@ -395,6 +426,7 @@ def main(argv: list[str] | None = None) -> int:
         journal_path=args.journal,
         resume=args.resume,
         cell_timeout_s=args.cell_timeout,
+        trace_path=args.trace,
     )
     return 0
 

@@ -1,0 +1,154 @@
+"""Tests for the span layer: nesting, checksummed export, no-op mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import MatcherError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    Tracer,
+    _NOOP,
+    active_tracer,
+    install_tracer,
+    span,
+    uninstall_tracer,
+)
+from repro.runtime.persist import canonical_json, sha256_hex
+
+
+@pytest.fixture
+def tracer(tmp_path):
+    """An installed tracer exporting to a temp file; always uninstalled."""
+    installed = install_tracer(Tracer(tmp_path / "trace.jsonl"))
+    yield installed
+    uninstall_tracer()
+
+
+def _flushed_records(tracer: Tracer) -> list[dict]:
+    tracer.flush()
+    return [json.loads(line) for line in tracer.path.read_text().splitlines()]
+
+
+class TestNoop:
+    def test_span_without_tracer_is_the_shared_noop(self):
+        assert active_tracer() is None
+        handle = span("anything", k=1)
+        assert handle is _NOOP
+        # Usable as a context manager, set() chains, records nothing.
+        with span("anything") as s:
+            assert s.set(x=1) is s
+
+    def test_uninstall_is_idempotent(self):
+        assert uninstall_tracer() is None
+        assert span("x") is _NOOP
+
+
+class TestNesting:
+    def test_parent_child_linking(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {r["name"]: r for r in _flushed_records(tracer) if r["kind"] == "span"}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_sibling_spans_share_a_parent(self, tracer):
+        with span("parent"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        by_name = {r["name"]: r for r in _flushed_records(tracer) if r["kind"] == "span"}
+        assert by_name["a"]["parent_id"] == by_name["parent"]["span_id"]
+        assert by_name["b"]["parent_id"] == by_name["parent"]["span_id"]
+
+    def test_context_restored_after_exit(self, tracer):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        by_name = {r["name"]: r for r in _flushed_records(tracer) if r["kind"] == "span"}
+        assert by_name["second"]["parent_id"] is None
+
+
+class TestRecords:
+    def test_error_status_and_exception_name(self, tracer):
+        with pytest.raises(MatcherError):
+            with span("failing"):
+                raise MatcherError("boom")
+        [record] = [r for r in _flushed_records(tracer) if r["kind"] == "span"]
+        assert record["status"] == "error"
+        assert record["error"] == "MatcherError"
+
+    def test_attrs_merge_initial_and_set(self, tracer):
+        with span("cell", matcher="Ditto") as s:
+            s.set(outcome="ok", attempts=1)
+        [record] = [r for r in _flushed_records(tracer) if r["kind"] == "span"]
+        assert record["attrs"] == {"matcher": "Ditto", "outcome": "ok", "attempts": 1}
+
+    def test_durations_are_nonnegative_and_ordered(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {r["name"]: r for r in _flushed_records(tracer) if r["kind"] == "span"}
+        assert by_name["inner"]["dur_s"] >= 0
+        assert by_name["outer"]["dur_s"] >= by_name["inner"]["dur_s"]
+
+
+class TestFlush:
+    def test_header_and_per_line_checksums(self, tracer):
+        with span("one"):
+            pass
+        records = _flushed_records(tracer)
+        header = records[0]
+        assert header["kind"] == "header"
+        assert header["format"] == "repro-trace-jsonl"
+        assert header["spans"] == 1
+        for record in records:
+            digest = record.pop("sha256")
+            assert sha256_hex(canonical_json(record)) == digest
+
+    def test_flush_is_repeatable_and_atomic_rewrite(self, tracer):
+        with span("one"):
+            pass
+        assert tracer.flush() == 1
+        with span("two"):
+            pass
+        assert tracer.flush() == 2  # whole-file rewrite includes both
+        names = [
+            r["name"] for r in _flushed_records(tracer) if r["kind"] == "span"
+        ]
+        assert names == ["one", "two"]
+
+    def test_spans_recorded_counts_finished_spans(self, tracer):
+        assert tracer.spans_recorded == 0
+        with span("a"):
+            assert tracer.spans_recorded == 0  # not finished yet
+        assert tracer.spans_recorded == 1
+
+
+class TestRegistryFeed:
+    def test_finished_spans_feed_histogram_and_counter(self, tmp_path):
+        registry = MetricsRegistry()
+        install_tracer(Tracer(tmp_path / "t.jsonl", registry=registry))
+        try:
+            with span("grid.cell"):
+                pass
+            with pytest.raises(ValueError):
+                with span("grid.cell"):
+                    raise ValueError("x")
+        finally:
+            uninstall_tracer()
+        snap = registry.snapshot()
+        counters = {
+            (c["name"], c["labels"].get("status")): c["value"]
+            for c in snap["counters"]
+        }
+        assert counters[("spans_total", "ok")] == 1
+        assert counters[("spans_total", "error")] == 1
+        [hist] = snap["histograms"]
+        assert hist["name"] == "span_seconds"
+        assert hist["count"] == 2

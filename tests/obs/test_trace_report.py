@@ -1,0 +1,112 @@
+"""Tests for scripts/trace_report.py: verification, summary, exit codes."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import Tracer, install_tracer, span, uninstall_tracer
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import trace_report  # noqa: E402  (scripts/ is not a package)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A small flushed trace: one cell, two requests (one retried, one failed)."""
+    path = tmp_path / "trace.jsonl"
+    tracer = install_tracer(Tracer(path))
+    try:
+        with span("grid.cell", matcher="m", target="ABT") as cell:
+            with span("llm.request") as request:
+                request.set(attempts=3)
+            with pytest.raises(ValueError):
+                with span("llm.request") as request:
+                    request.set(attempts=1)
+                    raise ValueError("terminal")
+            cell.set(outcome="ok", attempts=1)
+        with span("grid.cell", matcher="m", target="BEER") as cell:
+            cell.set(outcome="failed", attempts=2, error_type="LLMError")
+    finally:
+        tracer.flush()
+        uninstall_tracer()
+    return path
+
+
+class TestLoadTrace:
+    def test_valid_trace_loads_fully(self, trace_path):
+        spans, problems = trace_report.load_trace(trace_path)
+        assert problems == []
+        assert len(spans) == 4  # header excluded
+
+    def test_corrupt_interior_line_is_skipped_and_reported(self, trace_path):
+        lines = trace_path.read_text().splitlines()
+        lines[2] = lines[2].replace('"dur_s"', '"dur_x"')  # break a checksum
+        trace_path.write_text("\n".join(lines) + "\n")
+        spans, problems = trace_report.load_trace(trace_path)
+        assert len(spans) == 3
+        assert problems == ["line 3: corrupt record (skipped)"]
+
+    def test_torn_tail_is_tolerated_silently(self, trace_path):
+        raw = trace_path.read_text()
+        torn = raw.rstrip("\n")[: len(raw) - 40]  # cut mid-record, no newline
+        trace_path.write_text(torn)
+        spans, problems = trace_report.load_trace(trace_path)
+        assert problems == []
+        assert len(spans) == 3
+
+    def test_tampered_payload_fails_checksum(self, trace_path):
+        lines = trace_path.read_text().splitlines()
+        lines[1] = lines[1].replace('"status":"ok"', '"status":"no"')
+        trace_path.write_text("\n".join(lines) + "\n")
+        _spans, problems = trace_report.load_trace(trace_path)
+        assert problems  # the forged line is flagged
+
+
+class TestSummarize:
+    def test_stage_table_and_attribution(self, trace_path):
+        spans, _ = trace_report.load_trace(trace_path)
+        report = trace_report.summarize(spans)
+        assert report["stages"]["grid.cell"]["count"] == 2
+        assert report["stages"]["llm.request"]["count"] == 2
+        assert report["stages"]["llm.request"]["errors"] == 1
+        a = report["attribution"]
+        assert a["llm_requests"] == 2
+        assert a["llm_requests_retried"] == 1
+        assert a["llm_extra_attempts"] == 2  # one request took 3 attempts
+        assert a["llm_request_errors"] == 1
+        assert a["grid_cells"] == 2
+        assert a["grid_cells_retried"] == 1
+        assert a["grid_cells_failed"] == 1
+
+    def test_percentiles_are_ordered(self, trace_path):
+        spans, _ = trace_report.load_trace(trace_path)
+        for stage in trace_report.summarize(spans)["stages"].values():
+            assert stage["p50_s"] <= stage["p95_s"] <= stage["max_s"]
+
+
+class TestCli:
+    def test_exit_zero_and_renders_table(self, trace_path, capsys):
+        assert trace_report.main([str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "grid.cell" in out
+        assert "retries:" in out
+
+    def test_json_mode_is_machine_readable(self, trace_path, capsys):
+        assert trace_report.main([str(trace_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spans"] == 4
+        assert document["problems"] == []
+
+    def test_empty_trace_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert trace_report.main([str(empty)]) == 1
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert trace_report.main([str(tmp_path / "nope.jsonl")]) == 2
