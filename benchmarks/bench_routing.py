@@ -1,0 +1,232 @@
+"""Routing bench: token-dollar cost of the router vs always-escalate.
+
+The claim under test is the paper's cost/quality frontier made
+operational: a :class:`repro.routing.MatchRouter` whose cheap rung
+carries a confidence band calibrated at 99% purity (on a *disjoint*
+calibration split, seed 11) should cut the GPT-4 token bill by >= 2x on
+the evaluation split (seed 7) while staying within 0.5 F1 points of
+sending every pair to GPT-4.  Both arms price requests identically —
+:func:`repro.routing.request_tokens` at the published GPT-4 batch rate
+(:mod:`repro.llm.pricing`) — so the ratio is a pure routing effect.
+
+A second pass re-routes the same trace under a deliberately starved
+:class:`repro.routing.SpendLedger` to demonstrate budget-exhaustion
+behaviour: escalations the ledger refuses degrade to band-midpoint
+decisions flagged ``budget_limited`` (the request never fails).
+
+Results are written to ``BENCH_routing.json`` at the repository root.
+Run directly (``python benchmarks/bench_routing.py``, ``--smoke`` for a
+CI-sized subset) or through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import SimulatedLLM, build_dataset, get_llm_profile, get_profile
+from repro.eval.metrics import precision_recall_f1
+from repro.llm.pricing import api_price_per_1k
+from repro.matchers.matchgpt import MatchGPTMatcher
+from repro.matchers.string_sim import StringSimMatcher
+from repro.reliability.clock import FakeClock
+from repro.routing import SpendLedger, build_cascade_router, request_tokens
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_PATH = _REPO_ROOT / "BENCH_routing.json"
+
+#: Benchmarks under test (full mode); smoke runs only the last (smallest).
+_DATASETS = ("DBAC", "WAAM", "ROIM")
+#: Dataset scale for both the evaluation and calibration splits.
+_SCALE = 0.15
+#: Purity bar for the calibrated confidence band.
+_MIN_PURITY = 0.99
+#: Acceptance bars the checked-in result must clear.
+_MIN_COST_RATIO = 2.0
+_MAX_F1_DROP = 0.5
+
+
+def _expensive_matcher(world) -> MatchGPTMatcher:
+    """GPT-4 over the deterministic simulator, fitted for zero-shot use."""
+    return MatchGPTMatcher(
+        SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0)
+    ).fit([], get_profile("smoke"))
+
+
+def _bench_dataset(code: str) -> dict:
+    """Route one benchmark; return the always-escalate vs routed numbers."""
+    price = api_price_per_1k("gpt-4").dollars_per_1k_input_tokens
+    eval_ds, world = build_dataset(code, scale=_SCALE, seed=7)
+    cal_ds, _ = build_dataset(code, scale=_SCALE, seed=11)
+    labels = eval_ds.labels()
+    expensive = _expensive_matcher(world)
+
+    # Arm 1: always escalate — every pair pays the GPT-4 token price.
+    full_pred = expensive.predict(eval_ds.pairs, 0)
+    full_f1 = precision_recall_f1(labels, full_pred)[2]
+    full_cost = sum(
+        price * request_tokens(pair) / 1000.0 for pair in eval_ds.pairs
+    )
+
+    # Arm 2: the router, band-calibrated on the disjoint split.
+    router = build_cascade_router(
+        StringSimMatcher(),
+        expensive,
+        cal_ds.pairs,
+        min_purity=_MIN_PURITY,
+        cheap_name="string_sim",
+        expensive_name="gpt-4",
+        expensive_price_per_1k_tokens=price,
+        serialization_seed=0,
+    )
+    decisions = router.route(eval_ds.pairs)
+    routed_pred = np.array([d.label for d in decisions], dtype=np.int64)
+    routed_f1 = precision_recall_f1(labels, routed_pred)[2]
+    routed_cost = sum(d.spend_usd for d in decisions)
+    band = router.backends[0]
+
+    # Arm 3: the same trace under a starved rolling budget (a quarter of
+    # what the unconstrained router spends) — requests degrade, not fail.
+    clock = FakeClock()
+    ledger = SpendLedger(
+        budget_usd=max(routed_cost / 4.0, 1e-6), window_s=3600.0, clock=clock
+    )
+    budget_router = build_cascade_router(
+        StringSimMatcher(),
+        expensive,
+        cal_ds.pairs,
+        min_purity=_MIN_PURITY,
+        cheap_name="string_sim",
+        expensive_name="gpt-4",
+        expensive_price_per_1k_tokens=price,
+        ledger=ledger,
+        serialization_seed=0,
+        clock=clock,
+    )
+    budget_decisions = budget_router.route(eval_ds.pairs)
+    budget_pred = np.array([d.label for d in budget_decisions], dtype=np.int64)
+
+    return {
+        "dataset": code,
+        "pairs": len(eval_ds.pairs),
+        "band": {
+            "low": round(band.low, 4),
+            "high": round(band.high, 4),
+            "min_purity": _MIN_PURITY,
+            "calibration_split": f"{code} scale={_SCALE} seed=11",
+        },
+        "always_escalate": {
+            "f1": round(full_f1, 2),
+            "cost_usd": round(full_cost, 4),
+        },
+        "routed": {
+            "f1": round(routed_f1, 2),
+            "cost_usd": round(routed_cost, 4),
+            "escalated": sum(1 for d in decisions if d.escalated),
+            "decided_cheap": sum(1 for d in decisions if not d.escalated),
+        },
+        "cost_ratio": round(full_cost / max(routed_cost, 1e-9), 2),
+        "f1_delta": round(full_f1 - routed_f1, 2),
+        "budget_run": {
+            "budget_usd": round(ledger.budget_usd, 6),
+            "spend_usd": round(ledger.total_spend_usd, 6),
+            "budget_limited": sum(1 for d in budget_decisions if d.budget_limited),
+            "ledger_denials": ledger.denials,
+            "f1": round(precision_recall_f1(labels, budget_pred)[2], 2),
+        },
+    }
+
+
+def run_bench(smoke: bool = False, out_path: Path = _OUT_PATH) -> dict:
+    """Route every benchmark, assert the acceptance bars, write the doc."""
+    datasets = _DATASETS[-1:] if smoke else _DATASETS
+    runs = [_bench_dataset(code) for code in datasets]
+
+    min_ratio = min(run["cost_ratio"] for run in runs)
+    max_drop = max(run["f1_delta"] for run in runs)
+    criteria = {
+        "min_cost_ratio": min_ratio,
+        "max_f1_drop": max_drop,
+        "cost_ratio_target": _MIN_COST_RATIO,
+        "f1_drop_target": _MAX_F1_DROP,
+        "passed": min_ratio >= _MIN_COST_RATIO and max_drop <= _MAX_F1_DROP,
+    }
+    document = {
+        "bench": "routing",
+        "profile": "bench-routing" + ("-smoke" if smoke else ""),
+        "ladder": "StringSim (free, banded) -> MatchGPT[gpt-4 simulated]",
+        "price_per_1k_tokens": api_price_per_1k("gpt-4").dollars_per_1k_input_tokens,
+        "eval_split": f"scale={_SCALE} seed=7",
+        "runs": runs,
+        "criteria": criteria,
+        "note": (
+            "cost_ratio is the always-escalate token bill over the routed "
+            "bill on the identical pair trace; bands come from "
+            "confidence_band on a disjoint calibration split, never the "
+            "evaluation pairs.  budget_run replays the trace under a "
+            "starved SpendLedger: refused escalations decide at the band "
+            "midpoint and are counted budget_limited, none fail."
+        ),
+    }
+    for run in runs:
+        assert run["budget_run"]["budget_limited"] > 0, (
+            f"{run['dataset']}: the starved ledger never bit — "
+            "budget exhaustion was not demonstrated"
+        )
+    assert criteria["passed"], (
+        f"acceptance not met: min cost ratio {min_ratio} "
+        f"(target >= {_MIN_COST_RATIO}), max F1 drop {max_drop} "
+        f"(target <= {_MAX_F1_DROP})"
+    )
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+    for run in runs:
+        print(
+            f"[bench_routing] {run['dataset']}: "
+            f"always-escalate F1 {run['always_escalate']['f1']} "
+            f"${run['always_escalate']['cost_usd']} | routed F1 "
+            f"{run['routed']['f1']} ${run['routed']['cost_usd']} | "
+            f"{run['cost_ratio']}x cheaper, dF1 {run['f1_delta']:+}, "
+            f"budget_limited {run['budget_run']['budget_limited']}",
+            flush=True,
+        )
+    print(
+        f"[bench_routing] min cost ratio {min_ratio}x, worst F1 drop "
+        f"{max_drop} -> {out_path}",
+        flush=True,
+    )
+    return document
+
+
+def test_routing_bench_smoke(tmp_path):
+    """CI smoke: criteria hold and budget exhaustion degrades, not fails."""
+    document = run_bench(smoke=True, out_path=tmp_path / "BENCH_routing_smoke.json")
+    assert document["criteria"]["passed"]
+    for run in document["runs"]:
+        assert run["cost_ratio"] >= _MIN_COST_RATIO
+        assert run["f1_delta"] <= _MAX_F1_DROP
+        budget = run["budget_run"]
+        assert budget["budget_limited"] > 0
+        assert budget["ledger_denials"] >= budget["budget_limited"]
+        assert budget["spend_usd"] <= budget["budget_usd"] + 1e-9
+        # Degraded decisions still answered every pair.
+        assert run["pairs"] == run["routed"]["escalated"] + run["routed"]["decided_cheap"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``--smoke`` for the CI subset, ``--out`` to redirect."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized subset")
+    parser.add_argument("--out", default=str(_OUT_PATH))
+    args = parser.parse_args(argv)
+    run_bench(smoke=args.smoke, out_path=Path(args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

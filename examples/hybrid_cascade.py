@@ -1,10 +1,17 @@
-"""Hybrid cascade: ZeroER handles the easy pairs, GPT-4 the hard ones.
+"""Hybrid cascade: the cheap scorer handles easy pairs, GPT-4 the hard ones.
 
 Finding 1 suggests combining efficient parameter-free matchers with
 stronger techniques.  The cascade labels pairs the cheap scorer is
 confident about and escalates only the uncertain band — cutting the
 LLM token bill by the non-escalated fraction while keeping most of the
 quality.
+
+The same idea serves online: ``repro.routing.build_cascade_router``
+calibrates the band from a labelled split (instead of hand-picking it)
+and adds per-request and rolling token-dollar budgets, and
+``MatchService(matcher, router=...)`` dispatches live traffic through
+it.  The third arm below runs that serve-time router on the identical
+pairs; the full walkthrough is in ``docs/ROUTING.md``.
 
 Run:  python examples/hybrid_cascade.py              (~1 minute)
 """
@@ -20,10 +27,11 @@ from repro import (
     precision_recall_f1,
 )
 from repro.matchers import CascadeMatcher, MatchGPTMatcher, StringSimMatcher
+from repro.routing import build_cascade_router
 
 
 def main() -> None:
-    dataset, world = build_dataset("ABT", scale=0.15, seed=7)
+    dataset, world = build_dataset("DBAC", scale=0.15, seed=7)
     labels = dataset.labels()
     config = get_profile("smoke")
 
@@ -39,18 +47,45 @@ def main() -> None:
     expensive = MatchGPTMatcher(
         SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0), meter=meter_cascade
     )
-    # StringSim similarities are smooth, so a confidence band exists:
-    # ratio <= 0.25 is a sure non-match, >= 0.65 a sure match.
+    # On the clean bibliographic pairs StringSim similarities separate
+    # well, so a hand-picked confidence band works: ratio <= 0.63 is a
+    # sure non-match, >= 0.86 a sure match.
     cascade = CascadeMatcher(
-        StringSimMatcher(), expensive, low=0.25, high=0.65,
+        StringSimMatcher(), expensive, low=0.63, high=0.86,
     ).fit([], config)
     _, _, cascade_f1 = precision_recall_f1(labels, cascade.predict(dataset.pairs, 0))
+    # Snapshot before the router arm below reuses the same metered matcher.
+    cascade_cost = meter_cascade.dollars_spent
+
+    # Serve-time router: the same ladder, but the band is *calibrated*
+    # on a disjoint labelled split (no hand-picking) and every
+    # escalation is priced in dollars.
+    cal_ds, _ = build_dataset("DBAC", scale=0.15, seed=11)
+    router = build_cascade_router(
+        StringSimMatcher(),
+        expensive,
+        cal_ds.pairs,
+        min_purity=0.99,
+        expensive_price_per_1k_tokens=0.015,
+        serialization_seed=0,
+    )
+    decisions = router.route(dataset.pairs)
+    _, _, routed_f1 = precision_recall_f1(labels, [d.label for d in decisions])
+    routed_cost = sum(d.spend_usd for d in decisions)
+    band = router.backends[0]
 
     print(f"full GPT-4 pass : F1 {full_f1:5.1f}  cost ${meter_full.dollars_spent:.4f}")
-    print(f"cascade         : F1 {cascade_f1:5.1f}  cost ${meter_cascade.dollars_spent:.4f}")
+    print(f"cascade         : F1 {cascade_f1:5.1f}  cost ${cascade_cost:.4f}")
     print(f"escalated       : {cascade.last_escalation_rate:.0%} of pairs")
-    saving = 1 - meter_cascade.dollars_spent / meter_full.dollars_spent
+    saving = 1 - cascade_cost / meter_full.dollars_spent
     print(f"token-cost saving: {saving:.0%}")
+    n_escalated = sum(1 for d in decisions if d.escalated)
+    print(
+        f"routed (calibrated band {band.low:.2f}/{band.high:.2f}): "
+        f"F1 {routed_f1:5.1f}  cost ${routed_cost:.4f}  "
+        f"escalated {n_escalated / len(decisions):.0%}"
+    )
+    print("(serve this ladder online: MatchService(matcher, router=...) — docs/ROUTING.md)")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,9 @@ Private names (leading underscore) and dunders other than ``__init__``
 are exempt.  Exit status is non-zero when anything is missing, so CI can
 gate on it; the default targets are the packages held at 100%:
 ``repro.llm``, ``repro.runtime``, ``repro.reliability``, ``repro.serving``,
-``repro.obs``, plus the inference fast path (``repro.nn.fastpath``), the
-trace-report script and the obs/inference benchmarks.
+``repro.obs``, ``repro.routing``, plus the inference fast path
+(``repro.nn.fastpath``), the trace-report script and the
+obs/inference/routing benchmarks.
 
 Usage::
 
@@ -36,9 +37,11 @@ DEFAULT_TARGETS = (
     "src/repro/reliability",
     "src/repro/serving",
     "src/repro/obs",
+    "src/repro/routing",
     "src/repro/nn/fastpath.py",
     "benchmarks/bench_inference.py",
     "benchmarks/bench_obs.py",
+    "benchmarks/bench_routing.py",
     "scripts/trace_report.py",
 )
 

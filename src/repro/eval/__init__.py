@@ -1,7 +1,12 @@
 """Evaluation harness: metrics, leave-one-dataset-out protocol, reporting."""
 
 from .bootstrap import BootstrapInterval, bootstrap_f1, paired_bootstrap_difference
-from .calibration import ThresholdPoint, best_f1_threshold, precision_recall_curve
+from .calibration import (
+    ThresholdPoint,
+    best_f1_threshold,
+    confidence_band,
+    precision_recall_curve,
+)
 from .loo import LeaveOneOutRunner, SeedScore, StudyResult, TargetResult
 from .metrics import ConfusionCounts, confusion, f1_score, macro_mean, precision_recall_f1
 from .persistence import load_results, results_from_dict, results_to_dict, save_results
@@ -17,6 +22,7 @@ __all__ = [
     "ThresholdPoint",
     "best_f1_threshold",
     "bootstrap_f1",
+    "confidence_band",
     "paired_bootstrap_difference",
     "precision_recall_curve",
     "confusion",

@@ -14,7 +14,12 @@ import numpy as np
 
 from ..errors import ReproError
 
-__all__ = ["ThresholdPoint", "precision_recall_curve", "best_f1_threshold"]
+__all__ = [
+    "ThresholdPoint",
+    "precision_recall_curve",
+    "best_f1_threshold",
+    "confidence_band",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +32,36 @@ class ThresholdPoint:
     f1: float
 
 
+def _validated(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reject degenerate calibration inputs with a structured error.
+
+    Calibration drives live routing decisions (confidence bands gate
+    which pairs escalate to a priced backend), so a bad input must fail
+    loudly here — a silent numpy warning or a NaN threshold would
+    mis-route every request downstream.  Checked, in order: shape
+    mismatch, empty input, non-finite scores, non-binary labels, and
+    single-class label sets (both all-negative and all-positive are
+    rejected — neither side of a confidence band can be estimated
+    without both classes).
+    """
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ReproError("labels and scores have different shapes")
+    if labels.size == 0:
+        raise ReproError("cannot calibrate on an empty score set")
+    if not np.isfinite(scores).all():
+        bad = int((~np.isfinite(scores)).sum())
+        raise ReproError(f"calibration scores contain {bad} non-finite value(s)")
+    if not np.isin(labels, (0, 1)).all():
+        raise ReproError("calibration labels must be binary (0/1)")
+    if int((labels == 1).sum()) == 0:
+        raise ReproError("calibration needs at least one positive pair")
+    if int((labels == 0).sum()) == 0:
+        raise ReproError("calibration needs at least one negative pair")
+    return labels, scores
+
+
 def precision_recall_curve(
     labels: np.ndarray,
     scores: np.ndarray,
@@ -36,15 +71,8 @@ def precision_recall_curve(
     Thresholds are the observed scores themselves (predict match when
     ``score >= threshold``), so the curve is exact and needs no binning.
     """
-    labels = np.asarray(labels)
-    scores = np.asarray(scores, dtype=np.float64)
-    if labels.shape != scores.shape:
-        raise ReproError("labels and scores have different shapes")
-    if labels.size == 0:
-        raise ReproError("cannot calibrate on an empty score set")
+    labels, scores = _validated(labels, scores)
     n_positive = int((labels == 1).sum())
-    if n_positive == 0:
-        raise ReproError("calibration needs at least one positive pair")
 
     order = np.argsort(-scores, kind="stable")
     sorted_labels = labels[order]
@@ -76,3 +104,66 @@ def best_f1_threshold(labels: np.ndarray, scores: np.ndarray) -> ThresholdPoint:
     """The threshold maximising F1 (ties resolve to the higher threshold)."""
     points = precision_recall_curve(labels, scores)
     return max(points, key=lambda p: (p.f1, p.threshold))
+
+
+def confidence_band(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    min_purity: float = 0.95,
+) -> tuple[float, float]:
+    """Calibrate a ``(low, high)`` confidence band from labelled scores.
+
+    The band is the routing/cascade contract: a scorer may *decide* a
+    pair whose score falls outside the band (``>= high`` is a match,
+    ``<= low`` a non-match) and must *escalate* the uncertain middle.
+    ``high`` is the smallest observed score at which the match side stays
+    at least ``min_purity`` precise, and ``low`` is the largest observed
+    score at which the non-match side (pairs scored ``<= low``) is at
+    least ``min_purity`` pure.  Both are estimated on the same labelled
+    calibration set, so serve-time decisions outside the band inherit
+    that purity in expectation.
+
+    When no threshold on one side reaches ``min_purity`` the band pins
+    that side to the score range's edge (``high = 1.0`` / ``low = 0.0``
+    — escalate everything on that side except exact-edge scores); when
+    the two sides cross — a scorer so good the uncertain middle is empty
+    — ``low`` is clamped just below ``high`` so the band stays a valid
+    ``low < high`` interval.  Degenerate inputs raise
+    :class:`~repro.errors.ReproError` (see :func:`precision_recall_curve`).
+    """
+    if not 0.0 < min_purity <= 1.0:
+        raise ReproError(f"min_purity must be in (0, 1], got {min_purity}")
+    labels, scores = _validated(labels, scores)
+
+    # Match side: sweep descending score cuts; precision of score >= t.
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp = np.cumsum(sorted_labels == 1)
+    precision = tp / np.arange(1, labels.size + 1)
+    is_last = np.ones(labels.size, dtype=bool)
+    is_last[:-1] = sorted_scores[:-1] != sorted_scores[1:]
+    pure_high = [
+        float(sorted_scores[i])
+        for i in np.flatnonzero(is_last)
+        if precision[i] >= min_purity
+    ]
+    high = min(pure_high) if pure_high else 1.0
+
+    # Non-match side: sweep ascending cuts; purity of score <= t.
+    asc = order[::-1]
+    asc_labels = labels[asc]
+    asc_scores = scores[asc]
+    tn = np.cumsum(asc_labels == 0)
+    npv = tn / np.arange(1, labels.size + 1)
+    is_last_asc = np.ones(labels.size, dtype=bool)
+    is_last_asc[:-1] = asc_scores[:-1] != asc_scores[1:]
+    pure_low = [
+        float(asc_scores[i])
+        for i in np.flatnonzero(is_last_asc)
+        if npv[i] >= min_purity and float(asc_scores[i]) < high
+    ]
+    low = max(pure_low) if pure_low else 0.0
+    if low >= high:
+        low = float(np.nextafter(high, -np.inf))
+    return low, high

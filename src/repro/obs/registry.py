@@ -305,7 +305,7 @@ class MetricsRegistry:
             self.counter(f"serving_{key}_total", value)
         latency = block["latency"]
         self.counter("serving_latency_measurements_total", latency["count"])
-        for key in ("mean_ms", "p50_ms", "p95_ms", "max_ms"):
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
             self.gauge(f"serving_latency_{key}", latency[key])
         for key, value in block["scheduler"].items():
             if key == "mean_occupancy":

@@ -1,0 +1,160 @@
+"""Shadow evaluation: score a candidate artifact on a slice of live traffic.
+
+Promoting a retrained matcher straight into the routing ladder is how a
+serving system silently regresses.  The standard mitigation is *shadow
+scoring*: a deterministic fraction of live pairs is also scored by the
+candidate (off the response path — its answers are never returned), the
+candidate's labels are compared with the primary's, and a promotion
+gate turns the agreement statistics into an explicit decision:
+
+``promote``
+    Enough shadow samples and agreement at or above the gate's bar.
+``reject``
+    Enough samples but agreement below the rejection floor — the
+    candidate disagrees too often to trust.
+``hold``
+    Not enough evidence yet (or agreement between the two bars).
+
+Sampling is *hash-deterministic*, not random: a pair shadows iff
+``crc32(pair_id) % 10_000 < fraction * 10_000``, so the same trace
+always shadows the same pairs, replays reproduce the same accounting,
+and two services shadowing the same candidate agree on the sample.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+
+from ..data.pairs import RecordPair
+from ..errors import ConfigurationError
+from ..matchers.base import Matcher
+from ..obs.trace import span
+
+__all__ = ["ShadowEvaluator"]
+
+#: Granularity of the deterministic sampling hash (basis points).
+_SAMPLE_SPACE = 10_000
+
+
+class ShadowEvaluator:
+    """Agreement accounting between live answers and a candidate matcher.
+
+    ``fraction`` of traffic (deterministically selected by pair-id hash)
+    is scored by ``candidate``; :meth:`observe` folds each batch's
+    primary labels in, and :meth:`decision` applies the promotion gate.
+    """
+
+    def __init__(
+        self,
+        candidate: Matcher,
+        fraction: float = 0.1,
+        min_samples: int = 200,
+        min_agreement: float = 0.98,
+        reject_below: float = 0.90,
+    ) -> None:
+        """Shadow ``candidate`` on ``fraction`` of traffic.
+
+        ``min_samples`` is the evidence floor before the gate decides
+        anything; ``min_agreement`` is the promotion bar and
+        ``reject_below`` the rejection floor (between the two the gate
+        holds for more evidence).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1, got {min_samples}")
+        if not 0.0 <= reject_below <= min_agreement <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= reject_below <= min_agreement <= 1, got "
+                f"({reject_below}, {min_agreement})"
+            )
+        self.candidate = candidate
+        self.fraction = fraction
+        self.min_samples = min_samples
+        self.min_agreement = min_agreement
+        self.reject_below = reject_below
+        self._threshold = int(round(fraction * _SAMPLE_SPACE))
+        #: Shadow-scored pairs so far.
+        self.samples = 0
+        #: Pairs where candidate and primary agreed.
+        self.agreements = 0
+        #: Disagreements keyed by the primary's label ("0" / "1").
+        self.disagreements_by_primary: dict[str, int] = {"0": 0, "1": 0}
+
+    def should_sample(self, pair: RecordPair) -> bool:
+        """Whether ``pair`` is in the deterministic shadow sample."""
+        return (
+            zlib.crc32(pair.pair_id.encode("utf-8")) % _SAMPLE_SPACE
+            < self._threshold
+        )
+
+    def observe(
+        self, pairs: Sequence[RecordPair], primary_labels: Sequence[int]
+    ) -> int:
+        """Shadow-score the sampled subset of one served batch.
+
+        ``primary_labels`` are the answers the live path returned for
+        ``pairs`` (index-aligned).  Returns how many pairs of this batch
+        were shadow-scored.  The candidate's labels are only compared,
+        never served.
+        """
+        if len(pairs) != len(primary_labels):
+            raise ConfigurationError(
+                f"{len(pairs)} pairs vs {len(primary_labels)} primary labels"
+            )
+        sampled = [
+            (pair, int(primary_labels[i]))
+            for i, pair in enumerate(pairs)
+            if self.should_sample(pair)
+        ]
+        if not sampled:
+            return 0
+        with span("shadow.score", pairs=len(sampled)) as shadow_span:
+            candidate_labels = self.candidate.predict([p for p, _ in sampled])
+            agreed = 0
+            for (pair, primary), shadow_label in zip(sampled, candidate_labels):
+                self.samples += 1
+                if int(shadow_label) == primary:
+                    self.agreements += 1
+                    agreed += 1
+                else:
+                    self.disagreements_by_primary[str(primary)] += 1
+            shadow_span.set(agreed=agreed, disagreed=len(sampled) - agreed)
+        return len(sampled)
+
+    @property
+    def agreement_rate(self) -> float | None:
+        """Agreement over shadow samples (``None`` before any sample)."""
+        if self.samples == 0:
+            return None
+        return self.agreements / self.samples
+
+    def decision(self) -> str:
+        """The promotion gate: ``"promote"``, ``"hold"`` or ``"reject"``."""
+        if self.samples < self.min_samples:
+            return "hold"
+        rate = self.agreements / self.samples
+        if rate >= self.min_agreement:
+            return "promote"
+        if rate < self.reject_below:
+            return "reject"
+        return "hold"
+
+    def as_dict(self) -> dict:
+        """JSON-ready gate state for ``GET /router``."""
+        rate = self.agreement_rate
+        return {
+            "candidate": self.candidate.display_name,
+            "fraction": self.fraction,
+            "samples": self.samples,
+            "agreements": self.agreements,
+            "agreement_rate": round(rate, 4) if rate is not None else None,
+            "disagreements_by_primary": dict(self.disagreements_by_primary),
+            "gate": {
+                "min_samples": self.min_samples,
+                "min_agreement": self.min_agreement,
+                "reject_below": self.reject_below,
+            },
+            "decision": self.decision(),
+        }

@@ -51,6 +51,7 @@ __all__ = [
     "WEIGHTS_NAME",
     "save_artifact",
     "load_artifact",
+    "load_routing_profile",
     "export_deployable",
 ]
 
@@ -73,14 +74,21 @@ def _roster_block(matcher: Matcher) -> dict:
 
 
 def save_artifact(
-    matcher: Matcher, directory: str | os.PathLike, profile: str = ""
+    matcher: Matcher,
+    directory: str | os.PathLike,
+    profile: str = "",
+    routing_profile=None,
 ) -> Path:
     """Export ``matcher`` as a deployable artifact directory.
 
     Returns the directory path.  ``profile`` is recorded in the manifest
     for provenance (which :class:`~repro.config.StudyConfig` produced the
-    fit).  Raises :class:`~repro.errors.ArtifactError` for unfitted or
-    unsupported matchers.
+    fit).  ``routing_profile`` (a
+    :class:`~repro.routing.drift.RoutingProfile`, optional) is embedded
+    as plain JSON so a serving process can arm its drift monitor with
+    the exact traffic profile the matcher was fitted under.  Raises
+    :class:`~repro.errors.ArtifactError` for unfitted or unsupported
+    matchers.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -89,6 +97,8 @@ def save_artifact(
         "profile": profile,
         "roster": _roster_block(matcher),
     }
+    if routing_profile is not None:
+        manifest["routing_profile"] = routing_profile.to_state()
 
     if isinstance(matcher, AnyMatchMatcher):
         if matcher._model is None or matcher._vocab is None or matcher._scale is None:
@@ -219,6 +229,35 @@ def load_artifact(directory: str | os.PathLike) -> Matcher:
     raise ArtifactError(f"unknown artifact kind {kind!r}")
 
 
+def load_routing_profile(directory: str | os.PathLike):
+    """The :class:`~repro.routing.drift.RoutingProfile` of an artifact.
+
+    Returns ``None`` for artifacts exported before routing profiles
+    existed (or with ``routing_profile=None``); raises
+    :class:`~repro.errors.ArtifactError` when the manifest is missing or
+    the embedded profile is malformed.
+    """
+    # Imported lazily so the artifact store never hard-depends on the
+    # routing package (which itself wires into serving).
+    from ..routing.drift import RoutingProfile
+
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ArtifactError(f"no {MANIFEST_NAME} under {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"corrupt manifest {manifest_path}: {error}") from None
+    state = manifest.get("routing_profile") if isinstance(manifest, dict) else None
+    if state is None:
+        return None
+    try:
+        return RoutingProfile.from_state(state)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(f"malformed routing_profile block: {error}") from None
+
+
 def export_deployable(
     config: StudyConfig,
     directory: str | os.PathLike,
@@ -231,13 +270,23 @@ def export_deployable(
     The online-serving scenario has no held-out target: the matcher is
     fine-tuned on *all* labelled benchmarks (the leave-one-dataset-out
     restriction is an evaluation protocol, not a deployment one) and
-    exported under ``directory``.  Returns the artifact path.
+    exported under ``directory``.  The manifest also embeds a
+    :class:`~repro.routing.drift.RoutingProfile` capturing the fitted
+    traffic (vocabulary sample, positive rate) so a serving process can
+    arm its drift monitor from the artifact alone.  Returns the
+    artifact path.
     """
     # Imported lazily: the grid's dataset memo lives in repro.runtime and
-    # serving must stay importable without it.
+    # serving must stay importable without it (likewise repro.routing,
+    # which wires back into serving).
+    from ..routing.drift import capture_profile
     from ..runtime.grid import dataset_bundle
 
     datasets, _world = dataset_bundle(config.dataset_scale, dataset_seed)
     matcher = AnyMatchMatcher(base)
     matcher.fit(list(datasets.values()), config, seed=seed)
-    return save_artifact(matcher, directory, profile=config.name)
+    fitted_pairs = [p for dataset in datasets.values() for p in dataset.pairs]
+    routing_profile = capture_profile(fitted_pairs, seed=seed)
+    return save_artifact(
+        matcher, directory, profile=config.name, routing_profile=routing_profile
+    )

@@ -6,17 +6,27 @@ Three endpoints, all JSON:
     Body ``{"left": [...], "right": [...]}`` matches one pair of records
     (attribute-value lists); body ``{"record": [...], "top_k": k}`` runs a
     candidate lookup against the service's index.  Responses carry the
-    predicted label/matches plus the request latency.
+    predicted label/matches plus the request latency, and the routing
+    provenance fields (``backend``, ``escalated``, ``spend_usd`` —
+    ``null``/zero on an unrouted service).
 ``GET /healthz``
     Liveness and saturation: 200 with ``status: ok`` normally, **503**
     with ``status: degraded`` while the admission queue is full.
 ``GET /metrics``
     The :class:`~repro.serving.service.ServingStats` block merged with
-    the scheduler counters (explicit zeros when no batch has flushed).
-    JSON by default; ``GET /metrics?format=prometheus`` — or an
-    ``Accept`` header mentioning ``text/plain`` — returns the same
+    the scheduler counters (explicit zeros when no batch has flushed)
+    and — on a routed service — a ``routing`` block with the router
+    counters and drift scores (``null`` otherwise; the key is always
+    present).  JSON by default; ``GET /metrics?format=prometheus`` — or
+    an ``Accept`` header mentioning ``text/plain`` — returns the same
     snapshot in the Prometheus text exposition format instead, rendered
     through :class:`~repro.obs.registry.MetricsRegistry`.
+``GET /router``
+    The adaptive-routing state of a routed service: the backend ladder
+    with per-rung decision counts and confidence bands, budgets and the
+    rolling spend ledger, the drift monitor's windows/events, and the
+    shadow evaluator's agreement gate (see ``docs/ROUTING.md``).  **404**
+    on a service constructed without a router.
 
 Error mapping is structural, never a hang: malformed requests are 400,
 shed load (:class:`~repro.errors.OverloadedError`) is 429, a blown
@@ -92,7 +102,7 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
             return "text/plain" in accept
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            """Serve /healthz and /metrics (JSON or Prometheus text)."""
+            """Serve /healthz, /metrics (JSON or Prometheus) and /router."""
             path, _, query = self.path.partition("?")
             if path == "/healthz":
                 health = service.healthz()
@@ -102,6 +112,11 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
                     self._send_text(200, service.prometheus_metrics())
                 else:
                     self._send_json(200, service.metrics())
+            elif path == "/router":
+                try:
+                    self._send_json(200, service.router_state())
+                except ServingError as error:
+                    self._send_error_json(404, error)
             else:
                 self._send_json(404, {"error": "NotFound", "detail": self.path})
 
@@ -141,6 +156,9 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
                     "label": response.label,
                     "matched": response.matched,
                     "latency_ms": round(1000.0 * response.latency_s, 3),
+                    "backend": response.backend,
+                    "escalated": response.escalated,
+                    "spend_usd": response.spend_usd,
                 }
             raise ServingError(
                 'body must contain either "left"/"right" or "record"'

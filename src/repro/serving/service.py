@@ -23,6 +23,19 @@ Determinism: a service that was never :meth:`start`-ed dispatches
 the caller blocks — so the same request trace over the same matcher
 (fault-injected or not) yields identical responses and identical
 counters, which the serving determinism tests pin.
+
+Routing: constructed with ``router=`` (a
+:class:`~repro.routing.policy.MatchRouter`), the service dispatches each
+batch through the router's confidence-banded backend ladder instead of
+one fixed matcher; responses then carry routing provenance (``backend``,
+``escalated``, ``spend_usd``), an attached
+:class:`~repro.routing.drift.DriftMonitor` folds every decided pair into
+its drift windows, and an attached
+:class:`~repro.routing.shadow.ShadowEvaluator` shadow-scores the
+deterministic sample — all on the dispatcher side of the queue, off the
+caller's critical path.  ``GET /metrics`` gains a ``routing`` block and
+``GET /router`` exposes the full router/drift/shadow state (see
+``docs/ROUTING.md``).
 """
 
 from __future__ import annotations
@@ -68,6 +81,13 @@ class MatchResponse:
     label: int
     #: Admission-to-completion latency in seconds.
     latency_s: float
+    #: Routing provenance: which backend answered (``None`` on the
+    #: single-matcher path).
+    backend: str | None = None
+    #: Whether the request escalated past the router's first rung.
+    escalated: bool = False
+    #: Token-dollars this request spent across the rungs it touched.
+    spend_usd: float = 0.0
 
     @property
     def matched(self) -> bool:
@@ -106,6 +126,13 @@ class ServingStats:
             "shed": 0,
             "errors": 0,
             "batch_retries": 0,
+            # Routing totals — explicit zeros on unrouted services, so
+            # the /metrics schema never depends on how the service was
+            # constructed.
+            "routed": 0,
+            "escalated": 0,
+            "budget_limited": 0,
+            "spend_usd": 0.0,
         }
         self._latencies: deque[float] = deque(maxlen=self.WINDOW)
         self._latency_total = 0.0
@@ -130,17 +157,30 @@ class ServingStats:
         return ordered[rank]
 
     def latency_summary(self) -> dict[str, float]:
-        """Mean/p50/p95/max over the recent-latency window, in milliseconds."""
+        """Count/mean/p50/p95/p99/max over the recent-latency window, in ms.
+
+        ``count`` is the all-time number of recorded latencies (the
+        window only bounds what the percentiles are computed over).  An
+        *empty* window — no request has completed yet — returns the full
+        schema with every value an explicit ``0``: consumers can always
+        read every key, and must treat percentiles as meaningful only
+        when ``count > 0`` (a zero p50 with ``count == 0`` means "no
+        data", not "instant requests").
+        """
         with self._lock:
             window = sorted(self._latencies)
             total, count = self._latency_total, self._latency_count
         if not window:
-            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+            return {
+                "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
+            }
         return {
             "count": count,
             "mean_ms": round(1000.0 * total / count, 3),
             "p50_ms": round(1000.0 * self._percentile(window, 0.50), 3),
             "p95_ms": round(1000.0 * self._percentile(window, 0.95), 3),
+            "p99_ms": round(1000.0 * self._percentile(window, 0.99), 3),
             "max_ms": round(1000.0 * window[-1], 3),
         }
 
@@ -201,6 +241,9 @@ class MatchService:
         default_timeout_s: float | None = None,
         clock: Clock | None = None,
         bucket_by_length: bool | None = None,
+        router=None,
+        drift_monitor=None,
+        shadow=None,
     ) -> None:
         """Compose the serving stack around ``matcher``.
 
@@ -214,10 +257,22 @@ class MatchService:
         scheduler form batches of similar-token-length pairs instead of
         strict FIFO slices; per-pair responses are unchanged, only
         co-batching (and thus padding waste) differs.
+
+        ``router`` (a :class:`~repro.routing.policy.MatchRouter`)
+        replaces ``matcher`` on the scoring path: batches route through
+        the backend ladder and responses carry routing provenance.
+        ``matcher`` then only names the service (health checks) and
+        serves as the index-lookup confirmer's identity; pass the
+        router's final backend for an accurate display.  ``drift_monitor``
+        and ``shadow`` (see :mod:`repro.routing`) are fed every decided
+        batch on the dispatcher side of the queue.
         """
         self.matcher = matcher
         self.index = index
         self.retry_policy = retry_policy
+        self.router = router
+        self.drift_monitor = drift_monitor
+        self.shadow = shadow
         self.serialization_seed = serialization_seed
         self.default_timeout_s = default_timeout_s
         self.clock = clock or SystemClock()
@@ -261,12 +316,19 @@ class MatchService:
 
     # -- the batched model call ---------------------------------------------
 
-    def _process_batch(self, pairs: list[RecordPair]) -> list[int]:
-        """Score one coalesced batch, retrying retryable failures."""
+    def _process_batch(self, pairs: list[RecordPair]) -> list:
+        """Score one coalesced batch, retrying retryable failures.
+
+        Returns plain ``int`` labels on the single-matcher path, or
+        :class:`~repro.routing.policy.RouteDecision` objects when a
+        router is attached (``_await`` unpacks either shape).
+        """
         policy = self.retry_policy
         attempt = 1
         while True:
             try:
+                if self.router is not None:
+                    return self._route_batch(pairs)
                 labels = self.matcher.predict(pairs, self.serialization_seed)
                 self.stats.bump("pairs_scored", len(pairs))
                 return [int(label) for label in labels]
@@ -284,6 +346,27 @@ class MatchService:
                 if delay > 0:
                     self.clock.sleep(delay)
                 attempt += 1
+
+    def _route_batch(self, pairs: list[RecordPair]) -> list:
+        """Route one batch and feed the drift monitor + shadow evaluator.
+
+        Drift and shadow run here — on the dispatcher side of the queue
+        — so the monitoring cost is paid per batch, not per caller, and
+        a shadow candidate's latency never extends a live response.
+        """
+        decisions = self.router.route(pairs)
+        self.stats.bump("pairs_scored", len(pairs))
+        self.stats.bump("routed", len(decisions))
+        self.stats.bump("escalated", sum(1 for d in decisions if d.escalated))
+        self.stats.bump("budget_limited",
+                        sum(1 for d in decisions if d.budget_limited))
+        self.stats.bump("spend_usd", sum(d.spend_usd for d in decisions))
+        if self.drift_monitor is not None:
+            for pair, decision in zip(pairs, decisions):
+                self.drift_monitor.update(pair, decision.label)
+        if self.shadow is not None:
+            self.shadow.observe(pairs, [d.label for d in decisions])
+        return decisions
 
     # -- request paths -------------------------------------------------------
 
@@ -304,18 +387,32 @@ class MatchService:
         return pending
 
     def _await(self, pending, timeout_s: float | None) -> MatchResponse:
-        """Wait for one outcome, folding it into the stats."""
+        """Wait for one outcome, folding it into the stats.
+
+        The outcome is an ``int`` label (single-matcher path) or a
+        ``RouteDecision`` carrying provenance (routed path).
+        """
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         try:
-            label = pending.result(timeout)
+            outcome = pending.result(timeout)
         except Exception:
             self.stats.bump("errors")
             raise
         latency = pending.latency_s or 0.0
         self.stats.record_latency(latency)
+        if isinstance(outcome, int):
+            label, backend, escalated, spend = outcome, None, False, 0.0
+        else:
+            label = outcome.label
+            backend = outcome.backend
+            escalated = outcome.escalated
+            spend = outcome.spend_usd
         if label == 1:
             self.stats.bump("matches")
-        return MatchResponse(label=label, latency_s=latency)
+        return MatchResponse(
+            label=label, latency_s=latency,
+            backend=backend, escalated=escalated, spend_usd=spend,
+        )
 
     @staticmethod
     def _as_record(values: Sequence[str], record_id: str) -> Record:
@@ -420,8 +517,45 @@ class MatchService:
         }
 
     def metrics(self) -> dict:
-        """The full stats block for the ``/metrics`` endpoint."""
-        return self.stats.as_dict(scheduler=self._batcher.counters())
+        """The full stats block for the ``/metrics`` endpoint.
+
+        Always carries a ``routing`` key: ``None`` on an unrouted
+        service (stable schema, same convention as the scheduler
+        block), else the router counters plus the drift monitor's
+        current scores/events.
+        """
+        block = self.stats.as_dict(scheduler=self._batcher.counters())
+        if self.router is None:
+            block["routing"] = None
+        else:
+            block["routing"] = {
+                "counters": self.router.state()["counters"],
+                "drift": (
+                    self.drift_monitor.as_dict()
+                    if self.drift_monitor is not None
+                    else None
+                ),
+            }
+        return block
+
+    def router_state(self) -> dict:
+        """The ``GET /router`` block: ladder, budgets, drift, shadow.
+
+        Raises :class:`~repro.errors.ServingError` when the service was
+        constructed without a router (the HTTP front-end maps that to a
+        404 — the endpoint does not exist on an unrouted service).
+        """
+        if self.router is None:
+            raise ServingError("this service has no router configured")
+        return {
+            "router": self.router.state(),
+            "drift": (
+                self.drift_monitor.as_dict()
+                if self.drift_monitor is not None
+                else None
+            ),
+            "shadow": self.shadow.as_dict() if self.shadow is not None else None,
+        }
 
     def prometheus_metrics(self) -> str:
         """The same stats in the Prometheus text exposition format.
@@ -435,4 +569,20 @@ class MatchService:
         registry.absorb_serving_stats(self.stats, scheduler=self._batcher.counters())
         registry.gauge("serving_queue_depth", self._batcher.queue_depth)
         registry.gauge("serving_saturated", 1.0 if self._batcher.saturated else 0.0)
+        if self.router is not None:
+            for key, value in self.router.state()["counters"].items():
+                registry.counter(f"router_{key}_total", value)
+            if self.drift_monitor is not None:
+                drift = self.drift_monitor.as_dict()
+                registry.counter("drift_windows_total", drift["windows_completed"])
+                registry.counter("drift_events_total", drift["events"])
+                if drift["last_scores"] is not None:
+                    registry.gauge(
+                        "drift_domain_overlap",
+                        drift["last_scores"]["domain_overlap"],
+                    )
+                    registry.gauge(
+                        "drift_positive_skew",
+                        drift["last_scores"]["positive_skew"],
+                    )
         return registry.render_prometheus()

@@ -129,7 +129,9 @@ def run_study(
     matcher artifact after the study finishes: the serving matcher is
     fitted on every benchmark and exported via
     :func:`repro.serving.artifacts.export_deployable`, and the artifact
-    path is recorded in the document's ``artifacts`` block.
+    path is recorded in the document's ``artifacts`` block.  The export
+    also embeds a routing profile (see :mod:`repro.routing.drift`) in
+    the artifact manifest, summarised in the same block.
 
     ``trace_path`` (or ``REPRO_TRACE``) enables the observability layer
     for the run: spans covering grid cells, LLM request retries, batch
@@ -327,10 +329,23 @@ def run_study(
         print(f"[full_run] exporting serving artifact -> {export_artifacts}", flush=True)
         # Imported lazily so the study driver never depends on the
         # serving package unless an export was actually requested.
-        from ..serving.artifacts import export_deployable
+        from ..serving.artifacts import export_deployable, load_routing_profile
 
         artifact = export_deployable(config, export_artifacts)
-        document["artifacts"] = {"path": str(artifact), "profile": config.name}
+        routing_profile = load_routing_profile(artifact)
+        document["artifacts"] = {
+            "path": str(artifact),
+            "profile": config.name,
+            "routing_profile": (
+                None
+                if routing_profile is None
+                else {
+                    "vocabulary_size": len(routing_profile.vocabulary),
+                    "positive_rate": routing_profile.positive_rate,
+                    "n_pairs": routing_profile.n_pairs,
+                }
+            ),
+        }
 
     document["wall_clock_seconds"] = round(time.time() - started, 1)
     checkpoint()

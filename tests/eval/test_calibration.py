@@ -8,7 +8,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ReproError
-from repro.eval.calibration import best_f1_threshold, precision_recall_curve
+from repro.eval.calibration import (
+    best_f1_threshold,
+    confidence_band,
+    precision_recall_curve,
+)
 from repro.eval.metrics import f1_score
 
 
@@ -48,6 +52,23 @@ class TestCurve:
         with pytest.raises(ReproError):
             precision_recall_curve(np.array([1]), np.array([0.5, 0.6]))
 
+    def test_degenerate_inputs_raise_structured_errors(self):
+        """Every degenerate shape fails loudly, never as a numpy warning."""
+        with pytest.raises(ReproError, match="empty"):
+            precision_recall_curve(np.array([]), np.array([]))
+        with pytest.raises(ReproError, match="at least one positive"):
+            precision_recall_curve(np.array([0, 0, 0]), np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ReproError, match="at least one negative"):
+            precision_recall_curve(np.array([1, 1, 1]), np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ReproError, match="binary"):
+            precision_recall_curve(np.array([0, 2, 1]), np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ReproError, match="non-finite"):
+            precision_recall_curve(
+                np.array([0, 1, 1]), np.array([0.1, np.nan, 0.3])
+            )
+        with pytest.raises(ReproError, match="shapes"):
+            best_f1_threshold(np.array([0, 1]), np.array([0.1, 0.2, 0.3]))
+
 
 class TestBestThreshold:
     @given(st.integers(0, 10_000))
@@ -72,3 +93,46 @@ class TestBestThreshold:
         best = best_f1_threshold(abt_dataset.labels(), scores)
         assert 0.0 <= best.threshold <= 1.0
         assert best.f1 > 0.0
+
+
+class TestConfidenceBand:
+    def test_separable_scores_yield_tight_band(self):
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        scores = np.array([0.9, 0.85, 0.8, 0.2, 0.15, 0.1])
+        low, high = confidence_band(labels, scores, min_purity=1.0)
+        assert low < high
+        # Every decided side is pure on this data.
+        assert (labels[scores >= high] == 1).all()
+        assert (labels[scores <= low] == 0).all()
+
+    def test_band_widens_with_purity(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=200)
+        scores = np.clip(labels * 0.3 + rng.random(200) * 0.7, 0, 1)
+        low90, high90 = confidence_band(labels, scores, min_purity=0.90)
+        low99, high99 = confidence_band(labels, scores, min_purity=0.99)
+        assert high99 >= high90
+        assert low99 <= low90
+
+    def test_uncalibratable_side_pins_to_edge(self):
+        # Positives and negatives fully interleaved: no descending cut
+        # is pure, so the match side must pin to 1.0 (escalate all).
+        labels = np.array([1, 0, 1, 0, 1, 0])
+        scores = np.array([0.9, 0.9, 0.6, 0.6, 0.3, 0.3])
+        low, high = confidence_band(labels, scores, min_purity=1.0)
+        assert high == 1.0
+        assert low < high
+
+    def test_band_always_valid_interval(self):
+        # A perfect scorer: both sides calibrate at the same cut; the
+        # band must still come back as a valid low < high interval.
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        low, high = confidence_band(labels, scores, min_purity=0.5)
+        assert 0.0 <= low < high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="min_purity"):
+            confidence_band(np.array([0, 1]), np.array([0.1, 0.9]), min_purity=0.0)
+        with pytest.raises(ReproError, match="at least one positive"):
+            confidence_band(np.array([0, 0]), np.array([0.1, 0.9]))

@@ -1,0 +1,67 @@
+"""Offline/online parity: CascadeMatcher and MatchRouter must agree.
+
+The router is the serve-time twin of the offline cascade; on the same
+confidence band, with no budgets, the two must produce *identical*
+labels pair-for-pair — otherwise offline cost/quality studies would not
+predict serving behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulatedLLM, build_dataset, get_llm_profile, get_profile
+from repro.matchers import CascadeMatcher, MatchGPTMatcher, StringSimMatcher
+from repro.routing import MatchRouter, RoutedBackend
+
+LOW, HIGH = 0.25, 0.65
+
+
+def _components(seed: int):
+    dataset, world = build_dataset("ABT", scale=0.05, seed=seed)
+    expensive = MatchGPTMatcher(
+        SimulatedLLM(get_llm_profile("gpt-4"), world, seed=0)
+    ).fit([], get_profile("smoke"))
+    return dataset, StringSimMatcher(), expensive
+
+
+@pytest.mark.parametrize("seed", [7, 11, 23])
+def test_router_reproduces_cascade_decisions(seed):
+    dataset, cheap, expensive = _components(seed)
+    cascade = CascadeMatcher(cheap, expensive, low=LOW, high=HIGH)
+    cascade.fit([], get_profile("smoke"))
+    offline = cascade.predict(dataset.pairs, 0)
+
+    router = MatchRouter(
+        backends=[
+            RoutedBackend(name="cheap", matcher=cheap, low=LOW, high=HIGH),
+            RoutedBackend(name="expensive", matcher=expensive),
+        ],
+        serialization_seed=0,
+    )
+    decisions = router.route(dataset.pairs)
+    online = np.array([d.label for d in decisions], dtype=np.int64)
+
+    assert online.tolist() == offline.tolist()
+    # The escalated subset must match the cascade's uncertain band too.
+    scores = np.asarray(cheap.match_scores(dataset.pairs, 0))
+    uncertain = (scores > LOW) & (scores < HIGH)
+    assert [d.escalated for d in decisions] == uncertain.tolist()
+
+
+@pytest.mark.parametrize("seed", [7, 11, 23])
+def test_predict_facade_matches_cascade(seed):
+    dataset, cheap, expensive = _components(seed)
+    cascade = CascadeMatcher(cheap, expensive, low=LOW, high=HIGH)
+    cascade.fit([], get_profile("smoke"))
+    router = MatchRouter(
+        backends=[
+            RoutedBackend(name="cheap", matcher=cheap, low=LOW, high=HIGH),
+            RoutedBackend(name="expensive", matcher=expensive),
+        ],
+        serialization_seed=0,
+    )
+    assert router.predict(dataset.pairs).tolist() == cascade.predict(
+        dataset.pairs, 0
+    ).tolist()

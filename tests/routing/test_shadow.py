@@ -1,0 +1,122 @@
+"""Tests for shadow evaluation: sampling, agreement, the promotion gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.matchers.base import Matcher
+from repro.routing import ShadowEvaluator
+from tests.conftest import make_pair
+
+
+class _FixedLabelMatcher(Matcher):
+    """Answers a fixed label for every pair."""
+
+    name = "fixed-label"
+    display_name = "FixedLabel"
+
+    def __init__(self, label: int) -> None:
+        super().__init__()
+        self.label = label
+
+    def _predict(self, pairs, serialization_seed):
+        return np.full(len(pairs), self.label, dtype=np.int64)
+
+
+def _pairs(n: int):
+    return [
+        make_pair(("item",), ("item",), label=1, pair_id=f"pair-{i}")
+        for i in range(n)
+    ]
+
+
+class TestSampling:
+    def test_fraction_one_samples_everything(self):
+        shadow = ShadowEvaluator(_FixedLabelMatcher(1), fraction=1.0, min_samples=1)
+        assert shadow.observe(_pairs(10), [1] * 10) == 10
+        assert shadow.samples == 10
+
+    def test_sampling_is_deterministic(self):
+        pairs = _pairs(200)
+        picks = [
+            [p.pair_id for p in pairs
+             if ShadowEvaluator(_FixedLabelMatcher(1), fraction=0.3).should_sample(p)]
+            for _ in range(2)
+        ]
+        assert picks[0] == picks[1]
+        assert 0 < len(picks[0]) < 200
+
+    def test_unsampled_pairs_cost_nothing(self):
+        candidate = _FixedLabelMatcher(1)
+        calls = []
+        original = candidate._predict
+        candidate._predict = lambda pairs, seed: (calls.append(len(pairs)), original(pairs, seed))[1]
+        shadow = ShadowEvaluator(candidate, fraction=0.3, min_samples=1)
+        observed = shadow.observe(_pairs(200), [1] * 200)
+        assert observed == sum(calls) == shadow.samples < 200
+
+
+class TestAgreement:
+    def test_agreement_accounting(self):
+        shadow = ShadowEvaluator(_FixedLabelMatcher(1), fraction=1.0, min_samples=1)
+        shadow.observe(_pairs(4), [1, 1, 0, 0])
+        assert shadow.samples == 4
+        assert shadow.agreements == 2
+        assert shadow.disagreements_by_primary == {"0": 2, "1": 0}
+        assert shadow.agreement_rate == pytest.approx(0.5)
+
+    def test_rate_none_before_samples(self):
+        shadow = ShadowEvaluator(_FixedLabelMatcher(1), fraction=0.5)
+        assert shadow.agreement_rate is None
+
+    def test_length_mismatch_rejected(self):
+        shadow = ShadowEvaluator(_FixedLabelMatcher(1), fraction=1.0)
+        with pytest.raises(ConfigurationError, match="labels"):
+            shadow.observe(_pairs(3), [1])
+
+
+class TestPromotionGate:
+    def _gate(self, **kwargs):
+        defaults = dict(fraction=1.0, min_samples=4, min_agreement=0.9, reject_below=0.5)
+        defaults.update(kwargs)
+        return ShadowEvaluator(_FixedLabelMatcher(1), **defaults)
+
+    def test_holds_before_evidence_floor(self):
+        shadow = self._gate()
+        shadow.observe(_pairs(2), [1, 1])
+        assert shadow.decision() == "hold"
+
+    def test_promotes_on_agreement(self):
+        shadow = self._gate()
+        shadow.observe(_pairs(10), [1] * 10)
+        assert shadow.decision() == "promote"
+
+    def test_rejects_below_floor(self):
+        shadow = self._gate()
+        shadow.observe(_pairs(10), [0] * 10)
+        assert shadow.decision() == "reject"
+
+    def test_holds_between_bars(self):
+        shadow = self._gate()
+        shadow.observe(_pairs(10), [1] * 7 + [0] * 3)  # 0.7 in [0.5, 0.9)
+        assert shadow.decision() == "hold"
+
+    def test_as_dict_schema(self):
+        shadow = self._gate()
+        shadow.observe(_pairs(10), [1] * 10)
+        state = shadow.as_dict()
+        assert state["decision"] == "promote"
+        assert state["agreement_rate"] == 1.0
+        assert state["gate"]["min_samples"] == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShadowEvaluator(_FixedLabelMatcher(1), fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ShadowEvaluator(_FixedLabelMatcher(1), min_samples=0)
+        with pytest.raises(ConfigurationError):
+            ShadowEvaluator(
+                _FixedLabelMatcher(1), min_agreement=0.8, reject_below=0.9
+            )

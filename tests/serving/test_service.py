@@ -235,3 +235,35 @@ class TestLengthBucketedServing:
         pair = service.make_pair(["sony mdr headphones", "audio"],
                                  ["nikon lens kit", "optics"])
         assert pair_token_length(pair) == (3 + 1) + (3 + 1)
+
+
+class TestLatencySummary:
+    def test_empty_window_returns_explicit_zero_schema(self):
+        from repro.serving.service import ServingStats
+
+        summary = ServingStats().latency_summary()
+        assert summary == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+            "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
+        }
+
+    def test_count_and_percentile_ordering(self):
+        from repro.serving.service import ServingStats
+
+        stats = ServingStats()
+        for ms in range(1, 101):
+            stats.record_latency(ms / 1000.0)
+        summary = stats.latency_summary()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+        assert summary["p99_ms"] <= summary["max_ms"] == 100.0
+        # p99 sits strictly above p95 on a 100-point spread.
+        assert summary["p99_ms"] > summary["p95_ms"]
+
+    def test_count_outlives_the_percentile_window(self):
+        from repro.serving.service import ServingStats
+
+        stats = ServingStats()
+        for _ in range(ServingStats.WINDOW + 10):
+            stats.record_latency(0.001)
+        assert stats.latency_summary()["count"] == ServingStats.WINDOW + 10
