@@ -42,6 +42,7 @@ DEFAULT_TARGETS = (
     "benchmarks/bench_inference.py",
     "benchmarks/bench_obs.py",
     "benchmarks/bench_routing.py",
+    "benchmarks/bench_resilience.py",
     "scripts/trace_report.py",
 )
 

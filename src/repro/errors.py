@@ -83,8 +83,16 @@ class DeadlineExceededError(LLMError):
     """A request's per-call deadline expired before an attempt succeeded.
 
     Not retryable — the caller's time budget is spent.  The triggering
-    attempt's error (if any) is chained as ``__cause__``.
+    attempt's error (if any) is chained as ``__cause__``.  When raised
+    from a :class:`repro.reliability.budget.DeadlineBudget` check, the
+    ``stage`` attribute names the pipeline stage that consumed the
+    budget (``"scheduler.queue"``, ``"serving.retry_backoff"``, ...).
     """
+
+    def __init__(self, message: str, stage: "str | None" = None) -> None:
+        super().__init__(message)
+        #: The pipeline stage the budget expired in, when known.
+        self.stage = stage
 
 
 class RetryExhaustedError(LLMError):
@@ -164,7 +172,26 @@ class OverloadedError(ServingError):
     The structured shed-load signal: rather than queueing unboundedly
     (and turning overload into unbounded latency), the scheduler rejects
     the request immediately.  Clients should back off and retry; the
-    HTTP front-end maps this to a 429 response.
+    HTTP front-end maps this to a 429 response carrying a
+    ``Retry-After`` hint.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker refused the call: the backend is isolated.
+
+    Raised by :meth:`repro.reliability.breaker.CircuitBreaker.guard`
+    for callers with no cheaper tier to degrade to.  The routed serving
+    path never raises it — an open escalation breaker degrades the
+    decision to the current rung instead (``breaker_open`` provenance).
+    """
+
+
+class PayloadTooLargeError(ServingError):
+    """An HTTP request body exceeded the serving size limit.
+
+    Mapped to a 413 response by the HTTP front-end (the request was
+    never parsed, let alone admitted).
     """
 
 

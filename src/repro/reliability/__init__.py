@@ -19,6 +19,15 @@ hosted models:
 :mod:`repro.reliability.clock`
     :class:`SystemClock` / :class:`FakeClock` — injectable time so
     backoff tests assert exact schedules without sleeping.
+:mod:`repro.reliability.breaker`
+    :class:`CircuitBreaker` — closed/open/half-open isolation of a
+    persistently unhealthy backend over rolling failure-rate windows.
+:mod:`repro.reliability.hedge`
+    :class:`HedgedCall` — race a duplicate attempt against a straggler
+    for idempotent calls, first-result-wins with win/waste accounting.
+:mod:`repro.reliability.budget`
+    :class:`DeadlineBudget` — one request-scoped time budget carved
+    across queueing, retries and router hops via ``remaining()``.
 :mod:`repro.reliability.wiring`
     Process-wide activation (``REPRO_RETRY`` / ``REPRO_FAULTS`` env
     specs) and :func:`harden_client`, the one composition point the
@@ -34,8 +43,11 @@ completion cache interacts with retries, and the ``CellFailure`` schema
 
 from __future__ import annotations
 
+from .breaker import CircuitBreaker
+from .budget import DeadlineBudget
 from .clock import Clock, FakeClock, SystemClock
 from .faults import FaultInjector, FaultPlan
+from .hedge import HedgedCall
 from .policy import DEFAULT_POLICY, RetryPolicy, is_retryable
 from .retry import RetryingClient, validate_yes_no
 from .wiring import (
@@ -50,11 +62,14 @@ from .wiring import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "Clock",
     "DEFAULT_POLICY",
+    "DeadlineBudget",
     "FakeClock",
     "FaultInjector",
     "FaultPlan",
+    "HedgedCall",
     "RetryPolicy",
     "RetryingClient",
     "SystemClock",

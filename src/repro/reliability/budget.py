@@ -1,0 +1,111 @@
+"""Deadline budgets: one request-scoped time budget, carved per stage.
+
+A request that crosses several stages — admission queue, micro-batch
+wait, retry attempts, router ladder hops — used to give *each* stage a
+fresh timeout, so the caller's total wait could silently overshoot any
+one of them.  :class:`DeadlineBudget` fixes the accounting: the caller
+sets one total budget at the edge (``MatchService.match_pair``'s
+``timeout_s``), the budget object travels with the request, and every
+stage asks :meth:`remaining` instead of inventing its own deadline.
+
+Two exits exist for a request that cannot finish in time, and which one
+fires is a per-stage policy decision (documented in
+``docs/FAILURE_SEMANTICS.md`` §9):
+
+* **degrade** — a stage with a cheaper answer available (the router
+  deciding at the current rung's band midpoint) consumes no more budget
+  and answers; the response is flagged so provenance survives.
+* **raise** — a stage with nothing to answer with raises
+  :class:`~repro.errors.DeadlineExceededError` *naming itself* via the
+  error's ``stage`` attribute, so "which stage ate the budget" is one
+  attribute away instead of a log-spelunking exercise.
+
+Like everything in :mod:`repro.reliability`, the budget reads time from
+an injectable :class:`~repro.reliability.clock.Clock`, so tests drive
+expiry with a :class:`~repro.reliability.clock.FakeClock` and never
+sleep.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, DeadlineExceededError
+from .clock import Clock, SystemClock
+
+__all__ = ["DeadlineBudget"]
+
+
+class DeadlineBudget:
+    """One request's remaining time, threaded through every stage.
+
+    Immutable configuration (total, clock, start) with a live
+    :meth:`remaining` — the object is safe to share across the stages
+    of one request but is *per request*: two requests must never share
+    a budget (each caller's wait is its own).
+    """
+
+    def __init__(
+        self,
+        total_s: float,
+        clock: Clock | None = None,
+        started_at: float | None = None,
+    ) -> None:
+        """A budget of ``total_s`` seconds starting now.
+
+        ``started_at`` (a ``clock.monotonic()`` reading) backdates the
+        start — the admission path uses it so queue time spent before
+        the budget object existed still counts against the request.
+        """
+        if total_s <= 0:
+            raise ConfigurationError(f"total_s must be positive, got {total_s}")
+        self.total_s = float(total_s)
+        self.clock = clock or SystemClock()
+        self.started_at = (
+            self.clock.monotonic() if started_at is None else float(started_at)
+        )
+
+    def elapsed(self) -> float:
+        """Seconds consumed so far (never negative)."""
+        return max(0.0, self.clock.monotonic() - self.started_at)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at zero — what every stage waits on."""
+        return max(0.0, self.total_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is fully consumed."""
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise if the budget is spent, naming the consuming ``stage``.
+
+        The raised :class:`~repro.errors.DeadlineExceededError` carries
+        ``stage`` both in its message and as an attribute.
+        """
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline budget of {self.total_s}s exhausted in stage "
+                f"{stage!r} (elapsed {self.elapsed():.3f}s)",
+                stage=stage,
+            )
+
+    def stage_timeout(self, cap: float | None = None) -> float:
+        """The timeout one stage may spend: ``min(cap, remaining())``.
+
+        ``cap`` is the stage's own ceiling (``None`` = no ceiling); the
+        result is never negative, so an expired budget hands a stage a
+        zero timeout rather than a fresh one.
+        """
+        remaining = self.remaining()
+        if cap is None:
+            return remaining
+        return min(max(0.0, cap), remaining)
+
+    def as_dict(self) -> dict:
+        """JSON-ready budget accounting (for provenance and tests)."""
+        return {
+            "total_s": self.total_s,
+            "elapsed_s": round(self.elapsed(), 6),
+            "remaining_s": round(self.remaining(), 6),
+            "expired": self.expired,
+        }

@@ -24,7 +24,12 @@ __all__ = [
     "reset",
 ]
 
-#: Every key the global table tracks, in reporting order.
+#: Every key the global table tracks, in reporting order.  The
+#: ``breaker_*`` / ``hedge*`` keys are mirrored by the resilience
+#: control plane (:mod:`repro.reliability.breaker` /
+#: :mod:`repro.reliability.hedge`) so a run's breaker and hedging
+#: activity lands in the same ``runtime.reliability`` block of
+#: ``full_study.json`` as its retries and faults.
 COUNTER_KEYS: tuple[str, ...] = (
     "attempts",
     "request_retries",
@@ -34,6 +39,15 @@ COUNTER_KEYS: tuple[str, ...] = (
     "rate_limit_faults",
     "latency_spikes",
     "malformed_completions",
+    "breaker_opens",
+    "breaker_closes",
+    "breaker_probes",
+    "breaker_rejections",
+    "breaker_failures",
+    "breaker_slow_calls",
+    "hedges_launched",
+    "hedge_wins",
+    "hedge_waste",
 )
 
 _LOCK = threading.Lock()

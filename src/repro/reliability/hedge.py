@@ -1,0 +1,277 @@
+"""Hedged requests: race a duplicate attempt against a straggler.
+
+Tail latency is dominated by stragglers — the occasional call that
+takes 20x the median (a cold shard, a GC pause, an injected
+``latency_s`` spike).  The classic remedy (Dean & Barroso, "The Tail at
+Scale") is to *hedge*: once a call has been outstanding longer than a
+high percentile of typical latency, issue a duplicate and take
+whichever answer arrives first.  The contract is strict idempotency —
+both attempts may complete, so hedging is only safe for calls whose
+duplicate execution is free of side effects (a pure ``predict`` over a
+batch of pairs qualifies; a ledger-charging routed escalation does
+not — see ``docs/FAILURE_SEMANTICS.md`` §9).
+
+:class:`HedgedCall` runs in two modes sharing all accounting:
+
+* **threaded** (:class:`~repro.reliability.clock.SystemClock`) — the
+  primary attempt runs in a worker thread; after the hedge delay a
+  duplicate is launched and the first *successful* completion wins.
+  The loser is cancelled cooperatively: each attempt receives a
+  ``cancel`` event it may poll, and its eventual result is discarded.
+* **inline** (any other clock, e.g. a
+  :class:`~repro.reliability.clock.FakeClock`) — both attempts run
+  synchronously and the race is *computed* from clock-measured
+  durations: the hedge fires iff the primary took longer than the
+  delay, and wins iff ``delay + hedge duration < primary duration``.
+  Same accounting, fully deterministic, no threads — the mode the
+  tests pin.
+
+The hedge delay is either configured explicitly or derived from the
+p95 of a bounded window of observed winner latencies (the p95-derived
+delay self-tunes as the backend's latency drifts).  Win/waste totals
+are kept locally and mirrored into :mod:`repro.reliability.counters`
+(``hedges_launched`` / ``hedge_wins`` / ``hedge_waste``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from typing import Any, Callable, TypeVar
+
+from ..errors import ConfigurationError
+from ..obs.trace import span
+from . import counters
+from .clock import Clock, SystemClock
+
+__all__ = ["HedgedCall"]
+
+T = TypeVar("T")
+
+#: An attempt callable: ``attempt(index, cancel)`` where ``index`` is 0
+#: for the primary and 1 for the hedge, and ``cancel`` is a
+#: ``threading.Event`` set once the other attempt has already won.
+Attempt = Callable[[int, threading.Event], T]
+
+
+class HedgedCall:
+    """Race a hedge attempt against a straggling primary, first-win.
+
+    One instance per hedged call site (it owns the latency window the
+    p95-derived delay is computed over).  Thread-safe: concurrent
+    :meth:`call` invocations share only the counters and the window,
+    both lock-protected.
+    """
+
+    #: How many winner latencies the p95 window keeps.
+    WINDOW = 256
+
+    def __init__(
+        self,
+        hedge_delay_s: float | None = None,
+        quantile: float = 0.95,
+        min_delay_s: float = 0.001,
+        clock: Clock | None = None,
+        count: bool = True,
+    ) -> None:
+        """Configure the hedging policy.
+
+        ``hedge_delay_s`` fixes the delay; ``None`` derives it as the
+        ``quantile`` (default p95) of the observed-winner-latency
+        window, floored at ``min_delay_s`` (also the delay used before
+        any latency has been observed).  ``clock`` selects the mode:
+        a :class:`~repro.reliability.clock.SystemClock` races real
+        threads, anything else computes the race deterministically
+        inline.  ``count=False`` skips the process-wide counter table.
+        """
+        if hedge_delay_s is not None and hedge_delay_s < 0:
+            raise ConfigurationError("hedge_delay_s must be non-negative")
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
+        if min_delay_s <= 0:
+            raise ConfigurationError("min_delay_s must be positive")
+        self.hedge_delay_s = hedge_delay_s
+        self.quantile = quantile
+        self.min_delay_s = min_delay_s
+        self.clock = clock or SystemClock()
+        self.count = count
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=self.WINDOW)
+        #: Monotonic hedging totals (JSON-ready via :meth:`as_dict`).
+        self.counters: dict[str, float] = {
+            "calls": 0,
+            "hedges_launched": 0,
+            "hedge_wins": 0,
+            "hedge_waste": 0,
+            "failures": 0,
+        }
+
+    # -- accounting ----------------------------------------------------------
+
+    def _bump(self, key: str, mirror: str | None = None) -> None:
+        """Add one to a local counter, mirroring process-wide when asked."""
+        with self._lock:
+            self.counters[key] += 1
+        if mirror is not None and self.count:
+            counters.record(mirror)
+
+    def _observe(self, latency_s: float) -> None:
+        """Fold one winner latency into the p95 window."""
+        with self._lock:
+            self._latencies.append(latency_s)
+
+    def delay(self) -> float:
+        """The hedge delay in force right now.
+
+        The configured value when set; otherwise the ``quantile`` of
+        the winner-latency window (nearest-rank), floored at
+        ``min_delay_s`` — which is also the answer while the window is
+        still empty.
+        """
+        if self.hedge_delay_s is not None:
+            return self.hedge_delay_s
+        with self._lock:
+            window = sorted(self._latencies)
+        if not window:
+            return self.min_delay_s
+        rank = min(len(window) - 1, max(0, round(self.quantile * (len(window) - 1))))
+        return max(self.min_delay_s, window[rank])
+
+    # -- the race ------------------------------------------------------------
+
+    def call(self, attempt: Attempt) -> Any:
+        """Run ``attempt`` with hedging; return the winning result.
+
+        ``attempt(index, cancel)`` must be idempotent across indices —
+        both executions may complete and the loser's result is thrown
+        away.  A primary that *fails* before the hedge fires is hedged
+        immediately (the hedge doubles as the backup attempt); if every
+        attempt fails, the last error is raised.
+        """
+        self._bump("calls")
+        delay = self.delay()
+        with span("hedge.call", delay_s=round(delay, 6)) as hedge_span:
+            if isinstance(self.clock, SystemClock):
+                result, hedged, hedge_won = self._call_threaded(attempt, delay)
+            else:
+                result, hedged, hedge_won = self._call_inline(attempt, delay)
+            hedge_span.set(hedged=hedged, hedge_won=hedge_won)
+        return result
+
+    def _settle(self, hedged: bool, hedge_won: bool, latency_s: float) -> None:
+        """Book the outcome of one completed race."""
+        self._observe(latency_s)
+        if hedged:
+            if hedge_won:
+                self._bump("hedge_wins", mirror="hedge_wins")
+            else:
+                self._bump("hedge_waste", mirror="hedge_waste")
+
+    def _call_inline(
+        self, attempt: Attempt, delay: float
+    ) -> tuple[Any, bool, bool]:
+        """The deterministic mode: compute the race from clock durations.
+
+        The primary runs to completion first (its sleeps advance the
+        fake clock); the hedge runs iff the primary overran the delay
+        or raised.  The winner is whichever would have finished first
+        had both really raced: the hedge starts ``delay`` late, so it
+        wins iff ``delay + hedge duration < primary duration``.
+        """
+        cancel = threading.Event()
+        started = self.clock.monotonic()
+        primary_error: BaseException | None = None
+        primary_duration = 0.0
+        result: Any = None
+        try:
+            result = attempt(0, cancel)
+            primary_duration = self.clock.monotonic() - started
+        except Exception as error:  # hedge below doubles as the backup
+            primary_error = error
+            primary_duration = self.clock.monotonic() - started
+        if primary_error is None and primary_duration <= delay:
+            self._settle(hedged=False, hedge_won=False, latency_s=primary_duration)
+            return result, False, False
+        self._bump("hedges_launched", mirror="hedges_launched")
+        hedge_started = self.clock.monotonic()
+        try:
+            hedge_result = attempt(1, cancel)
+        except Exception:
+            if primary_error is not None:
+                self._bump("failures")
+                raise  # both attempts failed: surface the hedge's error
+            self._settle(hedged=True, hedge_won=False, latency_s=primary_duration)
+            return result, True, False
+        hedge_duration = self.clock.monotonic() - hedge_started
+        if primary_error is not None or delay + hedge_duration < primary_duration:
+            self._settle(
+                hedged=True, hedge_won=True, latency_s=delay + hedge_duration
+            )
+            return hedge_result, True, True
+        self._settle(hedged=True, hedge_won=False, latency_s=primary_duration)
+        return result, True, False
+
+    def _call_threaded(
+        self, attempt: Attempt, delay: float
+    ) -> tuple[Any, bool, bool]:
+        """The production mode: a real first-result-wins thread race."""
+        outcomes: "queue.Queue[tuple[int, Any, BaseException | None]]" = queue.Queue()
+        cancel = threading.Event()
+        started = self.clock.monotonic()
+
+        def run(index: int) -> None:
+            try:
+                outcomes.put((index, attempt(index, cancel), None))
+            except BaseException as error:  # delivered to the waiter below
+                outcomes.put((index, None, error))
+
+        threading.Thread(target=run, args=(0,), daemon=True).start()
+        outstanding = 1
+        hedged = False
+        last_error: BaseException | None = None
+
+        def launch_hedge() -> None:
+            self._bump("hedges_launched", mirror="hedges_launched")
+            threading.Thread(target=run, args=(1,), daemon=True).start()
+
+        while True:
+            try:
+                index, value, error = outcomes.get(
+                    timeout=delay if not hedged else None
+                )
+            except queue.Empty:
+                # The primary overran the hedge delay: launch the hedge.
+                launch_hedge()
+                outstanding += 1
+                hedged = True
+                continue
+            outstanding -= 1
+            if error is None:
+                cancel.set()  # cooperative loser cancellation
+                hedge_won = hedged and index == 1
+                self._settle(
+                    hedged=hedged,
+                    hedge_won=hedge_won,
+                    latency_s=self.clock.monotonic() - started,
+                )
+                return value, hedged, hedge_won
+            last_error = error
+            if not hedged:
+                # The primary failed before the delay: hedge immediately
+                # as the backup attempt rather than giving up.
+                launch_hedge()
+                outstanding += 1
+                hedged = True
+                continue
+            if outstanding == 0:
+                self._bump("failures")
+                raise last_error
+
+    # -- introspection -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready hedging totals plus the delay currently in force."""
+        with self._lock:
+            totals = {k: int(v) for k, v in self.counters.items()}
+        return {"delay_s": round(self.delay(), 6), "counters": totals}

@@ -23,6 +23,20 @@ two concerns only a serving system has:
   rung* — the router degrades to the cheaper answer instead of failing
   the request — and flagged ``budget_limited`` in its decision.
 
+A third serving-only concern joined in the resilience control plane
+(see ``docs/FAILURE_SEMANTICS.md`` §9):
+
+* **Backend isolation and deadline degradation.**  Each rung may carry
+  a :class:`~repro.reliability.breaker.CircuitBreaker`; escalation to a
+  rung whose breaker is open is *decided at the current rung* (band
+  midpoint, flagged ``breaker_open``), a rung call that raises degrades
+  the affected pairs the same way (flagged ``backend_failed``) while
+  feeding the breaker, and a request whose
+  :class:`~repro.reliability.budget.DeadlineBudget` ran out before an
+  escalation is decided immediately (flagged ``deadline_limited``).
+  The router therefore *always answers*: only an entry-rung failure —
+  where no cheaper answer exists — propagates to the caller.
+
 Determinism: pairs are charged and decided in submission order, the
 ledger's window is pruned on an injectable
 :class:`~repro.reliability.clock.Clock`, and no unseeded randomness is
@@ -44,6 +58,8 @@ from ..errors import ConfigurationError
 from ..llm.tokens import count_tokens
 from ..matchers.base import Matcher
 from ..obs.trace import span
+from ..reliability.breaker import CircuitBreaker
+from ..reliability.budget import DeadlineBudget
 from ..reliability.clock import Clock, SystemClock
 
 __all__ = [
@@ -80,7 +96,10 @@ class RoutedBackend:
     exposing ``match_scores``; the final rung is the authority and only
     needs ``predict``.  ``price_per_1k_tokens`` is the backend's input
     price in dollars (0 for locally-hosted matchers), the unit
-    :mod:`repro.llm.pricing` publishes.
+    :mod:`repro.llm.pricing` publishes.  ``breaker`` (optional) is the
+    rung's :class:`~repro.reliability.breaker.CircuitBreaker`: the
+    router consults it before escalating *to* this rung and feeds it
+    the outcome of every call made to the rung.
     """
 
     name: str
@@ -88,6 +107,7 @@ class RoutedBackend:
     price_per_1k_tokens: float = 0.0
     low: float | None = None
     high: float | None = None
+    breaker: CircuitBreaker | None = None
 
     def __post_init__(self) -> None:
         """Validate the price and (when present) the confidence band."""
@@ -130,6 +150,15 @@ class RouteDecision:
     score: float | None = None
     #: Whether a budget stopped an escalation the bands asked for.
     budget_limited: bool = False
+    #: Whether an open circuit breaker stopped an escalation (decided
+    #: at the current rung's band midpoint instead).
+    breaker_open: bool = False
+    #: Whether the escalated backend's call failed and the decision
+    #: fell back to the last healthy rung's band midpoint.
+    backend_failed: bool = False
+    #: Whether the request's deadline budget ran out before an
+    #: escalation and the decision was taken at the current rung.
+    deadline_limited: bool = False
 
 
 class SpendLedger:
@@ -256,31 +285,50 @@ class MatchRouter:
             "requests": 0,
             "escalations": 0,
             "budget_limited": 0,
+            "breaker_open": 0,
+            "backend_failures": 0,
+            "deadline_limited": 0,
             "spend_usd": 0.0,
         }
         self._decided_by: dict[str, int] = {b.name: 0 for b in self.backends}
 
     # -- the decision procedure ----------------------------------------------
 
-    def route(self, pairs: Sequence[RecordPair]) -> list[RouteDecision]:
+    def route(
+        self,
+        pairs: Sequence[RecordPair],
+        budget: DeadlineBudget | None = None,
+    ) -> list[RouteDecision]:
         """Decide every pair, escalating only inside confidence bands.
 
         Pairs are processed rung by rung as one batch per rung (so the
         underlying matchers keep their batching advantage); budget
         charges happen in submission order, making the whole procedure
-        a pure function of (pairs, clock, ledger state).
+        a pure function of (pairs, clock, ledger state).  ``budget``
+        (optional) is the request's deadline budget: once it expires,
+        remaining pairs are decided at the rung they have reached
+        instead of escalating further (``deadline_limited``).
         """
         pairs = list(pairs)
         if not pairs:
             return []
         with span("router.decide", pairs=len(pairs)) as route_span:
-            decisions = self._route_batch(pairs)
+            decisions = self._route_batch(pairs, budget)
             escalated = sum(1 for d in decisions if d.escalated)
             spend = sum(d.spend_usd for d in decisions)
             self.counters["requests"] += len(decisions)
             self.counters["escalations"] += escalated
             self.counters["budget_limited"] += sum(
                 1 for d in decisions if d.budget_limited
+            )
+            self.counters["breaker_open"] += sum(
+                1 for d in decisions if d.breaker_open
+            )
+            self.counters["backend_failures"] += sum(
+                1 for d in decisions if d.backend_failed
+            )
+            self.counters["deadline_limited"] += sum(
+                1 for d in decisions if d.deadline_limited
             )
             self.counters["spend_usd"] += spend
             for decision in decisions:
@@ -299,7 +347,50 @@ class MatchRouter:
             return self.ledger.try_charge(cost)
         return True
 
-    def _route_batch(self, pairs: list[RecordPair]) -> list[RouteDecision]:
+    def _invoke(self, backend: RoutedBackend, method: str, batch: list):
+        """Call one rung's matcher, feeding its breaker the outcome.
+
+        Successes report the call's wall-clock on the router's clock so
+        a breaker with ``slow_call_threshold_s`` can isolate a frozen
+        backend that technically still answers.
+        """
+        started = self.clock.monotonic()
+        try:
+            if method == "predict":
+                result = backend.matcher.predict(batch, self.serialization_seed)
+            else:
+                result = backend.matcher.match_scores(batch, self.serialization_seed)
+        except Exception:
+            if backend.breaker is not None:
+                backend.breaker.record_failure(len(batch))
+            raise
+        if backend.breaker is not None:
+            backend.breaker.record_success(
+                len(batch), duration_s=self.clock.monotonic() - started
+            )
+        return result
+
+    @staticmethod
+    def _degraded(
+        carried: tuple[str, bool, float, float, float],
+        spend: float,
+        **flags: bool,
+    ) -> RouteDecision:
+        """A band-midpoint decision at the rung ``carried`` describes."""
+        backend_name, escalated, score, low, high = carried
+        midpoint = (low + high) / 2.0
+        return RouteDecision(
+            label=int(score >= midpoint),
+            backend=backend_name,
+            escalated=escalated,
+            spend_usd=spend,
+            score=score,
+            **flags,
+        )
+
+    def _route_batch(
+        self, pairs: list[RecordPair], budget: DeadlineBudget | None = None
+    ) -> list[RouteDecision]:
         """One rung-by-rung pass over ``pairs`` (in submission order)."""
         n = len(pairs)
         decisions: list[RouteDecision | None] = [None] * n
@@ -312,6 +403,9 @@ class MatchRouter:
                 self.ledger.try_charge(cost)
         active = list(range(n))
         spent = list(entry_costs)
+        # The last banded rung's view of each escalated pair — the
+        # fallback decision point when a later rung fails.
+        carry: dict[int, tuple[str, bool, float, float, float]] = {}
 
         for tier, backend in enumerate(self.backends):
             if not active:
@@ -319,12 +413,24 @@ class MatchRouter:
             batch = [pairs[i] for i in active]
             if not backend.banded:
                 # Final rung: the authority decides everything left.
-                labels = backend.matcher.predict(batch, self.serialization_seed)
-                scores = None
-                if hasattr(backend.matcher, "match_scores"):
-                    scores = backend.matcher.match_scores(
-                        batch, self.serialization_seed
-                    )
+                try:
+                    labels = self._invoke(backend, "predict", batch)
+                    scores = None
+                    if hasattr(backend.matcher, "match_scores"):
+                        scores = backend.matcher.match_scores(
+                            batch, self.serialization_seed
+                        )
+                except Exception:
+                    if tier == 0:
+                        raise
+                    # Every pair here escalated through a banded rung,
+                    # so a cheaper answer exists: degrade, don't fail.
+                    for pos, i in enumerate(active):
+                        decisions[i] = self._degraded(
+                            carry[i], spent[pos], backend_failed=True
+                        )
+                    active = []
+                    break
                 for pos, i in enumerate(active):
                     decisions[i] = RouteDecision(
                         label=int(labels[pos]),
@@ -336,15 +442,29 @@ class MatchRouter:
                 active = []
                 break
 
-            scores = np.asarray(
-                backend.matcher.match_scores(batch, self.serialization_seed),
-                dtype=np.float64,
-            )
+            try:
+                scores = np.asarray(
+                    self._invoke(backend, "match_scores", batch),
+                    dtype=np.float64,
+                )
+            except Exception:
+                if tier == 0:
+                    # No cheaper rung exists below the entry rung; the
+                    # caller's retry layer owns this failure.
+                    raise
+                for pos, i in enumerate(active):
+                    decisions[i] = self._degraded(
+                        carry[i], spent[pos], backend_failed=True
+                    )
+                active = []
+                break
             next_backend = self.backends[tier + 1]
+            expired = budget is not None and budget.expired
             still_active: list[int] = []
             still_spent: list[float] = []
             for pos, i in enumerate(active):
                 score = float(scores[pos])
+                here = (backend.name, tier > 0, score, backend.low, backend.high)
                 if score >= backend.high:
                     decisions[i] = RouteDecision(
                         label=1, backend=backend.name, escalated=tier > 0,
@@ -357,21 +477,29 @@ class MatchRouter:
                         spend_usd=spent[pos], score=score,
                     )
                     continue
+                # Escalation admission, cheapest refusal first: a spent
+                # deadline consumes nothing, an open breaker must not
+                # burn budget, and only then is the charge attempted.
+                if expired:
+                    decisions[i] = self._degraded(
+                        here, spent[pos], deadline_limited=True
+                    )
+                    continue
+                if next_backend.breaker is not None and not next_backend.breaker.allow():
+                    decisions[i] = self._degraded(
+                        here, spent[pos], breaker_open=True
+                    )
+                    continue
                 cost = next_backend.spend_usd(request_tokens(pairs[i]))
                 if self._charge(cost, spent[pos]):
+                    carry[i] = here
                     still_active.append(i)
                     still_spent.append(spent[pos] + cost)
                 else:
                     # Budget-frustrated escalation: decide here, at the
                     # band's midpoint, and flag the degradation.
-                    midpoint = (backend.low + backend.high) / 2.0
-                    decisions[i] = RouteDecision(
-                        label=int(score >= midpoint),
-                        backend=backend.name,
-                        escalated=tier > 0,
-                        spend_usd=spent[pos],
-                        score=score,
-                        budget_limited=True,
+                    decisions[i] = self._degraded(
+                        here, spent[pos], budget_limited=True
                     )
             active = still_active
             spent = still_spent
@@ -395,6 +523,9 @@ class MatchRouter:
                     "price_per_1k_tokens": b.price_per_1k_tokens,
                     "band": [b.low, b.high] if b.banded else None,
                     "decided": self._decided_by[b.name],
+                    "breaker": (
+                        b.breaker.as_dict() if b.breaker is not None else None
+                    ),
                 }
                 for b in self.backends
             ],

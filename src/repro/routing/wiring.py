@@ -32,6 +32,7 @@ from ..data.pairs import RecordPair
 from ..errors import ConfigurationError
 from ..eval.calibration import confidence_band
 from ..matchers.base import Matcher
+from ..reliability.breaker import CircuitBreaker
 from ..reliability.clock import Clock
 from .drift import DriftMonitor
 from .policy import MatchRouter, RoutedBackend, SpendLedger
@@ -79,6 +80,7 @@ def build_cascade_router(
     ledger: SpendLedger | None = None,
     serialization_seed: int | None = None,
     clock: Clock | None = None,
+    escalation_breaker: CircuitBreaker | None = None,
 ) -> MatchRouter:
     """Assemble the canonical cheap-then-expensive two-rung router.
 
@@ -87,7 +89,10 @@ def build_cascade_router(
     interval escalates to ``expensive``).  Prices are dollars per 1k
     input tokens as :mod:`repro.llm.pricing` publishes them; budgets and
     ledger are forwarded to :class:`~repro.routing.policy.MatchRouter`
-    untouched.
+    untouched.  ``escalation_breaker`` (optional) is attached to the
+    expensive rung so a failing or frozen authority is isolated and the
+    router degrades to the cheap rung's band midpoint instead of
+    erroring (see ``docs/FAILURE_SEMANTICS.md`` §9).
     """
     low, high = calibrate_band(
         cheap, calibration_pairs, min_purity=min_purity, seed=serialization_seed
@@ -105,6 +110,7 @@ def build_cascade_router(
                 name=expensive_name,
                 matcher=expensive,
                 price_per_1k_tokens=expensive_price_per_1k_tokens,
+                breaker=escalation_breaker,
             ),
         ],
         per_request_budget_usd=per_request_budget_usd,

@@ -46,6 +46,15 @@ class RuntimeStats:
             "rate_limit_faults": 0,
             "latency_spikes": 0,
             "malformed_completions": 0,
+            "breaker_opens": 0,
+            "breaker_closes": 0,
+            "breaker_probes": 0,
+            "breaker_rejections": 0,
+            "breaker_failures": 0,
+            "breaker_slow_calls": 0,
+            "hedges_launched": 0,
+            "hedge_wins": 0,
+            "hedge_waste": 0,
             "cell_retries": 0,
             "cell_failures": 0,
         }

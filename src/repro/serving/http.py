@@ -7,11 +7,15 @@ Three endpoints, all JSON:
     (attribute-value lists); body ``{"record": [...], "top_k": k}`` runs a
     candidate lookup against the service's index.  Responses carry the
     predicted label/matches plus the request latency, and the routing
-    provenance fields (``backend``, ``escalated``, ``spend_usd`` —
-    ``null``/zero on an unrouted service).
+    provenance fields (``backend``, ``escalated``, ``spend_usd``, and
+    the degradation flags ``budget_limited`` / ``breaker_open`` /
+    ``backend_failed`` / ``deadline_limited`` — ``null``/zero/false on
+    an unrouted service).
 ``GET /healthz``
     Liveness and saturation: 200 with ``status: ok`` normally, **503**
-    with ``status: degraded`` while the admission queue is full.
+    with a ``Retry-After`` hint whenever the status is not ``ok`` — a
+    saturated queue, a dead dispatcher thread, or an open circuit
+    breaker; the ``degraded`` block in the body lists every cause.
 ``GET /metrics``
     The :class:`~repro.serving.service.ServingStats` block merged with
     the scheduler counters (explicit zeros when no batch has flushed)
@@ -29,9 +33,10 @@ Three endpoints, all JSON:
     on a service constructed without a router.
 
 Error mapping is structural, never a hang: malformed requests are 400,
-shed load (:class:`~repro.errors.OverloadedError`) is 429, a blown
-per-request deadline is 504, anything else is 500 — each with a JSON body
-naming the error type.
+an oversized body (:class:`~repro.errors.PayloadTooLargeError`) is 413,
+shed load (:class:`~repro.errors.OverloadedError`) is 429 with a
+``Retry-After`` hint, a blown per-request deadline is 504, anything
+else is 500 — each with a JSON body naming the error type.
 
 Built on :mod:`http.server`'s ``ThreadingHTTPServer`` so concurrent
 requests coalesce inside the micro-batcher; no third-party web framework
@@ -49,6 +54,7 @@ from ..errors import (
     DatasetError,
     DeadlineExceededError,
     OverloadedError,
+    PayloadTooLargeError,
     ReproError,
     ServingError,
 )
@@ -58,6 +64,17 @@ __all__ = ["MatchHTTPServer", "main"]
 
 #: Largest request body accepted, in bytes (a single record pair is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: The ``Retry-After`` hint (seconds) sent with 429 and unhealthy-503
+#: responses: long enough for a micro-batch queue to drain, short enough
+#: that a well-behaved client keeps its latency bounded.
+RETRY_AFTER_S = 1
+
+#: How much of an oversized body is drained before the 413 goes out —
+#: without the drain the client hits a broken pipe mid-upload and never
+#: sees the structured error; the cap keeps a hostile Content-Length
+#: from turning the courtesy into an unbounded read.
+_DRAIN_CAP_BYTES = 8 * MAX_BODY_BYTES
 
 
 def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
@@ -70,19 +87,33 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
         def log_message(self, format: str, *args: object) -> None:
             """Suppress per-request stderr logging."""
 
-        def _send_json(self, status: int, payload: dict) -> None:
-            """Write one JSON response."""
+        def _send_json(
+            self,
+            status: int,
+            payload: dict,
+            headers: dict[str, str] | None = None,
+        ) -> None:
+            """Write one JSON response (plus any extra headers)."""
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_error_json(self, status: int, error: BaseException) -> None:
+        def _send_error_json(
+            self,
+            status: int,
+            error: BaseException,
+            headers: dict[str, str] | None = None,
+        ) -> None:
             """Write a structured error response naming the error type."""
             self._send_json(
-                status, {"error": type(error).__name__, "detail": str(error)}
+                status,
+                {"error": type(error).__name__, "detail": str(error)},
+                headers=headers,
             )
 
         def _send_text(self, status: int, text: str) -> None:
@@ -106,7 +137,16 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
             path, _, query = self.path.partition("?")
             if path == "/healthz":
                 health = service.healthz()
-                self._send_json(503 if health["saturated"] else 200, health)
+                if health["status"] == "ok":
+                    self._send_json(200, health)
+                else:
+                    # Unhealthy for any cause — saturation, a dead
+                    # dispatcher, an open breaker — fails the probe,
+                    # with a Retry-After hint for polling clients.
+                    self._send_json(
+                        503, health,
+                        headers={"Retry-After": str(RETRY_AFTER_S)},
+                    )
             elif path == "/metrics":
                 if self._wants_prometheus(path, query):
                     self._send_text(200, service.prometheus_metrics())
@@ -123,7 +163,18 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
         def _read_request(self) -> dict:
             """Parse the JSON request body (raises ServingError when bad)."""
             length = int(self.headers.get("Content-Length") or 0)
-            if length <= 0 or length > MAX_BODY_BYTES:
+            if length > MAX_BODY_BYTES:
+                remaining = min(length, _DRAIN_CAP_BYTES)
+                while remaining > 0:
+                    chunk = self.rfile.read(min(65536, remaining))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+                raise PayloadTooLargeError(
+                    f"request body is {length} bytes "
+                    f"(limit {MAX_BODY_BYTES})"
+                )
+            if length <= 0:
                 raise ServingError(f"request body length {length} out of range")
             try:
                 payload = json.loads(self.rfile.read(length))
@@ -159,6 +210,10 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
                     "backend": response.backend,
                     "escalated": response.escalated,
                     "spend_usd": response.spend_usd,
+                    "budget_limited": response.budget_limited,
+                    "breaker_open": response.breaker_open,
+                    "backend_failed": response.backend_failed,
+                    "deadline_limited": response.deadline_limited,
                 }
             raise ServingError(
                 'body must contain either "left"/"right" or "record"'
@@ -172,9 +227,13 @@ def _make_handler(service: MatchService) -> type[BaseHTTPRequestHandler]:
             try:
                 self._send_json(200, self._handle_match(self._read_request()))
             except OverloadedError as error:
-                self._send_error_json(429, error)
+                self._send_error_json(
+                    429, error, headers={"Retry-After": str(RETRY_AFTER_S)}
+                )
             except DeadlineExceededError as error:
                 self._send_error_json(504, error)
+            except PayloadTooLargeError as error:
+                self._send_error_json(413, error)
             except (ServingError, DatasetError, TypeError) as error:
                 self._send_error_json(400, error)
             except ReproError as error:

@@ -23,10 +23,19 @@ Admission control is load *shedding*, not load absorbing: once
 ``max_queue`` requests are waiting, further submits raise a structured
 :class:`~repro.errors.OverloadedError` immediately instead of growing
 the queue (and every caller's latency) unboundedly.
+
+Requests may carry a :class:`~repro.reliability.budget.DeadlineBudget`:
+an entry whose budget expired while it queued is failed with a
+``scheduler.queue``-staged :class:`~repro.errors.DeadlineExceededError`
+*before* the batch runs (processing it would waste a batch slot on an
+answer nobody is waiting for), and the batch's tightest remaining
+budget is forwarded to ``process_batch`` when its signature accepts a
+``budget`` keyword.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -34,6 +43,7 @@ from typing import Any
 
 from ..errors import ConfigurationError, DeadlineExceededError, OverloadedError, ServingError
 from ..obs.trace import span
+from ..reliability.budget import DeadlineBudget
 from ..reliability.clock import Clock, SystemClock
 
 __all__ = ["PendingResult", "MicroBatcher"]
@@ -144,15 +154,26 @@ class MicroBatcher:
         self.clock = clock or SystemClock()
         self.length_key = length_key
         self._seq = 0
-        #: Entries are ``(item, pending, seq, length)``; ``seq`` is the
-        #: admission order and ``length`` the cached ``length_key`` value.
-        self._queue: deque[tuple[Any, PendingResult, int, float]] = deque()
+        #: Entries are ``(item, pending, seq, length, budget)``; ``seq``
+        #: is the admission order, ``length`` the cached ``length_key``
+        #: value and ``budget`` the request's optional deadline budget.
+        self._queue: deque[
+            tuple[Any, PendingResult, int, float, DeadlineBudget | None]
+        ] = deque()
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
         self._stopped = False
+        try:
+            params = inspect.signature(process_batch).parameters
+            self._budget_aware = "budget" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+        except (TypeError, ValueError):  # builtins without signatures
+            self._budget_aware = False
         self._counters: dict[str, float] = {
             "submitted": 0,
             "shed": 0,
+            "expired": 0,
             "batches": 0,
             "processed": 0,
             "batch_errors": 0,
@@ -191,11 +212,17 @@ class MicroBatcher:
 
     # -- admission -----------------------------------------------------------
 
-    def submit(self, item: Any) -> PendingResult:
+    def submit(
+        self, item: Any, budget: DeadlineBudget | None = None
+    ) -> PendingResult:
         """Enqueue one request; returns its :class:`PendingResult`.
 
         Raises :class:`~repro.errors.OverloadedError` when the admission
         queue is full — the caller is *not* enqueued and should back off.
+        ``budget`` (optional) rides along with the entry: if it expires
+        before the entry's batch runs, the request fails with a
+        ``scheduler.queue``-staged deadline error instead of consuming a
+        batch slot.
         """
         with self._cond:
             if len(self._queue) >= self.max_queue:
@@ -205,7 +232,7 @@ class MicroBatcher:
                 )
             pending = PendingResult(submitted_at=self.clock.monotonic())
             length = 0.0 if self.length_key is None else float(self.length_key(item))
-            self._queue.append((item, pending, self._seq, length))
+            self._queue.append((item, pending, self._seq, length, budget))
             self._seq += 1
             self._counters["submitted"] += 1
             self._cond.notify_all()
@@ -220,6 +247,16 @@ class MicroBatcher:
     def saturated(self) -> bool:
         """Whether the admission queue is full (the health-check signal)."""
         return len(self._queue) >= self.max_queue
+
+    @property
+    def dispatcher_alive(self) -> bool:
+        """Whether the dispatcher can still make progress.
+
+        ``True`` in inline mode (no thread is expected) and after a
+        clean :meth:`stop`; ``False`` only when a started dispatcher
+        thread died — the health check's dead-service signal.
+        """
+        return self._thread is None or self._thread.is_alive()
 
     def counters(self) -> dict[str, float]:
         """A snapshot of the scheduler counters (copies the dict)."""
@@ -243,7 +280,9 @@ class MicroBatcher:
             self._run_batch(batch)
             n_batches += 1
 
-    def _pop_batch(self) -> list[tuple[Any, PendingResult]]:
+    def _pop_batch(
+        self,
+    ) -> list[tuple[Any, PendingResult, DeadlineBudget | None]]:
         """Pop up to ``max_batch_size`` queued entries (caller holds the lock).
 
         FIFO without a ``length_key``; with one, a window of
@@ -255,8 +294,8 @@ class MicroBatcher:
         if self.length_key is None:
             batch = []
             while self._queue and len(batch) < self.max_batch_size:
-                item, pending, _seq, _length = self._queue.popleft()
-                batch.append((item, pending))
+                item, pending, _seq, _length, budget = self._queue.popleft()
+                batch.append((item, pending, budget))
             return batch
         entries = list(self._queue)
         oldest_seq = entries[0][2]
@@ -268,7 +307,7 @@ class MicroBatcher:
         chosen = ordered[start:start + self.max_batch_size]
         chosen_seqs = {entry[2] for entry in chosen}
         self._queue = deque(e for e in entries if e[2] not in chosen_seqs)
-        return [(entry[0], entry[1]) for entry in chosen]
+        return [(entry[0], entry[1], entry[4]) for entry in chosen]
 
     def _dispatch_loop(self) -> None:
         """Threaded mode: batch when full or when the oldest waited enough."""
@@ -288,14 +327,45 @@ class MicroBatcher:
             if batch:
                 self._run_batch(batch)
 
-    def _run_batch(self, batch: list[tuple[Any, PendingResult]]) -> None:
-        """Process one batch and deliver per-request outcomes."""
-        items = [item for item, _pending in batch]
+    def _run_batch(
+        self, batch: list[tuple[Any, PendingResult, DeadlineBudget | None]]
+    ) -> None:
+        """Process one batch and deliver per-request outcomes.
+
+        Entries whose deadline budget expired while queued are failed
+        first (stage ``scheduler.queue``); the surviving entries run as
+        one batch, with the tightest remaining budget forwarded to a
+        budget-aware ``process_batch``.
+        """
+        live: list[tuple[Any, PendingResult, DeadlineBudget | None]] = []
+        for item, pending, budget in batch:
+            if budget is not None and budget.expired:
+                self._counters["expired"] += 1
+                pending.fail(
+                    DeadlineExceededError(
+                        f"deadline budget ({budget.total_s}s) expired while "
+                        "queued for a batch",
+                        stage="scheduler.queue",
+                    ),
+                    completed_at=self.clock.monotonic(),
+                )
+            else:
+                live.append((item, pending, budget))
+        if not live:
+            return
+        items = [item for item, _pending, _budget in live]
+        budgets = [b for _item, _pending, b in live if b is not None]
+        batch_budget = (
+            min(budgets, key=lambda b: b.remaining()) if budgets else None
+        )
         self._counters["batches"] += 1
-        self._counters["occupancy_sum"] += len(batch)
-        with span("scheduler.flush", occupancy=len(batch)) as flush_span:
+        self._counters["occupancy_sum"] += len(live)
+        with span("scheduler.flush", occupancy=len(live)) as flush_span:
             try:
-                results = self.process_batch(items)
+                if self._budget_aware and batch_budget is not None:
+                    results = self.process_batch(items, budget=batch_budget)
+                else:
+                    results = self.process_batch(items)
                 if len(results) != len(items):
                     raise ServingError(
                         f"process_batch returned {len(results)} results "
@@ -305,11 +375,11 @@ class MicroBatcher:
                 self._counters["batch_errors"] += 1
                 flush_span.set(outcome="error", error_type=type(error).__name__)
                 now = self.clock.monotonic()
-                for _item, pending in batch:
+                for _item, pending, _budget in live:
                     pending.fail(error, completed_at=now)
                 return
             flush_span.set(outcome="ok")
         now = self.clock.monotonic()
-        for (_item, pending), result in zip(batch, results):
+        for (_item, pending, _budget), result in zip(live, results):
             pending.fulfil(result, completed_at=now)
-        self._counters["processed"] += len(batch)
+        self._counters["processed"] += len(live)

@@ -48,11 +48,14 @@ from dataclasses import dataclass
 from ..config import get_inference_config
 from ..data.pairs import RecordPair
 from ..data.record import Record
-from ..errors import OverloadedError, ServingError
+from ..errors import DeadlineExceededError, OverloadedError, ServingError
 from ..matchers.base import Matcher
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import span
+from ..reliability.breaker import STATE_OPEN
+from ..reliability.budget import DeadlineBudget
 from ..reliability.clock import Clock, SystemClock
+from ..reliability.hedge import HedgedCall
 from ..reliability.policy import RetryPolicy
 from .index import Candidate, CandidateIndex
 from .scheduler import MicroBatcher
@@ -88,6 +91,13 @@ class MatchResponse:
     escalated: bool = False
     #: Token-dollars this request spent across the rungs it touched.
     spend_usd: float = 0.0
+    #: Degradation provenance (routed path): whether a spend budget, an
+    #: open circuit breaker, a failed backend, or an expired deadline
+    #: budget stopped an escalation the confidence bands asked for.
+    budget_limited: bool = False
+    breaker_open: bool = False
+    backend_failed: bool = False
+    deadline_limited: bool = False
 
     @property
     def matched(self) -> bool:
@@ -124,6 +134,7 @@ class ServingStats:
             "pairs_scored": 0,
             "matches": 0,
             "shed": 0,
+            "timeouts": 0,
             "errors": 0,
             "batch_retries": 0,
             # Routing totals — explicit zeros on unrouted services, so
@@ -132,6 +143,9 @@ class ServingStats:
             "routed": 0,
             "escalated": 0,
             "budget_limited": 0,
+            "breaker_open": 0,
+            "backend_failed": 0,
+            "deadline_limited": 0,
             "spend_usd": 0.0,
         }
         self._latencies: deque[float] = deque(maxlen=self.WINDOW)
@@ -190,7 +204,7 @@ class ServingStats:
     #: zeros — the block never silently disappears, so merge paths and
     #: dashboards see a stable schema (see ``docs/OBSERVABILITY.md``).
     SCHEDULER_KEYS = (
-        "submitted", "shed", "batches", "processed",
+        "submitted", "shed", "expired", "batches", "processed",
         "batch_errors", "occupancy_sum",
     )
 
@@ -244,6 +258,8 @@ class MatchService:
         router=None,
         drift_monitor=None,
         shadow=None,
+        hedge: HedgedCall | None = None,
+        default_budget_s: float | None = None,
     ) -> None:
         """Compose the serving stack around ``matcher``.
 
@@ -266,6 +282,15 @@ class MatchService:
         router's final backend for an accurate display.  ``drift_monitor``
         and ``shadow`` (see :mod:`repro.routing`) are fed every decided
         batch on the dispatcher side of the queue.
+
+        ``hedge`` (a :class:`~repro.reliability.hedge.HedgedCall`) races
+        a duplicate model call against stragglers on the *single-matcher*
+        path only: ``predict`` is idempotent, while routed batches charge
+        a :class:`~repro.routing.policy.SpendLedger` and must not run
+        twice (see ``docs/FAILURE_SEMANTICS.md`` §9).  ``default_budget_s``
+        gives every request a deadline budget unless its call overrides
+        one; the budget is threaded through queueing, retries and router
+        hops so each stage sees only the time that is actually left.
         """
         self.matcher = matcher
         self.index = index
@@ -273,6 +298,8 @@ class MatchService:
         self.router = router
         self.drift_monitor = drift_monitor
         self.shadow = shadow
+        self.hedge = hedge
+        self.default_budget_s = default_budget_s
         self.serialization_seed = serialization_seed
         self.default_timeout_s = default_timeout_s
         self.clock = clock or SystemClock()
@@ -316,22 +343,45 @@ class MatchService:
 
     # -- the batched model call ---------------------------------------------
 
-    def _process_batch(self, pairs: list[RecordPair]) -> list:
+    def _predict_once(self, pairs: list[RecordPair]) -> list:
+        """One (possibly hedged) matcher call on the single-matcher path.
+
+        ``predict`` is idempotent — running the duplicate attempt has no
+        side effect beyond the wasted work — which is what makes hedging
+        safe here and *only* here.
+        """
+        if self.hedge is not None:
+            labels = self.hedge.call(
+                lambda _attempt, _cancel: self.matcher.predict(
+                    pairs, self.serialization_seed
+                )
+            )
+        else:
+            labels = self.matcher.predict(pairs, self.serialization_seed)
+        return [int(label) for label in labels]
+
+    def _process_batch(
+        self, pairs: list[RecordPair], budget: DeadlineBudget | None = None
+    ) -> list:
         """Score one coalesced batch, retrying retryable failures.
 
         Returns plain ``int`` labels on the single-matcher path, or
         :class:`~repro.routing.policy.RouteDecision` objects when a
-        router is attached (``_await`` unpacks either shape).
+        router is attached (``_await`` unpacks either shape).  ``budget``
+        is the batch's tightest remaining deadline budget: a retry whose
+        backoff would outlive it fails immediately with a
+        ``serving.retry_backoff``-staged deadline error instead of
+        sleeping into a wait nobody can win.
         """
         policy = self.retry_policy
         attempt = 1
         while True:
             try:
                 if self.router is not None:
-                    return self._route_batch(pairs)
-                labels = self.matcher.predict(pairs, self.serialization_seed)
+                    return self._route_batch(pairs, budget)
+                labels = self._predict_once(pairs)
                 self.stats.bump("pairs_scored", len(pairs))
-                return [int(label) for label in labels]
+                return labels
             except Exception as error:
                 if (
                     policy is None
@@ -342,24 +392,38 @@ class MatchService:
                 delay = policy.delay_for_error(
                     error, attempt, key=f"serving/{pairs[0].pair_id}"
                 )
+                if budget is not None and budget.remaining() < delay:
+                    raise DeadlineExceededError(
+                        f"retry backoff ({delay:.3f}s) would outlive the "
+                        f"deadline budget ({budget.remaining():.3f}s left)",
+                        stage="serving.retry_backoff",
+                    ) from error
                 self.stats.bump("batch_retries")
                 if delay > 0:
                     self.clock.sleep(delay)
                 attempt += 1
 
-    def _route_batch(self, pairs: list[RecordPair]) -> list:
+    def _route_batch(
+        self, pairs: list[RecordPair], budget: DeadlineBudget | None = None
+    ) -> list:
         """Route one batch and feed the drift monitor + shadow evaluator.
 
         Drift and shadow run here — on the dispatcher side of the queue
         — so the monitoring cost is paid per batch, not per caller, and
         a shadow candidate's latency never extends a live response.
         """
-        decisions = self.router.route(pairs)
+        decisions = self.router.route(pairs, budget=budget)
         self.stats.bump("pairs_scored", len(pairs))
         self.stats.bump("routed", len(decisions))
         self.stats.bump("escalated", sum(1 for d in decisions if d.escalated))
         self.stats.bump("budget_limited",
                         sum(1 for d in decisions if d.budget_limited))
+        self.stats.bump("breaker_open",
+                        sum(1 for d in decisions if d.breaker_open))
+        self.stats.bump("backend_failed",
+                        sum(1 for d in decisions if d.backend_failed))
+        self.stats.bump("deadline_limited",
+                        sum(1 for d in decisions if d.deadline_limited))
         self.stats.bump("spend_usd", sum(d.spend_usd for d in decisions))
         if self.drift_monitor is not None:
             for pair, decision in zip(pairs, decisions):
@@ -370,13 +434,26 @@ class MatchService:
 
     # -- request paths -------------------------------------------------------
 
-    def _submit_pairs(self, pairs: Sequence[RecordPair]) -> list:
+    def _request_budget(
+        self, budget_s: float | None
+    ) -> DeadlineBudget | None:
+        """The deadline budget one request carries (``None`` = unbounded)."""
+        total = budget_s if budget_s is not None else self.default_budget_s
+        if total is None:
+            return None
+        return DeadlineBudget(total, clock=self.clock)
+
+    def _submit_pairs(
+        self,
+        pairs: Sequence[RecordPair],
+        budget: DeadlineBudget | None = None,
+    ) -> list:
         """Admit pairs into the scheduler (shedding is counted and raised)."""
         pending = []
         for pair in pairs:
             self.stats.bump("requests")
             try:
-                pending.append(self._batcher.submit(pair))
+                pending.append(self._batcher.submit(pair, budget=budget))
             except OverloadedError:
                 self.stats.bump("shed")
                 raise
@@ -386,15 +463,27 @@ class MatchService:
             self._batcher.drain()
         return pending
 
-    def _await(self, pending, timeout_s: float | None) -> MatchResponse:
+    def _await(
+        self,
+        pending,
+        timeout_s: float | None,
+        budget: DeadlineBudget | None = None,
+    ) -> MatchResponse:
         """Wait for one outcome, folding it into the stats.
 
         The outcome is an ``int`` label (single-matcher path) or a
-        ``RouteDecision`` carrying provenance (routed path).
+        ``RouteDecision`` carrying provenance (routed path).  A deadline
+        budget caps the wait at its remaining time, so the caller never
+        blocks past the budget it granted the whole request.
         """
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        if budget is not None:
+            timeout = budget.stage_timeout(cap=timeout)
         try:
             outcome = pending.result(timeout)
+        except DeadlineExceededError:
+            self.stats.bump("timeouts")
+            raise
         except Exception:
             self.stats.bump("errors")
             raise
@@ -402,16 +491,24 @@ class MatchService:
         self.stats.record_latency(latency)
         if isinstance(outcome, int):
             label, backend, escalated, spend = outcome, None, False, 0.0
+            degraded = {}
         else:
             label = outcome.label
             backend = outcome.backend
             escalated = outcome.escalated
             spend = outcome.spend_usd
+            degraded = {
+                "budget_limited": outcome.budget_limited,
+                "breaker_open": outcome.breaker_open,
+                "backend_failed": outcome.backend_failed,
+                "deadline_limited": outcome.deadline_limited,
+            }
         if label == 1:
             self.stats.bump("matches")
         return MatchResponse(
             label=label, latency_s=latency,
             backend=backend, escalated=escalated, spend_usd=spend,
+            **degraded,
         )
 
     @staticmethod
@@ -451,21 +548,37 @@ class MatchService:
         left: Sequence[str] | Record,
         right: Sequence[str] | Record,
         timeout_s: float | None = None,
+        budget_s: float | None = None,
     ) -> MatchResponse:
-        """Match one record pair (coalesced with concurrent requests)."""
+        """Match one record pair (coalesced with concurrent requests).
+
+        ``budget_s`` (default: the service's ``default_budget_s``) is
+        the request's end-to-end deadline budget, threaded through the
+        queue, the batch call and the result wait.
+        """
         with span("serving.match", pairs=1) as match_span:
-            pending = self._submit_pairs([self.make_pair(left, right)])
-            response = self._await(pending[0], timeout_s)
+            budget = self._request_budget(budget_s)
+            pending = self._submit_pairs([self.make_pair(left, right)], budget)
+            response = self._await(pending[0], timeout_s, budget)
             match_span.set(matched=response.matched)
             return response
 
     def match_pairs(
-        self, pairs: Sequence[RecordPair], timeout_s: float | None = None
+        self,
+        pairs: Sequence[RecordPair],
+        timeout_s: float | None = None,
+        budget_s: float | None = None,
     ) -> list[MatchResponse]:
-        """Match many pairs; each is an independently batched request."""
+        """Match many pairs; each is an independently batched request.
+
+        One deadline budget covers the whole call — it is the caller's
+        time that is being spent, regardless of how many batches the
+        pairs landed in.
+        """
         with span("serving.match", pairs=len(pairs)) as match_span:
-            pending = self._submit_pairs(list(pairs))
-            responses = [self._await(p, timeout_s) for p in pending]
+            budget = self._request_budget(budget_s)
+            pending = self._submit_pairs(list(pairs), budget)
+            responses = [self._await(p, timeout_s, budget) for p in pending]
             match_span.set(matched=sum(1 for r in responses if r.matched))
             return responses
 
@@ -505,15 +618,45 @@ class MatchService:
     # -- health and metrics --------------------------------------------------
 
     def healthz(self) -> dict:
-        """Liveness/saturation report for the ``/healthz`` endpoint."""
+        """Liveness/saturation report for the ``/healthz`` endpoint.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (saturated queue or an
+        open breaker — the service still answers, worse) or ``"dead"``
+        (the dispatcher thread died — threaded requests will only time
+        out).  The ``degraded`` block lists every active cause so an
+        operator sees *why* in one read, not just that something is off.
+        """
         saturated = self._batcher.saturated
+        dispatcher_dead = self._started and not self._batcher.dispatcher_alive
+        open_breakers: list[str] = []
+        if self.router is not None:
+            for backend in self.router.backends:
+                if backend.breaker is not None and backend.breaker.state == STATE_OPEN:
+                    open_breakers.append(backend.name)
+        causes: list[str] = []
+        if dispatcher_dead:
+            causes.append("dispatcher_dead")
+        if saturated:
+            causes.append("saturated")
+        causes.extend(f"breaker_open:{name}" for name in open_breakers)
+        if dispatcher_dead:
+            status = "dead"
+        elif causes:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "degraded" if saturated else "ok",
+            "status": status,
             "saturated": saturated,
             "queue_depth": self._batcher.queue_depth,
             "max_queue": self._batcher.max_queue,
             "started": self._started,
             "matcher": self.matcher.display_name,
+            "degraded": {
+                "causes": causes,
+                "dispatcher_alive": not dispatcher_dead,
+                "open_breakers": open_breakers,
+            },
         }
 
     def metrics(self) -> dict:
@@ -536,6 +679,15 @@ class MatchService:
                     else None
                 ),
             }
+        breakers = {}
+        if self.router is not None:
+            for backend in self.router.backends:
+                if backend.breaker is not None:
+                    breakers[backend.name] = backend.breaker.as_dict()
+        block["resilience"] = {
+            "breakers": breakers,
+            "hedge": self.hedge.as_dict() if self.hedge is not None else None,
+        }
         return block
 
     def router_state(self) -> dict:
@@ -569,7 +721,29 @@ class MatchService:
         registry.absorb_serving_stats(self.stats, scheduler=self._batcher.counters())
         registry.gauge("serving_queue_depth", self._batcher.queue_depth)
         registry.gauge("serving_saturated", 1.0 if self._batcher.saturated else 0.0)
+        registry.gauge(
+            "serving_dispatcher_alive",
+            1.0 if self._batcher.dispatcher_alive else 0.0,
+        )
+        if self.hedge is not None:
+            hedge = self.hedge.as_dict()["counters"]
+            registry.counter("hedge_calls_total", hedge["calls"])
+            registry.counter("hedge_launched_total", hedge["hedges_launched"])
+            registry.counter("hedge_wins_total", hedge["hedge_wins"])
+            registry.counter("hedge_waste_total", hedge["hedge_waste"])
         if self.router is not None:
+            for backend in self.router.backends:
+                if backend.breaker is not None:
+                    registry.gauge(
+                        "breaker_state",
+                        backend.breaker.state_gauge(),
+                        backend=backend.name,
+                    )
+                    registry.counter(
+                        "breaker_opens_total",
+                        backend.breaker.counters["opens"],
+                        backend=backend.name,
+                    )
             for key, value in self.router.state()["counters"].items():
                 registry.counter(f"router_{key}_total", value)
             if self.drift_monitor is not None:

@@ -1,0 +1,190 @@
+"""Tests for HedgedCall: delay derivation, inline race, threaded race."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, TransientLLMError
+from repro.reliability import counters
+from repro.reliability.clock import FakeClock, SystemClock
+from repro.reliability.hedge import HedgedCall
+
+
+def _inline(**kwargs) -> tuple[HedgedCall, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(hedge_delay_s=1.0, clock=clock, count=False)
+    defaults.update(kwargs)
+    return HedgedCall(**defaults), clock
+
+
+def _sleeper(clock: FakeClock, durations: list[float], results: list):
+    """An attempt that sleeps ``durations[index]`` then answers."""
+
+    def attempt(index: int, _cancel: threading.Event):
+        clock.sleep(durations[index])
+        return results[index]
+
+    return attempt
+
+
+class TestValidation:
+    def test_bad_config_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HedgedCall(hedge_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            HedgedCall(quantile=1.0)
+        with pytest.raises(ConfigurationError):
+            HedgedCall(min_delay_s=0.0)
+
+
+class TestDelay:
+    def test_configured_delay_wins(self):
+        hedge, _clock = _inline(hedge_delay_s=0.25)
+        assert hedge.delay() == 0.25
+
+    def test_empty_window_falls_back_to_min_delay(self):
+        hedge, _clock = _inline(hedge_delay_s=None, min_delay_s=0.002)
+        assert hedge.delay() == 0.002
+
+    def test_derived_delay_is_the_window_quantile(self):
+        hedge, clock = _inline(hedge_delay_s=None, quantile=0.95)
+        for latency in [0.010] * 19 + [0.500]:
+            hedge.call(_sleeper(clock, [latency, latency], ["a", "a"]))
+        # Nearest-rank p95 over 20 observations (rank 18 of 0..19)
+        # lands on the common latency, not the lone straggler.
+        assert hedge.delay() == pytest.approx(0.010)
+        assert hedge.delay() >= hedge.min_delay_s
+
+
+class TestInlineRace:
+    def test_fast_primary_never_hedges(self):
+        hedge, clock = _inline(hedge_delay_s=1.0)
+        result = hedge.call(_sleeper(clock, [0.5, 0.0], ["primary", "hedge"]))
+        assert result == "primary"
+        assert hedge.counters["hedges_launched"] == 0
+
+    def test_straggling_primary_hedges_and_loses_the_waste(self):
+        # Primary takes 3s; hedge starts at 1s and takes 2.5s, so it
+        # would finish at 3.5s — the primary still wins, hedge is waste.
+        hedge, clock = _inline(hedge_delay_s=1.0)
+        result = hedge.call(_sleeper(clock, [3.0, 2.5], ["primary", "hedge"]))
+        assert result == "primary"
+        assert hedge.counters["hedges_launched"] == 1
+        assert hedge.counters["hedge_waste"] == 1
+        assert hedge.counters["hedge_wins"] == 0
+
+    def test_straggling_primary_loses_to_the_hedge(self):
+        # Primary takes 3s; hedge starts at 1s and takes 0.5s -> 1.5s.
+        hedge, clock = _inline(hedge_delay_s=1.0)
+        result = hedge.call(_sleeper(clock, [3.0, 0.5], ["primary", "hedge"]))
+        assert result == "hedge"
+        assert hedge.counters["hedge_wins"] == 1
+        assert hedge.counters["hedge_waste"] == 0
+
+    def test_failed_primary_is_backed_up_by_the_hedge(self):
+        hedge, clock = _inline(hedge_delay_s=1.0)
+
+        def attempt(index, _cancel):
+            if index == 0:
+                raise TransientLLMError("primary died")
+            clock.sleep(0.1)
+            return "hedge"
+
+        assert hedge.call(attempt) == "hedge"
+        assert hedge.counters["hedge_wins"] == 1
+
+    def test_both_attempts_failing_raises_the_last_error(self):
+        hedge, _clock = _inline()
+
+        def attempt(index, _cancel):
+            raise TransientLLMError(f"attempt {index} died")
+
+        with pytest.raises(TransientLLMError, match="attempt 1"):
+            hedge.call(attempt)
+        assert hedge.counters["failures"] == 1
+
+    def test_inline_race_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            hedge, clock = _inline(hedge_delay_s=1.0)
+            hedge.call(_sleeper(clock, [3.0, 0.5], ["p", "h"]))
+            hedge.call(_sleeper(clock, [0.2, 0.0], ["p", "h"]))
+            outcomes.append(dict(hedge.counters))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestThreadedRace:
+    def test_fast_primary_wins_without_hedging(self):
+        hedge = HedgedCall(hedge_delay_s=5.0, count=False)
+        result = hedge.call(lambda _i, _c: "primary")
+        assert result == "primary"
+        assert hedge.counters["hedges_launched"] == 0
+
+    def test_straggler_is_beaten_by_the_hedge(self):
+        hedge = HedgedCall(hedge_delay_s=0.02, count=False)
+        release = threading.Event()
+
+        def attempt(index, _cancel):
+            if index == 0:
+                release.wait(5.0)  # the straggler
+                return "primary"
+            return "hedge"
+
+        try:
+            assert hedge.call(attempt) == "hedge"
+            assert hedge.counters["hedge_wins"] == 1
+        finally:
+            release.set()
+
+    def test_loser_receives_the_cancel_signal(self):
+        hedge = HedgedCall(hedge_delay_s=0.02, count=False)
+        cancelled = threading.Event()
+
+        def attempt(index, cancel):
+            if index == 0:
+                cancel.wait(5.0)
+                cancelled.set()
+                return "primary"
+            return "hedge"
+
+        assert hedge.call(attempt) == "hedge"
+        assert cancelled.wait(5.0)
+
+    def test_failed_primary_falls_back_to_hedge(self):
+        hedge = HedgedCall(hedge_delay_s=5.0, count=False)
+
+        def attempt(index, _cancel):
+            if index == 0:
+                raise TransientLLMError("primary died")
+            return "hedge"
+
+        assert hedge.call(attempt) == "hedge"
+
+    def test_every_attempt_failing_raises(self):
+        hedge = HedgedCall(hedge_delay_s=0.01, count=False)
+
+        def attempt(index, _cancel):
+            raise TransientLLMError(f"attempt {index} died")
+
+        with pytest.raises(TransientLLMError):
+            hedge.call(attempt)
+        assert hedge.counters["failures"] == 1
+
+
+class TestAccounting:
+    def test_global_counters_mirror(self):
+        before = counters.snapshot()
+        hedge, clock = _inline(count=True)
+        hedge.call(_sleeper(clock, [3.0, 0.5], ["p", "h"]))
+        delta = counters.delta_since(before)
+        assert delta["hedges_launched"] == 1
+        assert delta["hedge_wins"] == 1
+
+    def test_as_dict_shape(self):
+        hedge, clock = _inline()
+        hedge.call(_sleeper(clock, [0.1, 0.0], ["p", "h"]))
+        state = hedge.as_dict()
+        assert state["counters"]["calls"] == 1
+        assert state["delay_s"] == 1.0

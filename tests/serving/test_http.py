@@ -149,3 +149,79 @@ class TestSaturation:
             blocked.join(timeout=5.0)
             status, body = _get(running.url, "/healthz")
             assert status == 200
+
+
+def _headers_of(url: str, path: str = "", data: bytes | None = None) -> tuple[int, dict]:
+    """Status and response headers, for error responses too."""
+    request = urllib.request.Request(
+        url + path, data=data, method="POST" if data is not None else "GET"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers)
+
+
+class TestResilienceMapping:
+    def test_oversized_body_is_413(self, server):
+        from repro.serving.http import MAX_BODY_BYTES
+
+        blob = (
+            b'{"left": ["' + b"x" * MAX_BODY_BYTES + b'"], "right": ["x"]}'
+        )
+        status, body = _post(server.url, blob)
+        assert status == 413
+        assert body["error"] == "PayloadTooLargeError"
+
+    def test_shed_load_carries_retry_after(self):
+        matcher = _GatedMatcher()
+        service = MatchService(
+            matcher, max_batch_size=1, max_queue=1, max_wait_ms=0.0
+        )
+        with MatchHTTPServer(service) as running:
+            blocked = threading.Thread(
+                target=_post,
+                args=(running.url, {"left": ["a"], "right": ["a"]}),
+                daemon=True,
+            )
+            blocked.start()
+            assert matcher.entered.wait(5.0)
+            service._batcher.submit(service.make_pair(["b"], ["b"]))
+
+            payload = json.dumps({"left": ["c"], "right": ["c"]}).encode()
+            status, headers = _headers_of(running.url, "/match", data=payload)
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+
+            status, headers = _headers_of(running.url, "/healthz")
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+
+            matcher.release.set()
+            blocked.join(timeout=5.0)
+
+    def test_healthz_degraded_block_lists_causes(self):
+        matcher = _GatedMatcher()
+        service = MatchService(
+            matcher, max_batch_size=1, max_queue=1, max_wait_ms=0.0
+        )
+        with MatchHTTPServer(service) as running:
+            status, body = _get(running.url, "/healthz")
+            assert status == 200
+            assert body["degraded"]["causes"] == []
+
+            blocked = threading.Thread(
+                target=_post,
+                args=(running.url, {"left": ["a"], "right": ["a"]}),
+                daemon=True,
+            )
+            blocked.start()
+            assert matcher.entered.wait(5.0)
+            service._batcher.submit(service.make_pair(["b"], ["b"]))
+
+            status, body = _get(running.url, "/healthz")
+            assert status == 503
+            assert "saturated" in body["degraded"]["causes"]
+            matcher.release.set()
+            blocked.join(timeout=5.0)

@@ -163,7 +163,9 @@ class TestAdmissionAndDeadlines:
         with MatchService(matcher, max_wait_ms=0.0) as service:
             with pytest.raises(DeadlineExceededError):
                 service.match_pair(["a"], ["a"], timeout_s=0.05)
-            assert service.metrics()["counters"]["errors"] == 1
+            # Deadline expiries are their own counter, not generic errors.
+            assert service.metrics()["counters"]["timeouts"] == 1
+            assert service.metrics()["counters"]["errors"] == 0
             matcher.release.set()
 
     def test_healthz_reports_saturation(self):
