@@ -38,6 +38,7 @@ DEFAULT_TARGETS = (
     "src/repro/serving",
     "src/repro/obs",
     "src/repro/routing",
+    "src/repro/verify",
     "src/repro/nn/fastpath.py",
     "benchmarks/bench_inference.py",
     "benchmarks/bench_obs.py",

@@ -22,6 +22,14 @@ class Clock:
         """Seconds from an arbitrary, monotonically increasing origin."""
         raise NotImplementedError
 
+    def wall(self) -> float:
+        """Epoch seconds, for human-facing timestamps (sidecar names,
+        run start/end rows).  Never used for measuring durations —
+        that is :meth:`monotonic`'s job.  Defaults to the monotonic
+        reading so minimal fakes keep working.
+        """
+        return self.monotonic()
+
     def sleep(self, seconds: float) -> None:
         """Block for ``seconds`` (or simulate doing so)."""
         raise NotImplementedError
@@ -33,6 +41,10 @@ class SystemClock(Clock):
     def monotonic(self) -> float:
         """Seconds from the process's monotonic origin."""
         return time.monotonic()
+
+    def wall(self) -> float:
+        """Real epoch seconds (``time.time``)."""
+        return time.time()
 
     def sleep(self, seconds: float) -> None:
         """Really sleep; negative or zero durations return immediately."""

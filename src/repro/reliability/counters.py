@@ -18,11 +18,27 @@ import threading
 
 __all__ = [
     "COUNTER_KEYS",
+    "SWALLOWED_ERROR_KEYS",
     "record",
     "snapshot",
     "delta_since",
     "reset",
 ]
+
+#: Counters for errors a degradation path *swallowed* rather than
+#: raised: a routed backend failure decided at a cheaper rung, a hedge
+#: loser's error discarded because the other attempt won, an unexpected
+#: (non-:class:`~repro.errors.ReproError`) exception on the serving
+#: request path.  Swallowing is the designed behaviour on those paths,
+#: but a silently rising total is how a masked bug announces itself —
+#: the serving ``/metrics`` endpoint surfaces these under
+#: ``resilience.swallowed_errors`` so it never takes a debugger to see
+#: them.
+SWALLOWED_ERROR_KEYS: tuple[str, ...] = (
+    "routing_backend_errors",
+    "hedge_swallowed_errors",
+    "serving_unexpected_errors",
+)
 
 #: Every key the global table tracks, in reporting order.  The
 #: ``breaker_*`` / ``hedge*`` keys are mirrored by the resilience
@@ -48,6 +64,9 @@ COUNTER_KEYS: tuple[str, ...] = (
     "hedges_launched",
     "hedge_wins",
     "hedge_waste",
+    "routing_backend_errors",
+    "hedge_swallowed_errors",
+    "serving_unexpected_errors",
 )
 
 _LOCK = threading.Lock()

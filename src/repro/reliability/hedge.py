@@ -40,7 +40,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, TypeVar
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..obs.trace import span
 from . import counters
 from .clock import Clock, SystemClock
@@ -187,7 +187,9 @@ class HedgedCall:
         try:
             result = attempt(0, cancel)
             primary_duration = self.clock.monotonic() - started
-        except Exception as error:  # hedge below doubles as the backup
+        except ReproError as error:  # hedge below doubles as the backup
+            # Only library failures are raced away; a programming error
+            # propagates instead of being masked by a successful hedge.
             primary_error = error
             primary_duration = self.clock.monotonic() - started
         if primary_error is None and primary_duration <= delay:
@@ -197,14 +199,22 @@ class HedgedCall:
         hedge_started = self.clock.monotonic()
         try:
             hedge_result = attempt(1, cancel)
-        except Exception:
+        except ReproError:
             if primary_error is not None:
                 self._bump("failures")
                 raise  # both attempts failed: surface the hedge's error
+            # The primary already succeeded, so this hedge error is
+            # swallowed by design — counted so it stays visible.
+            if self.count:
+                counters.record("hedge_swallowed_errors")
             self._settle(hedged=True, hedge_won=False, latency_s=primary_duration)
             return result, True, False
         hedge_duration = self.clock.monotonic() - hedge_started
         if primary_error is not None or delay + hedge_duration < primary_duration:
+            if primary_error is not None and self.count:
+                # The hedge rescued a failed primary: the primary's
+                # error is discarded here, never raised — count it.
+                counters.record("hedge_swallowed_errors")
             self._settle(
                 hedged=True, hedge_won=True, latency_s=delay + hedge_duration
             )
@@ -249,6 +259,10 @@ class HedgedCall:
             outstanding -= 1
             if error is None:
                 cancel.set()  # cooperative loser cancellation
+                if last_error is not None and self.count:
+                    # The other attempt failed earlier and this success
+                    # discards its error — count the swallow.
+                    counters.record("hedge_swallowed_errors")
                 hedge_won = hedged and index == 1
                 self._settle(
                     hedged=hedged,
@@ -257,6 +271,13 @@ class HedgedCall:
                 )
                 return value, hedged, hedge_won
             last_error = error
+            if not isinstance(error, ReproError):
+                # Programming errors are not raced away: propagate
+                # immediately rather than letting a lucky duplicate
+                # attempt mask the bug (any still-outstanding attempt's
+                # result is discarded).
+                self._bump("failures")
+                raise error
             if not hedged:
                 # The primary failed before the delay: hedge immediately
                 # as the backup attempt rather than giving up.

@@ -54,10 +54,11 @@ import numpy as np
 
 from ..data.pairs import RecordPair
 from ..data.serialize import serialize_pair
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..llm.tokens import count_tokens
 from ..matchers.base import Matcher
 from ..obs.trace import span
+from ..reliability import counters as reliability_counters
 from ..reliability.breaker import CircuitBreaker
 from ..reliability.budget import DeadlineBudget
 from ..reliability.clock import Clock, SystemClock
@@ -204,6 +205,23 @@ class SpendLedger:
         """Dollars charged inside the current window."""
         self._prune(self.clock.monotonic())
         return self._window_spend
+
+    def charge(self, cost_usd: float) -> None:
+        """Record ``cost_usd`` of spend unconditionally (no gate, no denial).
+
+        The entry rung of a router always runs — its cost is a floor the
+        budget cannot refuse — so the ledger must *record* it even when
+        the window is already over budget.  Recording keeps the
+        conservation invariant exact: ``total_spend_usd`` equals the sum
+        of every decision's ``spend_usd`` (the property
+        ``repro.verify``'s spend-conservation checker enforces).
+        Refusable spend (escalations) goes through :meth:`try_charge`.
+        """
+        now = self.clock.monotonic()
+        self._prune(now)
+        self._entries.append((now, cost_usd))
+        self._window_spend += cost_usd
+        self.total_spend_usd += cost_usd
 
     def try_charge(self, cost_usd: float) -> bool:
         """Charge ``cost_usd`` if it fits the window budget; else refuse.
@@ -360,7 +378,10 @@ class MatchRouter:
                 result = backend.matcher.predict(batch, self.serialization_seed)
             else:
                 result = backend.matcher.match_scores(batch, self.serialization_seed)
-        except Exception:
+        except ReproError:
+            # Only library failures feed the breaker: a programming
+            # error (TypeError et al.) propagates without poisoning the
+            # rung's health accounting.
             if backend.breaker is not None:
                 backend.breaker.record_failure(len(batch))
             raise
@@ -396,11 +417,15 @@ class MatchRouter:
         decisions: list[RouteDecision | None] = [None] * n
         # Entry-rung charges are unconditional: the ladder's first rung
         # is the router's floor and is priced into `spend`, not gated.
+        # They go through ``charge`` (not ``try_charge``) so the ledger
+        # records exactly what the decisions report spending — a denied
+        # entry charge would otherwise leave the ledger short of the
+        # spend that happened anyway.
         entry = self.backends[0]
         entry_costs = [entry.spend_usd(request_tokens(p)) for p in pairs]
         if self.ledger is not None and entry.price_per_1k_tokens > 0:
             for cost in entry_costs:
-                self.ledger.try_charge(cost)
+                self.ledger.charge(cost)
         active = list(range(n))
         spent = list(entry_costs)
         # The last banded rung's view of each escalated pair — the
@@ -420,11 +445,14 @@ class MatchRouter:
                         scores = backend.matcher.match_scores(
                             batch, self.serialization_seed
                         )
-                except Exception:
+                except ReproError:
                     if tier == 0:
                         raise
                     # Every pair here escalated through a banded rung,
                     # so a cheaper answer exists: degrade, don't fail.
+                    # The swallowed error is counted so a silently
+                    # failing authority rung shows up on /metrics.
+                    reliability_counters.record("routing_backend_errors")
                     for pos, i in enumerate(active):
                         decisions[i] = self._degraded(
                             carry[i], spent[pos], backend_failed=True
@@ -447,11 +475,12 @@ class MatchRouter:
                     self._invoke(backend, "match_scores", batch),
                     dtype=np.float64,
                 )
-            except Exception:
+            except ReproError:
                 if tier == 0:
                     # No cheaper rung exists below the entry rung; the
                     # caller's retry layer owns this failure.
                     raise
+                reliability_counters.record("routing_backend_errors")
                 for pos, i in enumerate(active):
                     decisions[i] = self._degraded(
                         carry[i], spent[pos], backend_failed=True

@@ -29,12 +29,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from pathlib import Path
 
 from ..errors import CorruptStateError, CostModelError, LLMError
 from ..llm.client import LLMClient, LLMRequest, LLMResponse
 from ..llm.pricing import api_price_per_1k
+from ..reliability.clock import Clock, SystemClock
 from .persist import atomic_write_text, canonical_json, quarantine_line, sha256_hex
 
 __all__ = [
@@ -71,8 +71,15 @@ def completion_key(
 class CompletionCache:
     """In-memory completion store with optional JSON-lines persistence."""
 
-    def __init__(self, path: str | Path | None = None) -> None:
-        """An empty cache; with ``path``, merge any persisted entries in."""
+    def __init__(
+        self, path: str | Path | None = None, clock: Clock | None = None
+    ) -> None:
+        """An empty cache; with ``path``, merge any persisted entries in.
+
+        ``clock`` supplies the wall timestamps quarantine sidecars are
+        named with (injectable for tests; defaults to the system clock).
+        """
+        self.clock = clock or SystemClock()
         self.path = Path(path) if path is not None else None
         self._entries: dict[str, LLMResponse] = {}
         self.hits = 0
@@ -156,7 +163,7 @@ class CompletionCache:
         """
         path = Path(path)
         loaded = 0
-        quarantine_ts = time.time()
+        quarantine_ts = self.clock.wall()
         for line in path.read_text().splitlines():
             line = line.strip()
             if not line:

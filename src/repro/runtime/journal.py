@@ -37,6 +37,7 @@ import os
 from pathlib import Path
 
 from ..errors import CorruptStateError
+from ..reliability.clock import Clock, SystemClock
 from .persist import canonical_json, quarantine_line, sha256_hex
 
 __all__ = ["JOURNAL_VERSION", "cell_key", "CellJournal"]
@@ -208,8 +209,18 @@ class CellJournal:
     is the write-ahead log of *this* run.
     """
 
-    def __init__(self, path: str | Path, fresh: bool = False) -> None:
-        """Open (and, unless ``fresh``, load) the journal at ``path``."""
+    def __init__(
+        self,
+        path: str | Path,
+        fresh: bool = False,
+        clock: Clock | None = None,
+    ) -> None:
+        """Open (and, unless ``fresh``, load) the journal at ``path``.
+
+        ``clock`` names quarantine sidecars (injectable wall timestamps
+        for tests; defaults to the system clock).
+        """
+        self.clock = clock or SystemClock()
         self.path = Path(path)
         #: Replayable entries: cell key -> (record kind, payload dict).
         self._entries: dict[str, tuple[str, dict]] = {}
@@ -256,7 +267,7 @@ class CellJournal:
                 # behind — expected, not corruption.  The cell re-runs.
                 self.torn_tail_dropped = True
                 continue
-            sidecar = quarantine_line(self.path, line)
+            sidecar = quarantine_line(self.path, line, clock=self.clock)
             error = CorruptStateError(
                 f"corrupt journal record at {self.path}:{index + 1}: {problem}",
                 path=str(self.path),

@@ -33,10 +33,10 @@ import hashlib
 import json
 import os
 import tempfile
-import time
 from pathlib import Path
 
 from ..errors import CorruptStateError
+from ..reliability.clock import Clock, SystemClock
 
 __all__ = [
     "INTEGRITY_KEY",
@@ -168,13 +168,24 @@ def atomic_write_json(
     return atomic_write_text(path, json.dumps(document, indent=indent) + "\n")
 
 
-def _corrupt_sidecar(path: Path, timestamp: float | None = None) -> Path:
-    """The ``.corrupt-<ts>`` sidecar path quarantined bytes move to."""
-    ts = int(timestamp if timestamp is not None else time.time())
+def _corrupt_sidecar(
+    path: Path, timestamp: float | None = None, clock: Clock | None = None
+) -> Path:
+    """The ``.corrupt-<ts>`` sidecar path quarantined bytes move to.
+
+    The timestamp comes from an injectable :class:`Clock`'s wall reading
+    (not a direct ``time.time()`` call), so tests can pin the exact
+    sidecar name a quarantine produces.
+    """
+    ts = int(timestamp if timestamp is not None else (clock or SystemClock()).wall())
     return path.with_name(f"{path.name}.corrupt-{ts}")
 
 
-def quarantine_file(path: str | Path, timestamp: float | None = None) -> Path:
+def quarantine_file(
+    path: str | Path,
+    timestamp: float | None = None,
+    clock: Clock | None = None,
+) -> Path:
     """Move a damaged file aside to its ``.corrupt-<ts>`` sidecar.
 
     Returns the sidecar path.  The original name is freed so the next
@@ -182,7 +193,7 @@ def quarantine_file(path: str | Path, timestamp: float | None = None) -> Path:
     same bytes.
     """
     path = Path(path)
-    sidecar = _corrupt_sidecar(path, timestamp)
+    sidecar = _corrupt_sidecar(path, timestamp, clock)
     while sidecar.exists():  # a second quarantine within the same second
         sidecar = sidecar.with_name(sidecar.name + "x")
     os.replace(path, sidecar)
@@ -190,7 +201,10 @@ def quarantine_file(path: str | Path, timestamp: float | None = None) -> Path:
 
 
 def quarantine_line(
-    path: str | Path, raw_line: str, timestamp: float | None = None
+    path: str | Path,
+    raw_line: str,
+    timestamp: float | None = None,
+    clock: Clock | None = None,
 ) -> Path:
     """Append one damaged JSONL line to the file's ``.corrupt-<ts>`` sidecar.
 
@@ -199,7 +213,7 @@ def quarantine_line(
     bytes are set aside.  Returns the sidecar path.
     """
     path = Path(path)
-    sidecar = _corrupt_sidecar(path, timestamp)
+    sidecar = _corrupt_sidecar(path, timestamp, clock)
     with open(sidecar, "a", encoding="utf-8") as handle:
         handle.write(raw_line.rstrip("\n") + "\n")
     return sidecar

@@ -55,6 +55,9 @@ class RuntimeStats:
             "hedges_launched": 0,
             "hedge_wins": 0,
             "hedge_waste": 0,
+            "routing_backend_errors": 0,
+            "hedge_swallowed_errors": 0,
+            "serving_unexpected_errors": 0,
             "cell_retries": 0,
             "cell_failures": 0,
         }

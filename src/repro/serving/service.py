@@ -48,10 +48,11 @@ from dataclasses import dataclass
 from ..config import get_inference_config
 from ..data.pairs import RecordPair
 from ..data.record import Record
-from ..errors import DeadlineExceededError, OverloadedError, ServingError
+from ..errors import DeadlineExceededError, OverloadedError, ReproError, ServingError
 from ..matchers.base import Matcher
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import span
+from ..reliability import counters as reliability_counters
 from ..reliability.breaker import STATE_OPEN
 from ..reliability.budget import DeadlineBudget
 from ..reliability.clock import Clock, SystemClock
@@ -120,6 +121,15 @@ class ServingStats:
     Counters are plain monotonically increasing totals, so a replayed
     request trace reproduces them exactly; latency percentiles are
     computed over a bounded window of the most recent requests.
+
+    The request counters partition exactly: every admitted request is
+    eventually accounted as completed (one recorded latency), ``shed``,
+    ``timeouts``, ``errors`` or ``abandoned`` — never two of those,
+    never none.  ``abandoned`` covers requests admitted alongside one
+    that then shed, timed out or errored: the failure propagates to the
+    caller before their outcomes are awaited, so without the counter
+    they would silently fall out of the accounting.  The partition is
+    machine-checked by ``repro.verify``'s stats-partition invariant.
     """
 
     #: How many recent latencies the percentile window keeps.
@@ -136,6 +146,7 @@ class ServingStats:
             "shed": 0,
             "timeouts": 0,
             "errors": 0,
+            "abandoned": 0,
             "batch_retries": 0,
             # Routing totals — explicit zeros on unrouted services, so
             # the /metrics schema never depends on how the service was
@@ -456,6 +467,11 @@ class MatchService:
                 pending.append(self._batcher.submit(pair, budget=budget))
             except OverloadedError:
                 self.stats.bump("shed")
+                # Requests admitted before this shed are never awaited —
+                # the error propagates to the caller first — so account
+                # them as abandoned to keep the request partition exact.
+                if pending:
+                    self.stats.bump("abandoned", len(pending))
                 raise
         if not self._started:
             # Inline mode: deterministic FIFO dispatch while the caller
@@ -484,8 +500,18 @@ class MatchService:
         except DeadlineExceededError:
             self.stats.bump("timeouts")
             raise
-        except Exception:
+        except ReproError:
             self.stats.bump("errors")
+            raise
+        except Exception:
+            # Not part of the library's error taxonomy — a programming
+            # error escaping the batch callable.  Still counted as an
+            # error (the partition must stay exact) and mirrored into
+            # the process-wide swallowed-error table so the /metrics
+            # endpoint shows the anomaly even after the caller's stack
+            # trace scrolls away.
+            self.stats.bump("errors")
+            reliability_counters.record("serving_unexpected_errors")
             raise
         latency = pending.latency_s or 0.0
         self.stats.record_latency(latency)
@@ -578,7 +604,19 @@ class MatchService:
         with span("serving.match", pairs=len(pairs)) as match_span:
             budget = self._request_budget(budget_s)
             pending = self._submit_pairs(list(pairs), budget)
-            responses = [self._await(p, timeout_s, budget) for p in pending]
+            responses: list[MatchResponse] = []
+            try:
+                for p in pending:
+                    responses.append(self._await(p, timeout_s, budget))
+            except BaseException:
+                # The failing request was just counted (timeout/error by
+                # _await); everything admitted after it is never awaited
+                # because this raise reaches the caller first — count
+                # those as abandoned so the partition stays exact.
+                abandoned = len(pending) - len(responses) - 1
+                if abandoned > 0:
+                    self.stats.bump("abandoned", abandoned)
+                raise
             match_span.set(matched=sum(1 for r in responses if r.matched))
             return responses
 
@@ -684,9 +722,17 @@ class MatchService:
             for backend in self.router.backends:
                 if backend.breaker is not None:
                     breakers[backend.name] = backend.breaker.as_dict()
+        snapshot = reliability_counters.snapshot()
         block["resilience"] = {
             "breakers": breakers,
             "hedge": self.hedge.as_dict() if self.hedge is not None else None,
+            # Errors a degradation path deliberately swallowed (process-
+            # wide totals): a rising number here is how a masked bug
+            # announces itself without a debugger attached.
+            "swallowed_errors": {
+                key: int(snapshot[key])
+                for key in reliability_counters.SWALLOWED_ERROR_KEYS
+            },
         }
         return block
 
@@ -731,6 +777,9 @@ class MatchService:
             registry.counter("hedge_launched_total", hedge["hedges_launched"])
             registry.counter("hedge_wins_total", hedge["hedge_wins"])
             registry.counter("hedge_waste_total", hedge["hedge_waste"])
+        swallowed = reliability_counters.snapshot()
+        for key in reliability_counters.SWALLOWED_ERROR_KEYS:
+            registry.counter(f"reliability_{key}_total", swallowed[key])
         if self.router is not None:
             for backend in self.router.backends:
                 if backend.breaker is not None:

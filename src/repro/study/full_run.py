@@ -34,12 +34,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from pathlib import Path
 
 from ..config import StudyConfig, get_profile
+from ..errors import ConfigurationError
 from ..obs.wiring import activate_observability
-from ..reliability import FaultPlan, RetryPolicy
+from ..reliability import Clock, FaultPlan, RetryPolicy, SystemClock
 from ..reliability.wiring import (
     FAIL_FAST_ENV,
     FAULTS_ENV,
@@ -96,6 +96,7 @@ def run_study(
     config: StudyConfig,
     out_path: Path,
     codes: tuple[str, ...] | None = None,
+    matchers: tuple[str, ...] | None = None,
     workers: int | None = None,
     backend: str | None = None,
     use_cache: bool | None = None,
@@ -108,8 +109,14 @@ def run_study(
     resume: bool = False,
     cell_timeout_s: float | None = None,
     trace_path: str | Path | None = None,
+    clock: Clock | None = None,
 ) -> dict:
     """Execute Tables 3-6, Figures 3-4 and the findings; save + return JSON.
+
+    ``matchers`` restricts the Table 3 roster to a named subset (CI smoke
+    jobs run two-matcher studies this way); the other tables and figures
+    are roster-independent and run regardless.  At least one matcher must
+    appear in the Table 6 cost model or Figure 3 has nothing to plot.
 
     ``retries``/``faults``/``fail_fast`` configure the reliability layer
     (see :mod:`repro.reliability`): failed grid cells are retried, then
@@ -140,8 +147,14 @@ def run_study(
     block unifying all telemetry (see ``docs/OBSERVABILITY.md``).  With
     observability off (the default) the document is byte-identical to
     one produced without the layer.
+
+    ``clock`` is the injectable time source the run's elapsed-seconds
+    reporting (``wall_clock_seconds``, the per-row progress lines) is
+    measured against — a :class:`~repro.reliability.clock.FakeClock`
+    makes those values exact in tests.  Defaults to the system clock.
     """
-    started = time.time()
+    clock = clock or SystemClock()
+    started = clock.monotonic()
     n_workers = resolve_workers(workers, config)
     backend_name = resolve_backend(backend, config, workers=n_workers)
     _configure_reliability(retries, faults, fail_fast)
@@ -169,7 +182,7 @@ def run_study(
             if journal_path is not None
             else default_journal_path(out_path)
         )
-        journal = CellJournal(journal_file, fresh=not resume)
+        journal = CellJournal(journal_file, fresh=not resume, clock=clock)
         journal.write_header(
             {
                 "profile": config.name,
@@ -210,10 +223,17 @@ def run_study(
         from .roster import ROSTER_ORDER
         from .table3 import Table3Result
 
+        roster_names = matchers or ROSTER_ORDER
+        unknown = set(roster_names) - set(ROSTER_ORDER)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown matcher(s) {sorted(unknown)}; "
+                f"roster: {list(ROSTER_ORDER)}"
+            )
         results = []
-        for name in ROSTER_ORDER:
+        for name in roster_names:
             print(f"[full_run] Table 3: {name} ...", flush=True)
-            started_row = time.time()
+            started_row = clock.monotonic()
             partial = table3.run(
                 config,
                 matcher_names=(name,),
@@ -237,12 +257,12 @@ def run_study(
             checkpoint()
             if partial.results:
                 print(f"[full_run]   {name}: mean {partial.results[0].mean_f1:.1f} "
-                      f"({time.time() - started_row:.0f}s)", flush=True)
+                      f"({clock.monotonic() - started_row:.0f}s)", flush=True)
             else:
                 # Every cell of this row failed; the structured records
                 # are in the document's runtime.cell_failures block.
                 print(f"[full_run]   {name}: all cells FAILED "
-                      f"({time.time() - started_row:.0f}s)", flush=True)
+                      f"({clock.monotonic() - started_row:.0f}s)", flush=True)
         print(t3.render(), flush=True)
 
         print("[full_run] Table 4 ...", flush=True)
@@ -347,7 +367,7 @@ def run_study(
             ),
         }
 
-    document["wall_clock_seconds"] = round(time.time() - started, 1)
+    document["wall_clock_seconds"] = round(clock.monotonic() - started, 1)
     checkpoint()
     print(stats.footer(), flush=True)
     print(f"[full_run] done in {document['wall_clock_seconds']}s -> {out_path}", flush=True)
@@ -360,6 +380,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="results/full_study.json")
     parser.add_argument(
         "--codes", default="", help="comma-separated target subset (default: all 11)"
+    )
+    parser.add_argument(
+        "--matchers", default="",
+        help="comma-separated Table 3 roster subset, e.g. "
+             "'StringSim,MatchGPT[GPT-4o-Mini]' (default: the full roster)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -426,10 +451,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     codes = tuple(c for c in args.codes.split(",") if c) or None
+    matchers = tuple(m for m in args.matchers.split(",") if m) or None
     run_study(
         get_profile(args.profile),
         Path(args.out),
         codes=codes,
+        matchers=matchers,
         workers=args.workers,
         backend=args.backend,
         use_cache=args.use_cache,

@@ -1,0 +1,44 @@
+"""Cross-subsystem invariant and differential checking (``repro.verify``).
+
+The repo's subsystems each carry local tests; this package checks the
+properties that only hold (or break) *across* them: executor backends
+agreeing byte-for-byte, journal resume reproducing computed results,
+spend accounting conserved between ledger / decisions / counters,
+serving request counts partitioning exactly, metrics snapshots
+conserved under merge, and content-addressed keys stable across
+processes.
+
+Two entry points:
+
+* Library — ``from repro import verify; verify.check_all(study_dir)``
+* CLI — ``python -m repro.verify [--study DIR] [--selftest]``
+
+Every invariant ships with a deliberate-mutation *trip* self-test
+(:func:`selftest`), so "all checks pass" is backed by evidence that
+each check still fires on the bug class it exists for.  The catalogue
+is documented in ``docs/CORRECTNESS.md``.
+"""
+
+from .harness import (
+    Invariant,
+    VerifyContext,
+    Violation,
+    all_invariants,
+    check_all,
+    register,
+    render_report,
+    render_selftest,
+    selftest,
+)
+
+__all__ = [
+    "Violation",
+    "Invariant",
+    "VerifyContext",
+    "register",
+    "all_invariants",
+    "check_all",
+    "selftest",
+    "render_report",
+    "render_selftest",
+]

@@ -1,0 +1,96 @@
+"""CLI for the invariant harness: ``python -m repro.verify``.
+
+Modes:
+
+* default — run every live invariant (``--study DIR`` adds the
+  artifact checks over that directory); exit 0 iff no violations.
+* ``--selftest`` — run every invariant's deliberate-mutation trip;
+  exit 0 iff every trip fired.
+* ``--list`` — print the invariant catalogue (name, what must hold,
+  what a violation means) and exit.
+
+``--json`` switches any mode's output to the machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .harness import (
+    all_invariants,
+    check_all,
+    render_report,
+    render_selftest,
+    selftest,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Check cross-subsystem correctness invariants.",
+    )
+    parser.add_argument(
+        "--study",
+        metavar="DIR",
+        default=None,
+        help="study output directory to audit (enables the artifact checks)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="run only this invariant (repeatable)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run each invariant's deliberate-mutation trip instead",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the invariant catalogue and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; return the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        catalogue = [
+            {
+                "name": invariant.name,
+                "description": invariant.description,
+                "failure_mode": invariant.failure_mode,
+            }
+            for invariant in all_invariants()
+        ]
+        if args.json:
+            print(json.dumps(catalogue, indent=2))
+        else:
+            for entry in catalogue:
+                print(f"{entry['name']}\n  holds: {entry['description']}\n"
+                      f"  broken: {entry['failure_mode']}")
+        return 0
+    if args.selftest:
+        report = selftest(names=args.only)
+        print(json.dumps(report, indent=2) if args.json else render_selftest(report))
+        return 0 if report["status"] == "ok" else 1
+    report = check_all(study_dir=args.study, names=args.only)
+    print(json.dumps(report, indent=2) if args.json else render_report(report))
+    return 0 if report["status"] == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""The invariant harness: declare, run, and self-test correctness checks.
+
+An :class:`Invariant` packages three things:
+
+* ``check`` — a callable that probes the live system (or a study
+  directory's artifacts) and returns the violations it found.  A clean
+  system returns an empty list; a check whose preconditions are absent
+  (e.g. a document check with no study directory) returns ``None`` and
+  is reported *skipped*, never silently passed.
+* ``trip`` — a deliberate-mutation self-test: it rebuilds the scenario
+  with a known violation injected and runs the *same* comparison logic,
+  returning the violations that logic raised.  A trip that comes back
+  empty means the checker is decorative — it would wave through the very
+  bug it claims to catch — and :func:`selftest` fails it.
+* prose — ``description`` (what must hold) and ``failure_mode`` (what a
+  violation means operationally), rendered in reports and in
+  ``docs/CORRECTNESS.md``.
+
+:func:`check_all` runs every registered invariant and returns one
+JSON-ready report; :func:`selftest` runs every trip.  The CLI
+(``python -m repro.verify``) is a thin shell over the two.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import traceback
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Violation",
+    "Invariant",
+    "VerifyContext",
+    "register",
+    "all_invariants",
+    "check_all",
+    "selftest",
+    "render_report",
+    "render_selftest",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant instance: what failed, where, by how much."""
+
+    #: Name of the invariant that was violated.
+    invariant: str
+    #: One-sentence human statement of the violation.
+    message: str
+    #: Structured evidence (expected/actual values, paths, indices).
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The JSON shape reports carry."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A machine-checkable cross-subsystem property plus its self-test."""
+
+    #: Short stable identifier (``snake_case``), the report key.
+    name: str
+    #: What must hold, in one sentence.
+    description: str
+    #: What a violation means for a run's results, in one sentence.
+    failure_mode: str
+    #: Probe the system; return violations, ``[]`` when clean, ``None``
+    #: when the check's preconditions are absent (reported skipped).
+    check: Callable[["VerifyContext"], list[Violation] | None]
+    #: Re-run the comparison logic over a deliberately mutated scenario;
+    #: must return a non-empty list or the checker is proven decorative.
+    trip: Callable[["VerifyContext"], list[Violation]]
+
+
+class VerifyContext:
+    """Shared state for one verification run.
+
+    Carries the optional study directory the document checks read, a
+    memo for probe results several invariants share (the live probes
+    run real grid cells — once is enough), and a scratch directory for
+    trip mutations, cleaned up on :meth:`close`.
+    """
+
+    def __init__(self, study_dir: str | Path | None = None) -> None:
+        """A context over ``study_dir`` (``None`` = live checks only)."""
+        self.study_dir = Path(study_dir) if study_dir is not None else None
+        if self.study_dir is not None and not self.study_dir.is_dir():
+            raise ConfigurationError(
+                f"study directory {self.study_dir} does not exist"
+            )
+        self._memo: dict[str, object] = {}
+        self._workdir: Path | None = None
+
+    def memoized(self, key: str, factory: Callable[[], object]) -> object:
+        """The cached value for ``key``, computing it once via ``factory``."""
+        if key not in self._memo:
+            self._memo[key] = factory()
+        return self._memo[key]
+
+    def scratch(self, name: str) -> Path:
+        """A fresh empty subdirectory for one trip's mutated artifacts."""
+        if self._workdir is None:
+            self._workdir = Path(tempfile.mkdtemp(prefix="repro-verify-"))
+        target = self._workdir / name
+        if target.exists():
+            shutil.rmtree(target)
+        target.mkdir(parents=True)
+        return target
+
+    def close(self) -> None:
+        """Remove the scratch directory (safe to call twice)."""
+        if self._workdir is not None:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+            self._workdir = None
+
+    def __enter__(self) -> "VerifyContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+_REGISTRY: list[Invariant] = []
+
+
+def register(invariant: Invariant) -> Invariant:
+    """Add one invariant to the registry (rejecting duplicate names)."""
+    if any(existing.name == invariant.name for existing in _REGISTRY):
+        raise ConfigurationError(
+            f"invariant {invariant.name!r} is already registered"
+        )
+    _REGISTRY.append(invariant)
+    return invariant
+
+
+def all_invariants() -> tuple[Invariant, ...]:
+    """Every registered invariant, in registration order."""
+    _ensure_loaded()
+    return tuple(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import the invariant definitions exactly once (self-registering)."""
+    from . import invariants  # noqa: F401  (import populates the registry)
+
+
+def _select(names: Iterable[str] | None) -> list[Invariant]:
+    """The invariants to run: all, or the named subset (order preserved)."""
+    available = all_invariants()
+    if names is None:
+        return list(available)
+    by_name = {invariant.name: invariant for invariant in available}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown invariant(s) {unknown}; known: {sorted(by_name)}"
+        )
+    return [by_name[name] for name in names]
+
+
+def check_all(
+    study_dir: str | Path | None = None,
+    names: Iterable[str] | None = None,
+) -> dict:
+    """Run every (or the named) invariant; return one JSON-ready report.
+
+    The report's ``status`` is ``"ok"`` only when no invariant was
+    violated; skipped checks (absent preconditions) are listed but do
+    not fail the run.  A check that *crashes* is converted into a
+    violation — a checker that cannot run proves nothing, and silence
+    would read as a pass.
+    """
+    results: list[dict] = []
+    violations: list[Violation] = []
+    with VerifyContext(study_dir) as ctx:
+        for invariant in _select(names):
+            try:
+                found = invariant.check(ctx)
+            except Exception as error:
+                found = [
+                    Violation(
+                        invariant=invariant.name,
+                        message=f"check crashed: {type(error).__name__}: {error}",
+                        detail={"traceback": traceback.format_exc(limit=5)},
+                    )
+                ]
+            if found is None:
+                results.append({"invariant": invariant.name, "status": "skipped"})
+                continue
+            violations.extend(found)
+            results.append(
+                {
+                    "invariant": invariant.name,
+                    "status": "ok" if not found else "violated",
+                    "violations": len(found),
+                }
+            )
+    return {
+        "study_dir": str(study_dir) if study_dir is not None else None,
+        "checked": len(results),
+        "results": results,
+        "violations": [violation.as_dict() for violation in violations],
+        "status": "ok" if not violations else "violations",
+    }
+
+
+def selftest(names: Iterable[str] | None = None) -> dict:
+    """Run every invariant's deliberate-mutation trip; report the result.
+
+    ``status`` is ``"ok"`` only when *every* trip fired — a trip that
+    returns no violations (or crashes) marks its checker decorative and
+    fails the selftest.
+    """
+    results: list[dict] = []
+    all_tripped = True
+    with VerifyContext() as ctx:
+        for invariant in _select(names):
+            entry: dict = {"invariant": invariant.name}
+            try:
+                fired = invariant.trip(ctx)
+                entry["tripped"] = bool(fired)
+                entry["violations"] = len(fired)
+            except Exception as error:
+                entry["tripped"] = False
+                entry["error"] = f"{type(error).__name__}: {error}"
+            all_tripped = all_tripped and entry["tripped"]
+            results.append(entry)
+    return {
+        "checked": len(results),
+        "results": results,
+        "status": "ok" if all_tripped else "not_tripped",
+    }
+
+
+def render_report(report: dict) -> str:
+    """A human-readable rendering of a :func:`check_all` report."""
+    lines = [
+        f"repro.verify: {report['checked']} invariant(s) checked"
+        + (f" against {report['study_dir']}" if report["study_dir"] else "")
+    ]
+    for entry in report["results"]:
+        marker = {"ok": "PASS", "violated": "FAIL", "skipped": "SKIP"}[entry["status"]]
+        lines.append(f"  [{marker}] {entry['invariant']}")
+    for violation in report["violations"]:
+        lines.append(f"  !! {violation['invariant']}: {violation['message']}")
+    lines.append(f"result: {report['status']}")
+    return "\n".join(lines)
+
+
+def render_selftest(report: dict) -> str:
+    """A human-readable rendering of a :func:`selftest` report."""
+    lines = [f"repro.verify selftest: {report['checked']} trip(s)"]
+    for entry in report["results"]:
+        marker = "TRIPPED" if entry["tripped"] else "NOT TRIPPED"
+        suffix = f" ({entry['error']})" if "error" in entry else ""
+        lines.append(f"  [{marker}] {entry['invariant']}{suffix}")
+    lines.append(f"result: {report['status']}")
+    return "\n".join(lines)

@@ -1,0 +1,760 @@
+"""The registered invariants: what must hold, how it's checked, how it trips.
+
+Each invariant routes its check *and* its trip through one shared
+comparison helper, so the self-test exercises exactly the logic the real
+check runs — a trip that fires proves the checker detects the mutation
+class it exists for, not a lookalike.
+
+Live invariants (executor/resume parity, spend conservation, stats
+partition, obs merge, key stability) probe real subsystem scenarios
+built by :mod:`repro.verify.probes` and need no artifacts on disk.
+Document invariants (integrity footers, journal checksums, cache and
+resume accounting) audit a study directory and are *skipped* — reported,
+never silently passed — when no ``--study`` directory is given.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..obs.registry import MetricsRegistry
+from ..runtime.journal import JOURNAL_VERSION, CellJournal
+from ..runtime.persist import (
+    attach_digest,
+    canonical_json,
+    sha256_hex,
+    verify_digest,
+)
+from . import probes
+from .harness import Invariant, VerifyContext, Violation, register
+
+__all__ = ["SPEND_TOLERANCE_USD"]
+
+#: Absolute dollar tolerance of the spend-conservation comparison —
+#: float summation order may differ between the ledger and the decision
+#: list, nothing more.
+SPEND_TOLERANCE_USD = 1e-9
+
+
+# -- shared comparison helpers ------------------------------------------------
+
+
+def _fingerprint_violations(
+    invariant: str, reference: list[str], candidate: list[str], label: str
+) -> list[Violation]:
+    """Byte-compare two science-fingerprint lists, itemizing mismatches."""
+    found: list[Violation] = []
+    if len(reference) != len(candidate):
+        return [
+            Violation(
+                invariant=invariant,
+                message=f"{label}: outcome count differs "
+                f"({len(reference)} reference vs {len(candidate)})",
+                detail={"reference": len(reference), "candidate": len(candidate)},
+            )
+        ]
+    for index, (expected, actual) in enumerate(zip(reference, candidate)):
+        if expected != actual:
+            found.append(
+                Violation(
+                    invariant=invariant,
+                    message=f"{label}: cell {index} science payload differs",
+                    detail={"cell": index, "expected": expected, "actual": actual},
+                )
+            )
+    return found
+
+
+def _spend_violations(
+    router, decisions, ledger_total: float
+) -> list[Violation]:
+    """Check ledger total == Σ decision spend == router spend counter."""
+    decided = sum(d.spend_usd for d in decisions)
+    counted = router.counters["spend_usd"]
+    found: list[Violation] = []
+    if abs(ledger_total - decided) > SPEND_TOLERANCE_USD:
+        found.append(
+            Violation(
+                invariant="spend_conservation",
+                message="ledger total diverges from the decisions' spend "
+                f"({ledger_total!r} vs {decided!r})",
+                detail={"ledger_total": ledger_total, "decisions_total": decided},
+            )
+        )
+    if abs(counted - decided) > SPEND_TOLERANCE_USD:
+        found.append(
+            Violation(
+                invariant="spend_conservation",
+                message="router spend counter diverges from the decisions' "
+                f"spend ({counted!r} vs {decided!r})",
+                detail={"counter": counted, "decisions_total": decided},
+            )
+        )
+    return found
+
+
+def _partition_violations(scenario: str, service) -> list[Violation]:
+    """Check one service's request counters partition exactly."""
+    counters = service.stats.counters
+    completed = service.stats.latency_summary()["count"]
+    accounted = (
+        completed
+        + counters["shed"]
+        + counters["timeouts"]
+        + counters["errors"]
+        + counters["abandoned"]
+    )
+    if counters["requests"] != accounted:
+        return [
+            Violation(
+                invariant="stats_partition",
+                message=f"scenario {scenario!r}: requests={counters['requests']:g} "
+                f"but completed+shed+timeouts+errors+abandoned={accounted:g}",
+                detail={
+                    "scenario": scenario,
+                    "requests": counters["requests"],
+                    "completed": completed,
+                    "shed": counters["shed"],
+                    "timeouts": counters["timeouts"],
+                    "errors": counters["errors"],
+                    "abandoned": counters["abandoned"],
+                },
+            )
+        ]
+    return []
+
+
+def _merge_violations(
+    part_snapshots: list[dict], merged_snapshot: dict
+) -> list[Violation]:
+    """Check a merged snapshot equals the element-wise sum of its parts.
+
+    Covers counters and histograms — the series merge defines as
+    addition.  Gauges are last-write-wins by contract and are not a
+    conservation property.
+    """
+
+    def series(snapshot: dict, block: str) -> dict:
+        return {
+            (entry["name"], canonical_json(entry["labels"])): entry
+            for entry in snapshot[block]
+        }
+
+    found: list[Violation] = []
+    merged_counters = series(merged_snapshot, "counters")
+    expected_counters: dict = {}
+    for part in part_snapshots:
+        for key, entry in series(part, "counters").items():
+            expected_counters[key] = expected_counters.get(key, 0.0) + entry["value"]
+    for key, expected in expected_counters.items():
+        actual = merged_counters.get(key, {"value": None})["value"]
+        if actual != expected:
+            found.append(
+                Violation(
+                    invariant="obs_merge_conservation",
+                    message=f"counter {key[0]}{key[1]} not conserved under merge "
+                    f"({actual!r} vs expected {expected!r})",
+                    detail={"series": key[0], "labels": key[1],
+                            "expected": expected, "actual": actual},
+                )
+            )
+    merged_hists = series(merged_snapshot, "histograms")
+    expected_hists: dict = {}
+    for part in part_snapshots:
+        for key, entry in series(part, "histograms").items():
+            agg = expected_hists.setdefault(
+                key, {"counts": [0] * len(entry["counts"]), "sum": 0.0, "count": 0}
+            )
+            agg["counts"] = [a + b for a, b in zip(agg["counts"], entry["counts"])]
+            agg["sum"] += entry["sum"]
+            agg["count"] += entry["count"]
+    for key, expected in expected_hists.items():
+        actual = merged_hists.get(key)
+        if (
+            actual is None
+            or actual["counts"] != expected["counts"]
+            or actual["sum"] != expected["sum"]
+            or actual["count"] != expected["count"]
+        ):
+            found.append(
+                Violation(
+                    invariant="obs_merge_conservation",
+                    message=f"histogram {key[0]}{key[1]} not conserved under merge",
+                    detail={"series": key[0], "labels": key[1],
+                            "expected": expected,
+                            "actual": None if actual is None else {
+                                "counts": actual["counts"],
+                                "sum": actual["sum"],
+                                "count": actual["count"],
+                            }},
+                )
+            )
+    return found
+
+
+def _key_violations(reference: dict, candidate: dict, label: str) -> list[Violation]:
+    """Compare two key-material dicts field by field."""
+    found: list[Violation] = []
+    for name, expected in reference.items():
+        actual = candidate.get(name)
+        if actual != expected:
+            found.append(
+                Violation(
+                    invariant="cache_key_stability",
+                    message=f"{label}: {name} differs ({actual!r} vs {expected!r})",
+                    detail={"key": name, "expected": expected, "actual": actual},
+                )
+            )
+    return found
+
+
+def _integrity_scan(directory: Path) -> list[Violation] | None:
+    """Verify every checksummed JSON document under ``directory``.
+
+    Returns ``None`` when no document carries an ``_integrity`` footer —
+    there is nothing this check can assert, and a vacuous pass would be
+    indistinguishable from a real one.
+    """
+    found: list[Violation] = []
+    checked = 0
+    for path in sorted(directory.glob("*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            found.append(
+                Violation(
+                    invariant="document_integrity",
+                    message=f"{path.name}: unreadable JSON ({error})",
+                    detail={"path": str(path)},
+                )
+            )
+            continue
+        if not isinstance(document, dict) or "_integrity" not in document:
+            continue
+        checked += 1
+        if not verify_digest(document):
+            found.append(
+                Violation(
+                    invariant="document_integrity",
+                    message=f"{path.name}: content does not match its "
+                    "_integrity digest footer",
+                    detail={"path": str(path)},
+                )
+            )
+    if checked == 0 and not found:
+        return None
+    return found
+
+
+def _journal_scan(directory: Path) -> list[Violation] | None:
+    """Read-only checksum audit of every ``*.journal.jsonl`` in a directory.
+
+    Unlike :class:`~repro.runtime.journal.CellJournal` loading, this
+    scan never quarantines — verification must not mutate the state it
+    verifies.  A partial *final* line without a trailing newline is the
+    documented crash signature and is tolerated.
+    """
+    paths = sorted(directory.glob("*.journal.jsonl"))
+    if not paths:
+        return None
+    found: list[Violation] = []
+    for path in paths:
+        raw = path.read_bytes().decode("utf-8", errors="replace")
+        complete_tail = raw.endswith("\n")
+        lines = [line for line in raw.split("\n") if line.strip()]
+        for index, line in enumerate(lines):
+            is_torn_tail = index == len(lines) - 1 and not complete_tail
+            problem = _journal_line_problem(line)
+            if problem is None or is_torn_tail:
+                continue
+            found.append(
+                Violation(
+                    invariant="journal_checksums",
+                    message=f"{path.name}:{index + 1}: {problem}",
+                    detail={"path": str(path), "line": index + 1},
+                )
+            )
+    return found
+
+
+def _journal_line_problem(line: str) -> str | None:
+    """Why one journal line is damaged (``None`` when healthy)."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        return f"unparseable JSON ({error})"
+    if not isinstance(record, dict):
+        return "record is not a JSON object"
+    if record.get("kind") == "header":
+        return None
+    if record.get("v") != JOURNAL_VERSION:
+        return f"unsupported record version {record.get('v')!r}"
+    for field in ("key", "kind", "payload", "sha256"):
+        if field not in record:
+            return f"missing field {field!r}"
+    if sha256_hex(canonical_json(record["payload"])) != record["sha256"]:
+        return "payload checksum mismatch"
+    return None
+
+
+def _cache_accounting_violations(document: dict) -> list[Violation]:
+    """Audit the ``runtime.cache`` block's internal consistency."""
+    cache = document.get("runtime", {}).get("cache")
+    if cache is None:
+        return []
+    found: list[Violation] = []
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    for key in ("hits", "misses", "saved_prompt_tokens", "saved_dollars"):
+        if cache.get(key, 0) < 0:
+            found.append(
+                Violation(
+                    invariant="cache_accounting",
+                    message=f"runtime.cache.{key} is negative ({cache[key]!r})",
+                    detail={"key": key, "value": cache[key]},
+                )
+            )
+    total = hits + misses
+    expected_rate = round(hits / total, 4) if total else 0.0
+    stored_rate = cache.get("hit_rate", 0.0)
+    if abs(stored_rate - expected_rate) > 5e-5:
+        found.append(
+            Violation(
+                invariant="cache_accounting",
+                message="runtime.cache.hit_rate inconsistent with hits/misses "
+                f"({stored_rate!r} vs {expected_rate!r})",
+                detail={"stored": stored_rate, "expected": expected_rate,
+                        "hits": hits, "misses": misses},
+            )
+        )
+    return found
+
+
+def _resume_accounting_violations(document: dict) -> list[Violation]:
+    """Audit the ``runtime.resume`` block against the phase task totals."""
+    runtime = document.get("runtime", {})
+    resume = runtime.get("resume")
+    if resume is None:
+        return []
+    found: list[Violation] = []
+    for key, value in resume.items():
+        if value < 0:
+            found.append(
+                Violation(
+                    invariant="resume_accounting",
+                    message=f"runtime.resume.{key} is negative ({value!r})",
+                    detail={"key": key, "value": value},
+                )
+            )
+    computed_tasks = sum(
+        phase.get("tasks", 0) for phase in runtime.get("phases", {}).values()
+    )
+    if resume.get("cells_computed", 0) != computed_tasks:
+        found.append(
+            Violation(
+                invariant="resume_accounting",
+                message="runtime.resume.cells_computed "
+                f"({resume.get('cells_computed')!r}) does not equal the "
+                f"phase task total ({computed_tasks})",
+                detail={"cells_computed": resume.get("cells_computed"),
+                        "phase_tasks": computed_tasks},
+            )
+        )
+    if resume.get("cells_replayed", 0) > resume.get("journal_records_loaded", 0):
+        found.append(
+            Violation(
+                invariant="resume_accounting",
+                message="more cells replayed than journal records loaded "
+                f"({resume.get('cells_replayed')!r} vs "
+                f"{resume.get('journal_records_loaded')!r})",
+                detail=dict(resume),
+            )
+        )
+    return found
+
+
+# -- live probes shared between invariants ------------------------------------
+
+
+def _serial_reference(ctx: VerifyContext) -> list[str]:
+    """The serial executor's science fingerprints (the parity reference)."""
+    return ctx.memoized(
+        "serial_fingerprints",
+        lambda: probes.science_fingerprints(probes.run_probe_grid("serial")),
+    )
+
+
+# -- the invariants -----------------------------------------------------------
+
+
+def _check_executor_parity(ctx: VerifyContext) -> list[Violation]:
+    """Serial, thread and process executors must agree byte-for-byte."""
+    reference = _serial_reference(ctx)
+    found: list[Violation] = []
+    for backend in ("thread", "process"):
+        candidate = probes.science_fingerprints(probes.run_probe_grid(backend))
+        found.extend(
+            _fingerprint_violations(
+                "executor_parity", reference, candidate, f"{backend} vs serial"
+            )
+        )
+    return found
+
+
+def _trip_executor_parity(ctx: VerifyContext) -> list[Violation]:
+    """A perturbed fingerprint (one flipped payload byte) must be caught."""
+    reference = _serial_reference(ctx)
+    mutated = list(reference)
+    mutated[0] = mutated[0].replace('"f1":', '"f1_mutated":', 1)
+    return _fingerprint_violations(
+        "executor_parity", reference, mutated, "mutated vs serial"
+    )
+
+
+def _check_resume_parity(ctx: VerifyContext) -> list[Violation]:
+    """A journal replay must reproduce the computed outcomes exactly."""
+    scratch = ctx.scratch("resume-parity")
+    journal_path = scratch / "cells.journal.jsonl"
+    with CellJournal(journal_path, fresh=True) as journal:
+        computed = probes.run_probe_grid("serial", journal=journal)
+    with CellJournal(journal_path) as resumed:
+        replayed = probes.run_probe_grid("serial", journal=resumed)
+        if resumed.records_loaded != len(computed):
+            return [
+                Violation(
+                    invariant="resume_parity",
+                    message=f"journal loaded {resumed.records_loaded} records "
+                    f"for {len(computed)} computed cells",
+                    detail={"loaded": resumed.records_loaded,
+                            "computed": len(computed)},
+                )
+            ]
+    return _fingerprint_violations(
+        "resume_parity",
+        probes.science_fingerprints(computed),
+        probes.science_fingerprints(replayed),
+        "replayed vs computed",
+    )
+
+
+def _trip_resume_parity(ctx: VerifyContext) -> list[Violation]:
+    """A journal whose payload drifted (checksum re-stamped) must be caught.
+
+    The mutation recomputes the record's checksum, so the per-line
+    integrity scan stays green — only the parity comparison can see it.
+    """
+    scratch = ctx.scratch("resume-parity-trip")
+    journal_path = scratch / "cells.journal.jsonl"
+    with CellJournal(journal_path, fresh=True) as journal:
+        computed = probes.run_probe_grid("serial", journal=journal)
+    lines = journal_path.read_text().splitlines()
+    for index, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "result":
+            score = record["payload"]["result"]["scores"][0]
+            score["f1"] = score["f1"] + 1.0
+            record["sha256"] = sha256_hex(canonical_json(record["payload"]))
+            lines[index] = json.dumps(record)
+            break
+    journal_path.write_text("\n".join(lines) + "\n")
+    with CellJournal(journal_path) as resumed:
+        replayed = probes.run_probe_grid("serial", journal=resumed)
+    return _fingerprint_violations(
+        "resume_parity",
+        probes.science_fingerprints(computed),
+        probes.science_fingerprints(replayed),
+        "tampered replay vs computed",
+    )
+
+
+def _check_spend_conservation(_ctx: VerifyContext) -> list[Violation]:
+    """Ledger, decisions and router counter must report one spend total."""
+    router, decisions = probes.router_scenario()
+    return _spend_violations(router, decisions, router.ledger.total_spend_usd)
+
+
+def _trip_spend_conservation(_ctx: VerifyContext) -> list[Violation]:
+    """A ledger that silently drifted by 0.001 USD must be caught."""
+    router, decisions = probes.router_scenario()
+    return _spend_violations(
+        router, decisions, router.ledger.total_spend_usd + 0.001
+    )
+
+
+def _check_stats_partition(_ctx: VerifyContext) -> list[Violation]:
+    """Every serving scenario's requests must partition exactly."""
+    found: list[Violation] = []
+    expectations = {"ok": None, "shed": "shed", "error": "errors",
+                    "timeout": "timeouts"}
+    for scenario, service in probes.serving_scenarios():
+        found.extend(_partition_violations(scenario, service))
+        exercised = expectations[scenario]
+        if exercised is not None and service.stats.counters[exercised] < 1:
+            found.append(
+                Violation(
+                    invariant="stats_partition",
+                    message=f"scenario {scenario!r} failed to exercise "
+                    f"{exercised!r} (probe broken, partition unproven)",
+                    detail={"scenario": scenario, "counter": exercised},
+                )
+            )
+    return found
+
+
+def _trip_stats_partition(_ctx: VerifyContext) -> list[Violation]:
+    """A double-counted request (the classic masked bug) must be caught."""
+    scenario, service = probes.serving_scenarios()[0]
+    service.stats.bump("requests")
+    return _partition_violations(scenario, service)
+
+
+def _obs_parts() -> list[dict]:
+    """Two worker-shaped registry snapshots with overlapping series."""
+    a = MetricsRegistry()
+    a.counter("requests_total", 5)
+    a.counter("errors_total", 1, backend="cheap")
+    for value in (0.01, 0.2, 3.0):
+        a.histogram("latency_seconds", value)
+    b = MetricsRegistry()
+    b.counter("requests_total", 7)
+    b.counter("shed_total", 2)
+    for value in (0.05, 0.5):
+        b.histogram("latency_seconds", value)
+    return [a.snapshot(), b.snapshot()]
+
+
+def _check_obs_merge(_ctx: VerifyContext) -> list[Violation]:
+    """Merging registry snapshots must conserve counters and histograms."""
+    parts = _obs_parts()
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge(part)
+    return _merge_violations(parts, merged.snapshot())
+
+
+def _trip_obs_merge(_ctx: VerifyContext) -> list[Violation]:
+    """A merge that dropped one histogram observation must be caught."""
+    parts = _obs_parts()
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge(part)
+    snapshot = merged.snapshot()
+    histogram = snapshot["histograms"][0]
+    lost = next(i for i, count in enumerate(histogram["counts"]) if count)
+    histogram["counts"][lost] -= 1
+    histogram["count"] -= 1
+    return _merge_violations(parts, snapshot)
+
+
+def _check_key_stability(_ctx: VerifyContext) -> list[Violation]:
+    """Content-addressed keys must be identical across processes."""
+    return _key_violations(
+        probes.stable_key_material(),
+        probes.subprocess_key_material(),
+        "subprocess vs in-process",
+    )
+
+
+def _trip_key_stability(_ctx: VerifyContext) -> list[Violation]:
+    """A key computed over mutated input must be caught as different."""
+    from ..runtime.cache import completion_key
+
+    reference = probes.stable_key_material()
+    mutated = dict(reference)
+    mutated["completion_key"] = completion_key(
+        "gpt-4o-mini",
+        "Do these records refer to the same entity?",
+        salt="mutated-salt",
+        strategy="related",
+    )
+    return _key_violations(reference, mutated, "mutated vs in-process")
+
+
+def _check_document_integrity(ctx: VerifyContext) -> list[Violation] | None:
+    """Every checksummed document in the study directory must verify."""
+    if ctx.study_dir is None:
+        return None
+    return _integrity_scan(ctx.study_dir)
+
+
+def _trip_document_integrity(ctx: VerifyContext) -> list[Violation]:
+    """A tampered value under an untouched digest footer must be caught."""
+    scratch = ctx.scratch("integrity-trip")
+    document = attach_digest({"table3": {"mean": {"StringSim": 71.2}}})
+    document["table3"]["mean"]["StringSim"] = 99.9
+    (scratch / "tampered.json").write_text(json.dumps(document))
+    return _integrity_scan(scratch) or []
+
+
+def _check_journal_checksums(ctx: VerifyContext) -> list[Violation] | None:
+    """Every journal record in the study directory must checksum clean."""
+    if ctx.study_dir is None:
+        return None
+    return _journal_scan(ctx.study_dir)
+
+
+def _trip_journal_checksums(ctx: VerifyContext) -> list[Violation]:
+    """A flipped payload byte under the old checksum must be caught."""
+    scratch = ctx.scratch("journal-trip")
+    record = {
+        "v": JOURNAL_VERSION,
+        "key": "k" * 64,
+        "kind": "failure",
+        "phase": "verify",
+        "matcher": "StringSim",
+        "target": "ABT",
+        "payload": {"error_type": "TransientLLMError"},
+        "sha256": sha256_hex(canonical_json({"error_type": "TransientLLMError"})),
+    }
+    record["payload"]["error_type"] = "RateLimitError"  # checksum now stale
+    (scratch / "cells.journal.jsonl").write_text(json.dumps(record) + "\n")
+    return _journal_scan(scratch) or []
+
+
+def _load_study_document(ctx: VerifyContext) -> dict | None:
+    """The study directory's main JSON document, if one exists."""
+    if ctx.study_dir is None:
+        return None
+    preferred = ctx.study_dir / "full_study.json"
+    candidates = [preferred] if preferred.exists() else sorted(
+        path for path in ctx.study_dir.glob("*.json")
+    )
+    for path in candidates:
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(document, dict) and "runtime" in document:
+            return document
+    return None
+
+
+def _check_cache_accounting(ctx: VerifyContext) -> list[Violation] | None:
+    """The study document's cache counters must be internally consistent."""
+    document = _load_study_document(ctx)
+    if document is None or document.get("runtime", {}).get("cache") is None:
+        return None
+    return _cache_accounting_violations(document)
+
+
+def _trip_cache_accounting(_ctx: VerifyContext) -> list[Violation]:
+    """A hit_rate that contradicts hits/misses must be caught."""
+    return _cache_accounting_violations(
+        {"runtime": {"cache": {"hits": 10, "misses": 0, "hit_rate": 0.25,
+                               "saved_prompt_tokens": 0, "saved_dollars": 0.0}}}
+    )
+
+
+def _check_resume_accounting(ctx: VerifyContext) -> list[Violation] | None:
+    """The study document's resume counters must match the phase totals."""
+    document = _load_study_document(ctx)
+    if document is None or document.get("runtime", {}).get("resume") is None:
+        return None
+    return _resume_accounting_violations(document)
+
+
+def _trip_resume_accounting(_ctx: VerifyContext) -> list[Violation]:
+    """A computed-cell total that disagrees with phases must be caught."""
+    return _resume_accounting_violations(
+        {
+            "runtime": {
+                "phases": {"table3": {"tasks": 4}, "static": {}},
+                "resume": {"cells_replayed": 0, "cells_computed": 3,
+                           "journal_records_loaded": 0,
+                           "corrupt_quarantined": 0},
+            }
+        }
+    )
+
+
+register(Invariant(
+    name="executor_parity",
+    description="Grid cell results are byte-identical across the serial, "
+    "thread and process executors.",
+    failure_mode="Table values silently depend on the runtime backend — the "
+    "same study prints different numbers at different worker counts.",
+    check=_check_executor_parity,
+    trip=_trip_executor_parity,
+))
+register(Invariant(
+    name="resume_parity",
+    description="Replaying a cell journal reproduces the computed outcomes "
+    "byte-for-byte, and every journaled cell is actually replayed.",
+    failure_mode="A resumed run quietly publishes different table values "
+    "than the uninterrupted run it claims to equal.",
+    check=_check_resume_parity,
+    trip=_trip_resume_parity,
+))
+register(Invariant(
+    name="spend_conservation",
+    description="The spend ledger's total equals the sum of per-decision "
+    "spend_usd equals the router's spend counter (±1e-9 USD).",
+    failure_mode="Cost accounting drifts — budget enforcement and the "
+    "reported dollars no longer describe the same spend.",
+    check=_check_spend_conservation,
+    trip=_trip_spend_conservation,
+))
+register(Invariant(
+    name="stats_partition",
+    description="Every admitted serving request is accounted exactly once: "
+    "requests == completed + shed + timeouts + errors + abandoned.",
+    failure_mode="Requests vanish from (or double-count in) /metrics — "
+    "dashboards under- or over-state traffic and error rates.",
+    check=_check_stats_partition,
+    trip=_trip_stats_partition,
+))
+register(Invariant(
+    name="obs_merge_conservation",
+    description="Merging metrics-registry snapshots conserves every counter "
+    "and histogram element-wise.",
+    failure_mode="Aggregated telemetry loses or invents observations, so "
+    "merged worker metrics misreport what the workers measured.",
+    check=_check_obs_merge,
+    trip=_trip_obs_merge,
+))
+register(Invariant(
+    name="cache_key_stability",
+    description="Completion-cache and journal cell keys are identical when "
+    "computed by independent processes.",
+    failure_mode="Cache hits and journal replays silently miss across "
+    "processes — correctness survives but every resume recomputes "
+    "everything, and cross-run determinism claims become unverifiable.",
+    check=_check_key_stability,
+    trip=_trip_key_stability,
+))
+register(Invariant(
+    name="document_integrity",
+    description="Every checksummed JSON document in the study directory "
+    "matches its embedded _integrity digest footer.",
+    failure_mode="Silent disk or copy corruption is parsed as real results.",
+    check=_check_document_integrity,
+    trip=_trip_document_integrity,
+))
+register(Invariant(
+    name="journal_checksums",
+    description="Every journal record checksums clean (torn final lines "
+    "excepted), verified read-only without quarantine side effects.",
+    failure_mode="A damaged journal record replays corrupt cell results "
+    "into the study tables on resume.",
+    check=_check_journal_checksums,
+    trip=_trip_journal_checksums,
+))
+register(Invariant(
+    name="cache_accounting",
+    description="The study document's cache counters are internally "
+    "consistent (non-negative; hit_rate == hits / lookups).",
+    failure_mode="The cache-savings narrative in full_study.json misstates "
+    "what the run actually reused.",
+    check=_check_cache_accounting,
+    trip=_trip_cache_accounting,
+))
+register(Invariant(
+    name="resume_accounting",
+    description="The study document's resume counters are non-negative, "
+    "cells_computed equals the phase task total, and no more cells are "
+    "replayed than journal records were loaded.",
+    failure_mode="The resume block misrepresents how much of a resumed run "
+    "was recomputed versus replayed.",
+    check=_check_resume_accounting,
+    trip=_trip_resume_accounting,
+))

@@ -1,0 +1,337 @@
+"""Live probes the invariants share: tiny but *real* end-to-end scenarios.
+
+Every probe here drives the actual production code path — real grid
+cells through the real executors, a real :class:`MatchRouter` over a
+real :class:`SpendLedger`, a real inline :class:`MatchService` — at the
+smallest scale that still exercises the property under check.  Nothing
+is mocked at the layer being verified: a probe that passed against a
+stub would prove nothing about the system.
+
+Probes are deterministic by construction (seeded data, ``FakeClock``
+time, no threads on the scoring path), so an invariant that compares
+two probe runs compares *bytes*, not tolerances — except where a
+documented tolerance is the invariant (spend conservation at 1e-9).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..config import StudyConfig, SurrogateScale
+from ..data.pairs import RecordPair
+from ..data.record import Record
+from ..errors import TransientLLMError
+from ..matchers.base import Matcher
+from ..reliability.clock import FakeClock
+from ..routing.policy import MatchRouter, RoutedBackend, SpendLedger
+from ..runtime.cache import completion_key
+from ..runtime.grid import GridCell, run_cells
+from ..runtime.journal import CellJournal, cell_key
+from ..runtime.persist import canonical_json
+from ..serving.service import MatchService
+
+__all__ = [
+    "probe_config",
+    "probe_cells",
+    "science_fingerprints",
+    "run_probe_grid",
+    "router_scenario",
+    "serving_scenarios",
+    "stable_key_material",
+    "subprocess_key_material",
+]
+
+#: The two-dataset roster the grid probes run over — the smallest
+#: leave-one-out loop that still has a transfer/target split.
+PROBE_CODES: tuple[str, str] = ("ABT", "BEER")
+
+
+def probe_config() -> StudyConfig:
+    """The tiny StudyConfig every grid probe runs at (seconds, not minutes)."""
+    return StudyConfig(
+        name="verifyprobe",
+        seeds=(0, 1),
+        test_fraction=0.2,
+        train_pair_budget=120,
+        epochs=1,
+        dataset_scale=0.05,
+        surrogate=SurrogateScale(
+            d_model=16, n_layers=1, n_heads=2, d_ff=32, max_len=32, vocab_size=1024
+        ),
+    )
+
+
+def probe_cells(config: StudyConfig | None = None) -> list[GridCell]:
+    """One cheap non-LLM grid cell per probe target (picklable, seeded)."""
+    config = config or probe_config()
+    return [
+        GridCell(
+            kind="table3",
+            matcher_name="StringSim",
+            target_code=code,
+            config=config,
+            codes=PROBE_CODES,
+        )
+        for code in PROBE_CODES
+    ]
+
+
+def science_fingerprints(outcomes: list) -> list[str]:
+    """Canonical-JSON fingerprints of each outcome's *science* payload.
+
+    Runtime accounting (``seconds``, cache/reliability deltas, retry
+    counts) legitimately varies between executions; the table-feeding
+    payload must not.  The fingerprint covers exactly the fields the
+    study tables are computed from, so two fingerprint lists are equal
+    iff the runs would render byte-identical tables.
+    """
+    from ..runtime.journal import _encode_outcome
+
+    fingerprints = []
+    for outcome in outcomes:
+        kind, payload = _encode_outcome(outcome)
+        if kind == "result":
+            science = {"kind": kind, "result": payload["result"]}
+        else:
+            science = {
+                "kind": kind,
+                "error_type": payload["error_type"],
+                "target": payload["target_code"],
+            }
+        fingerprints.append(canonical_json(science))
+    return fingerprints
+
+
+def run_probe_grid(
+    backend: str,
+    workers: int = 2,
+    journal: CellJournal | None = None,
+    cells: list[GridCell] | None = None,
+) -> list:
+    """Run the probe cells through one executor backend; return outcomes."""
+    from ..runtime.executor import make_executor
+
+    cells = cells if cells is not None else probe_cells()
+    executor = make_executor(workers=workers, backend=backend)
+    try:
+        return run_cells(cells, executor, phase="verify", journal=journal)
+    finally:
+        executor.close()
+
+
+# -- routing ------------------------------------------------------------------
+
+
+class _ScoreFromIdMatcher(Matcher):
+    """Scores each pair by the float encoded in its ``pair_id`` suffix."""
+
+    name = "score-from-id"
+    display_name = "ScoreFromId"
+
+    def _predict(self, pairs, serialization_seed):
+        """Threshold the encoded scores at 0.5."""
+        return (self.match_scores(pairs, serialization_seed) >= 0.5).astype(np.int64)
+
+    def match_scores(self, pairs, serialization_seed=None):
+        """The scores the pair ids carry (fully caller-controlled)."""
+        return np.array([float(p.pair_id.split(":")[1]) for p in pairs])
+
+
+class _ConstantMatcher(Matcher):
+    """Always answers one label (the probe's authority rung)."""
+
+    name = "constant"
+    display_name = "Constant"
+
+    def __init__(self, label: int = 1) -> None:
+        """Answer ``label`` for every pair."""
+        super().__init__()
+        self.label = label
+
+    def _predict(self, pairs, serialization_seed):
+        """The configured label, for every pair."""
+        return np.full(len(pairs), self.label, dtype=np.int64)
+
+
+def _pair(values_left: str, values_right: str, pair_id: str) -> RecordPair:
+    """A hand-built unlabelled pair (label 0 is never read on this path)."""
+    return RecordPair(
+        pair_id=pair_id,
+        left=Record(f"{pair_id}-l", (values_left,), entity_id="e1"),
+        right=Record(f"{pair_id}-r", (values_right,), entity_id="e2"),
+        label=0,
+    )
+
+
+def _scored_pair(score: float, index: int) -> RecordPair:
+    """A pair whose routing score is ``score`` (via the id-scored matcher)."""
+    return _pair("alpha beta gamma", "alpha beta delta", f"p{index}:{score}")
+
+
+def router_scenario() -> tuple[MatchRouter, list]:
+    """Route a batch that exercises every spend path; return (router, decisions).
+
+    The entry rung is *priced* (its cost is charged unconditionally) and
+    the ledger budget is sized so some escalations are charged and the
+    rest are denied — decisions then carry a mix of entry-only spend,
+    escalated spend and ``budget_limited`` degradations, which is
+    exactly the mix under which spend-conservation bugs historically
+    hid (a denied charge on one path, an uncharged spend on another).
+    """
+    clock = FakeClock()
+    ledger = SpendLedger(budget_usd=0.004, window_s=60.0, clock=clock)
+    router = MatchRouter(
+        backends=[
+            RoutedBackend(
+                name="cheap",
+                matcher=_ScoreFromIdMatcher(),
+                price_per_1k_tokens=0.002,
+                low=0.3,
+                high=0.7,
+            ),
+            RoutedBackend(
+                name="expensive",
+                matcher=_ConstantMatcher(1),
+                price_per_1k_tokens=0.03,
+            ),
+        ],
+        ledger=ledger,
+        clock=clock,
+    )
+    scores = [0.1, 0.5, 0.9, 0.4, 0.6, 0.5, 0.2, 0.5]
+    pairs = [_scored_pair(score, i) for i, score in enumerate(scores)]
+    decisions = list(router.route(pairs[:4]))
+    decisions.extend(router.route(pairs[4:]))
+    return router, decisions
+
+
+# -- serving ------------------------------------------------------------------
+
+
+class _FailingMatcher(Matcher):
+    """Every predict call fails with a transient (library) error."""
+
+    name = "failing"
+    display_name = "Failing"
+
+    def _predict(self, pairs, serialization_seed):
+        """Always raise, modelling a persistently broken backend."""
+        raise TransientLLMError("probe backend failure")
+
+
+class _SlowMatcher(Matcher):
+    """Advances an injected FakeClock in predict (a deterministic stall)."""
+
+    name = "slow"
+    display_name = "Slow"
+
+    def __init__(self, clock: FakeClock, stall_s: float) -> None:
+        """Each predict call advances ``clock`` by ``stall_s`` seconds."""
+        super().__init__()
+        self.clock = clock
+        self.stall_s = stall_s
+
+    def _predict(self, pairs, serialization_seed):
+        """Stall (on the fake clock), then answer zeros."""
+        self.clock.advance(self.stall_s)
+        return np.zeros(len(pairs), dtype=np.int64)
+
+
+def _plain_pairs(n: int) -> list[RecordPair]:
+    """``n`` distinct unlabelled request pairs."""
+    return [_pair(f"item {i} alpha", f"item {i} beta", f"req{i}:0") for i in range(n)]
+
+
+def serving_scenarios() -> list[tuple[str, MatchService]]:
+    """Inline services driven through ok/shed/error/timeout request mixes.
+
+    Each scenario returns with its terminal stats in place; the
+    stats-partition invariant then audits every service's counters.
+    All four outcome classes are represented so the partition is
+    exercised on every edge, not just the happy path.
+    """
+    scenarios: list[tuple[str, MatchService]] = []
+
+    ok = MatchService(_ConstantMatcher(1), max_batch_size=4, clock=FakeClock())
+    ok.match_pairs(_plain_pairs(3))
+    scenarios.append(("ok", ok))
+
+    shed = MatchService(_ConstantMatcher(1), max_queue=1, clock=FakeClock())
+    try:
+        shed.match_pairs(_plain_pairs(3))
+    except Exception:
+        pass  # OverloadedError is this scenario's point
+    scenarios.append(("shed", shed))
+
+    error = MatchService(_FailingMatcher(), max_batch_size=4, clock=FakeClock())
+    try:
+        error.match_pairs(_plain_pairs(2))
+    except Exception:
+        pass  # the batch failure is this scenario's point
+    scenarios.append(("error", error))
+
+    clock = FakeClock()
+    timeout = MatchService(
+        _SlowMatcher(clock, stall_s=10.0),
+        max_batch_size=1,
+        clock=clock,
+        default_budget_s=5.0,
+    )
+    try:
+        timeout.match_pairs(_plain_pairs(2))
+    except Exception:
+        pass  # the expired deadline budget is this scenario's point
+    scenarios.append(("timeout", timeout))
+
+    return scenarios
+
+
+# -- cache/journal key stability ---------------------------------------------
+
+
+def stable_key_material() -> dict:
+    """The content-addressed keys whose cross-process stability is checked.
+
+    A fixed completion key and the key of a fixed probe grid cell —
+    both must be pure functions of their inputs, independent of process
+    identity, hash randomization, or dict ordering.
+    """
+    return {
+        "completion_key": completion_key(
+            "gpt-4o-mini",
+            "Do these records refer to the same entity?",
+            salt="verify-salt",
+            strategy="related",
+        ),
+        "cell_key": cell_key(probe_cells()[0]),
+    }
+
+
+def subprocess_key_material() -> dict:
+    """:func:`stable_key_material` computed by a fresh Python process.
+
+    The child runs with its own (randomized) hash seed, so equality with
+    the parent's keys proves the content addresses do not leak ``hash()``
+    or dict-iteration order.
+    """
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    script = (
+        "import json; from repro.verify.probes import stable_key_material; "
+        "print(json.dumps(stable_key_material()))"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    ).stdout
+    return json.loads(output)

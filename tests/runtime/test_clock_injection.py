@@ -1,0 +1,72 @@
+"""Clock injection across the persistence layer.
+
+``persist``, ``cache`` and ``journal`` used to call ``time.time()``
+directly for quarantine-sidecar timestamps, which made the sidecar
+names untestable and left three holes in the repo-wide "all time is
+injectable" rule.  These tests pin the fixed behaviour: a
+:class:`~repro.reliability.clock.FakeClock` fully determines every
+timestamp those modules emit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.reliability.clock import FakeClock, SystemClock
+from repro.runtime.cache import CompletionCache
+from repro.runtime.journal import JOURNAL_VERSION, CellJournal
+from repro.runtime.persist import quarantine_file, quarantine_line
+
+
+def test_clock_wall_readings():
+    # FakeClock's wall reading is its simulated time; SystemClock's is
+    # the real epoch.  Both are what sidecar names are derived from.
+    fake = FakeClock(41.0)
+    fake.advance(1.5)
+    assert fake.wall() == 42.5
+    assert abs(SystemClock().wall() - time.time()) < 5.0
+
+
+def test_quarantine_file_sidecar_named_from_injected_clock(tmp_path):
+    damaged = tmp_path / "state.json"
+    damaged.write_text("not json")
+    sidecar = quarantine_file(damaged, clock=FakeClock(7.9))
+    assert sidecar.name == "state.json.corrupt-7"
+    assert sidecar.exists() and not damaged.exists()
+
+
+def test_quarantine_line_sidecar_named_from_injected_clock(tmp_path):
+    store = tmp_path / "entries.jsonl"
+    store.write_text("good\nbad\n")
+    sidecar = quarantine_line(store, "bad", clock=FakeClock(1234.0))
+    assert sidecar.name == "entries.jsonl.corrupt-1234"
+    assert sidecar.read_text() == "bad\n"
+
+
+def test_completion_cache_quarantines_with_injected_clock(tmp_path):
+    path = tmp_path / "completions.jsonl"
+    path.write_text("this is not a cache line\n")
+    cache = CompletionCache(path=path, clock=FakeClock(99.0))
+    assert cache.quarantined == 1
+    sidecar = path.with_name("completions.jsonl.corrupt-99")
+    assert sidecar.exists()
+    assert cache.corruption_errors[0].quarantined_to == str(sidecar)
+
+
+def test_cell_journal_quarantines_with_injected_clock(tmp_path):
+    path = tmp_path / "cells.journal.jsonl"
+    # A complete (newline-terminated) damaged record is corruption, not
+    # the expected torn tail, so it must be quarantined.
+    path.write_text(
+        json.dumps({"v": JOURNAL_VERSION, "kind": "header", "info": {}})
+        + "\n{broken record\n"
+    )
+    journal = CellJournal(path, clock=FakeClock(555.0))
+    try:
+        assert journal.quarantined == 1
+        sidecar = path.with_name("cells.journal.jsonl.corrupt-555")
+        assert sidecar.exists()
+        assert journal.corruption_errors[0].quarantined_to == str(sidecar)
+    finally:
+        journal.close()

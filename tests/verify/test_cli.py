@@ -1,0 +1,71 @@
+"""The ``python -m repro.verify`` command-line surface.
+
+Exit codes are the CI contract — 0 iff clean / all trips fired — so the
+tests drive :func:`repro.verify.__main__.main` directly and read both
+the code and the emitted report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify.__main__ import main
+
+# The cheapest real invariant — no grid cells, no subprocesses — so CLI
+# plumbing tests stay fast while still running production checks.
+_FAST = ["--only", "obs_merge_conservation"]
+
+
+def test_list_prints_the_catalogue(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "executor_parity" in out and "resume_accounting" in out
+
+
+def test_list_json_is_machine_readable(capsys):
+    assert main(["--list", "--json"]) == 0
+    catalogue = json.loads(capsys.readouterr().out)
+    assert {entry["name"] for entry in catalogue} >= {
+        "executor_parity", "spend_conservation", "stats_partition",
+    }
+
+
+def test_check_exit_zero_and_report_on_a_clean_invariant(capsys):
+    assert main(_FAST) == 0
+    assert "[PASS] obs_merge_conservation" in capsys.readouterr().out
+
+
+def test_check_json_report_shape(capsys):
+    assert main([*_FAST, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["status"] == "ok"
+    assert report["results"] == [
+        {"invariant": "obs_merge_conservation", "status": "ok", "violations": 0}
+    ]
+
+
+def test_selftest_exit_zero_when_the_trip_fires(capsys):
+    assert main(["--selftest", *_FAST]) == 0
+    assert "[TRIPPED] obs_merge_conservation" in capsys.readouterr().out
+
+
+def test_study_violations_exit_nonzero(tmp_path, capsys):
+    document = {
+        "runtime": {
+            "cache": {"hits": 1, "misses": 1, "hit_rate": 0.99,
+                      "saved_prompt_tokens": 0, "saved_dollars": 0.0},
+        }
+    }
+    (tmp_path / "full_study.json").write_text(json.dumps(document))
+    assert main(["--study", str(tmp_path), "--only", "cache_accounting"]) == 1
+    out = capsys.readouterr().out
+    assert "[FAIL] cache_accounting" in out and "hit_rate" in out
+
+
+def test_unknown_invariant_name_is_a_configuration_error():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown invariant"):
+        main(["--only", "no_such_check"])

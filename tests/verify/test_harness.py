@@ -1,0 +1,135 @@
+"""The verify harness's own machinery: registry, context, report shapes.
+
+These tests pin the harness *contract* — crashed checks surface as
+violations (never as silent passes), absent preconditions report
+``skipped``, and the selftest fails when any trip does not fire — using
+throwaway invariants so the real catalogue stays untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify.harness import (
+    Invariant,
+    VerifyContext,
+    Violation,
+    _select,
+    all_invariants,
+    check_all,
+    register,
+    render_report,
+    render_selftest,
+    selftest,
+)
+
+
+def _violation(name: str = "demo") -> Violation:
+    return Violation(invariant=name, message="boom", detail={"k": 1})
+
+
+def test_register_rejects_duplicate_names():
+    first = all_invariants()[0]
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register(first)
+
+
+def test_select_rejects_unknown_names():
+    with pytest.raises(ConfigurationError, match="unknown invariant"):
+        _select(["no_such_invariant"])
+
+
+def test_context_requires_an_existing_study_dir(tmp_path):
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        VerifyContext(tmp_path / "missing")
+
+
+def test_context_memoizes_and_cleans_scratch():
+    calls = []
+    with VerifyContext() as ctx:
+        ctx.memoized("k", lambda: calls.append(1))
+        ctx.memoized("k", lambda: calls.append(2))
+        assert calls == [1]
+        scratch = ctx.scratch("one")
+        (scratch / "f").write_text("x")
+    assert not scratch.exists()
+
+
+def test_check_all_converts_a_crashed_check_into_a_violation(monkeypatch):
+    bad = Invariant(
+        name="crasher",
+        description="d",
+        failure_mode="f",
+        check=lambda ctx: 1 / 0,
+        trip=lambda ctx: [_violation("crasher")],
+    )
+    monkeypatch.setattr("repro.verify.harness._REGISTRY", [bad])
+    report = check_all()
+    assert report["status"] == "violations"
+    assert "check crashed: ZeroDivisionError" in report["violations"][0]["message"]
+    assert report["results"][0]["status"] == "violated"
+
+
+def test_check_all_reports_skipped_checks_without_failing(monkeypatch):
+    skipper = Invariant(
+        name="skipper",
+        description="d",
+        failure_mode="f",
+        check=lambda ctx: None,
+        trip=lambda ctx: [_violation("skipper")],
+    )
+    monkeypatch.setattr("repro.verify.harness._REGISTRY", [skipper])
+    report = check_all()
+    assert report["status"] == "ok"
+    assert report["results"] == [{"invariant": "skipper", "status": "skipped"}]
+
+
+def test_selftest_fails_when_a_trip_does_not_fire(monkeypatch):
+    decorative = Invariant(
+        name="decorative",
+        description="d",
+        failure_mode="f",
+        check=lambda ctx: [],
+        trip=lambda ctx: [],  # the bug the selftest exists to expose
+    )
+    monkeypatch.setattr("repro.verify.harness._REGISTRY", [decorative])
+    report = selftest()
+    assert report["status"] == "not_tripped"
+    assert report["results"][0]["tripped"] is False
+
+
+def test_selftest_fails_when_a_trip_crashes(monkeypatch):
+    crasher = Invariant(
+        name="trip_crasher",
+        description="d",
+        failure_mode="f",
+        check=lambda ctx: [],
+        trip=lambda ctx: 1 / 0,
+    )
+    monkeypatch.setattr("repro.verify.harness._REGISTRY", [crasher])
+    report = selftest()
+    assert report["status"] == "not_tripped"
+    assert "ZeroDivisionError" in report["results"][0]["error"]
+
+
+def test_renderers_cover_every_status(monkeypatch):
+    ok = Invariant(
+        name="fine", description="d", failure_mode="f",
+        check=lambda ctx: [], trip=lambda ctx: [_violation("fine")],
+    )
+    skip = Invariant(
+        name="absent", description="d", failure_mode="f",
+        check=lambda ctx: None, trip=lambda ctx: [_violation("absent")],
+    )
+    bad = Invariant(
+        name="broken", description="d", failure_mode="f",
+        check=lambda ctx: [_violation("broken")],
+        trip=lambda ctx: [_violation("broken")],
+    )
+    monkeypatch.setattr("repro.verify.harness._REGISTRY", [ok, skip, bad])
+    text = render_report(check_all())
+    assert "[PASS] fine" in text and "[SKIP] absent" in text
+    assert "[FAIL] broken" in text and "!! broken: boom" in text
+    self_text = render_selftest(selftest())
+    assert "[TRIPPED] fine" in self_text

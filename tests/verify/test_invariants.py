@@ -1,0 +1,147 @@
+"""The registered invariant catalogue: live passes, trips, artifact audits.
+
+The expensive end-to-end facts (all live invariants green, every trip
+fires) are each asserted once; the artifact invariants are additionally
+driven against hand-damaged study directories to pin *what* they catch,
+not just that they run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.journal import JOURNAL_VERSION
+from repro.runtime.persist import attach_digest, canonical_json, sha256_hex
+from repro.verify import all_invariants, check_all, selftest
+
+_ARTIFACT_INVARIANTS = (
+    "document_integrity",
+    "journal_checksums",
+    "cache_accounting",
+    "resume_accounting",
+)
+
+
+def _statuses(report: dict) -> dict[str, str]:
+    return {entry["invariant"]: entry["status"] for entry in report["results"]}
+
+
+def test_catalogue_is_complete_and_documented():
+    invariants = all_invariants()
+    names = [invariant.name for invariant in invariants]
+    assert len(names) == len(set(names)) == 10
+    for invariant in invariants:
+        assert invariant.description.strip()
+        assert invariant.failure_mode.strip()
+
+
+def test_live_invariants_pass_and_artifact_checks_skip_without_a_study():
+    report = check_all()
+    statuses = _statuses(report)
+    assert report["status"] == "ok", report["violations"]
+    for name in _ARTIFACT_INVARIANTS:
+        assert statuses[name] == "skipped"
+    live = set(statuses) - set(_ARTIFACT_INVARIANTS)
+    assert all(statuses[name] == "ok" for name in live)
+
+
+def test_every_trip_fires():
+    report = selftest()
+    assert report["status"] == "ok", report["results"]
+    assert all(entry["tripped"] for entry in report["results"])
+
+
+def test_document_integrity_catches_a_tampered_document(tmp_path):
+    clean = attach_digest({"table3": {"mean": {"StringSim": 71.2}}})
+    (tmp_path / "clean.json").write_text(json.dumps(clean))
+    tampered = attach_digest({"table4": {"mean": {"Ditto": 80.0}}})
+    tampered["table4"]["mean"]["Ditto"] = 99.9
+    (tmp_path / "tampered.json").write_text(json.dumps(tampered))
+
+    report = check_all(study_dir=tmp_path, names=["document_integrity"])
+    assert report["status"] == "violations"
+    [violation] = report["violations"]
+    assert "tampered.json" in violation["message"]
+
+
+def test_document_integrity_skips_when_nothing_carries_a_digest(tmp_path):
+    (tmp_path / "notes.json").write_text(json.dumps({"plain": True}))
+    report = check_all(study_dir=tmp_path, names=["document_integrity"])
+    assert _statuses(report)["document_integrity"] == "skipped"
+
+
+def _journal_record(payload: dict) -> dict:
+    return {
+        "v": JOURNAL_VERSION,
+        "key": "k" * 64,
+        "kind": "failure",
+        "phase": "verify",
+        "matcher": "StringSim",
+        "target": "ABT",
+        "payload": payload,
+        "sha256": sha256_hex(canonical_json(payload)),
+    }
+
+
+def test_journal_checksums_catch_damage_but_tolerate_a_torn_tail(tmp_path):
+    good = _journal_record({"error_type": "TransientLLMError"})
+    bad = _journal_record({"error_type": "TransientLLMError"})
+    bad["payload"]["error_type"] = "RateLimitError"  # checksum now stale
+    torn = json.dumps(_journal_record({"error_type": "X"}))[:25]  # crash tail
+    (tmp_path / "cells.journal.jsonl").write_text(
+        json.dumps(good) + "\n" + json.dumps(bad) + "\n" + torn
+    )
+
+    report = check_all(study_dir=tmp_path, names=["journal_checksums"])
+    [violation] = report["violations"]
+    assert "checksum mismatch" in violation["message"]
+    assert violation["detail"]["line"] == 2  # the torn line 3 is tolerated
+    # And the scan left the journal untouched: no quarantine sidecars.
+    assert list(tmp_path.glob("*.corrupt-*")) == []
+
+
+def test_cache_accounting_catches_an_inconsistent_hit_rate(tmp_path):
+    document = {
+        "runtime": {
+            "cache": {"hits": 10, "misses": 30, "hit_rate": 0.9,
+                      "saved_prompt_tokens": 5, "saved_dollars": 0.01},
+        }
+    }
+    (tmp_path / "full_study.json").write_text(json.dumps(document))
+    report = check_all(study_dir=tmp_path, names=["cache_accounting"])
+    [violation] = report["violations"]
+    assert "hit_rate" in violation["message"]
+    assert violation["detail"]["expected"] == 0.25
+
+
+def test_resume_accounting_catches_a_phase_total_mismatch(tmp_path):
+    document = {
+        "runtime": {
+            "phases": {"table3": {"tasks": 4}, "table4": {"tasks": 2},
+                       "static": {}},
+            "resume": {"cells_replayed": 0, "cells_computed": 5,
+                       "journal_records_loaded": 0, "corrupt_quarantined": 0},
+        }
+    }
+    (tmp_path / "full_study.json").write_text(json.dumps(document))
+    report = check_all(study_dir=tmp_path, names=["resume_accounting"])
+    [violation] = report["violations"]
+    assert "cells_computed" in violation["message"]
+    assert violation["detail"]["phase_tasks"] == 6
+
+
+def test_accounting_checks_accept_a_consistent_document(tmp_path):
+    document = {
+        "runtime": {
+            "cache": {"hits": 1, "misses": 3, "hit_rate": 0.25,
+                      "saved_prompt_tokens": 2, "saved_dollars": 0.0},
+            "phases": {"table3": {"tasks": 6}, "static": {}},
+            "resume": {"cells_replayed": 2, "cells_computed": 6,
+                       "journal_records_loaded": 2, "corrupt_quarantined": 0},
+        }
+    }
+    (tmp_path / "full_study.json").write_text(json.dumps(document))
+    report = check_all(
+        study_dir=tmp_path, names=["cache_accounting", "resume_accounting"]
+    )
+    assert report["status"] == "ok", report["violations"]
